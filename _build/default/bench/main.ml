@@ -1,0 +1,162 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. Bechamel micro-benchmarks - one Test.make per moving part of the
+      system (each scheduling algorithm, the exact optimum, the LP
+      pipeline, the simplex solver, the paging substrate) plus the ablation
+      pairs called out in DESIGN.md (exact vs float LP, restricted DP vs
+      exhaustive search).
+   2. The experiment battery E1-E13: every table the reproduction reports
+      (the paper has no empirical tables of its own, so these validate the
+      theorems' shapes; see EXPERIMENTS.md).  `dune exec bench/main.exe`
+      therefore regenerates every figure of the reproduction in one run. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures. *)
+
+let single_workload =
+  lazy (Workload.single_instance ~k:8 ~fetch_time:4 (Workload.zipf ~seed:3 ~alpha:0.9 ~n:200 ~num_blocks:24))
+
+let opt_workload =
+  lazy (Workload.single_instance ~k:5 ~fetch_time:4 (Workload.zipf ~seed:3 ~alpha:0.9 ~n:60 ~num_blocks:11))
+
+let parallel_workload =
+  lazy
+    (Workload.parallel_instance ~k:4 ~fetch_time:3 ~num_disks:2
+       ~layout:(fun ~num_blocks ~num_disks -> Workload.striped_layout ~num_blocks ~num_disks)
+       (Workload.uniform ~seed:5 ~n:12 ~num_blocks:8))
+
+let lp_problem =
+  lazy
+    (let inst = Lazy.force parallel_workload in
+     (Sync_lp.build inst).Sync_lp.problem)
+
+let paging_workload =
+  lazy
+    (Workload.single_instance ~k:16 ~fetch_time:1
+       (Workload.zipf ~seed:9 ~alpha:0.8 ~n:2000 ~num_blocks:64))
+
+let d0 = Bounds.delay_opt_d ~f:4
+
+let stage f = Staged.stage f
+
+let tests =
+  [ (* Scheduling algorithms (one per algorithm the paper discusses). *)
+    Test.make ~name:"aggressive" (stage (fun () -> Aggressive.schedule (Lazy.force single_workload)));
+    Test.make ~name:"conservative" (stage (fun () -> Conservative.schedule (Lazy.force single_workload)));
+    Test.make ~name:"delay_d0" (stage (fun () -> Delay.schedule ~d:d0 (Lazy.force single_workload)));
+    Test.make ~name:"combination" (stage (fun () -> Combination.schedule (Lazy.force single_workload)));
+    Test.make ~name:"online_lookahead_8"
+      (stage (fun () -> Online.schedule (Online.aggressive ~lookahead:8) (Lazy.force single_workload)));
+    Test.make ~name:"fixed_horizon"
+      (stage (fun () -> Fixed_horizon.schedule (Lazy.force single_workload)));
+    Test.make ~name:"reverse_aggressive"
+      (stage (fun () -> Reverse_aggressive.schedule (Lazy.force single_workload)));
+    (* Exact optima. *)
+    Test.make ~name:"opt_single_dp" (stage (fun () -> Opt_single.solve (Lazy.force opt_workload)));
+    Test.make ~name:"parallel_greedy"
+      (stage (fun () -> Parallel_greedy.aggressive_schedule (Lazy.force parallel_workload)));
+    Test.make ~name:"lp_pipeline_d2" (stage (fun () -> Rounding.solve (Lazy.force parallel_workload)));
+    (* Substrates. *)
+    Test.make ~name:"simulate_replay"
+      (stage
+         (let inst = Lazy.force single_workload in
+          let sched = Aggressive.schedule inst in
+          fun () -> Simulate.run inst sched));
+    Test.make ~name:"paging_min" (stage (fun () -> Paging.min_offline (Lazy.force paging_workload)));
+    Test.make ~name:"paging_clock" (stage (fun () -> Paging.clock (Lazy.force paging_workload)));
+    Test.make ~name:"bigint_mul_4kbit"
+      (stage
+         (let a = Bigint.pow (Bigint.of_int 1_000_003) 400 in
+          let b = Bigint.pow (Bigint.of_int 999_983) 400 in
+          fun () -> Bigint.mul a b));
+    Test.make ~name:"peephole_conservative"
+      (stage
+         (let inst = Lazy.force opt_workload in
+          let sched = Conservative.schedule inst in
+          fun () -> Peephole.optimize ~max_passes:2 inst sched));
+    (* Ablations (DESIGN.md section 6). *)
+    Test.make ~name:"ablation_lp_exact_hybrid"
+      (stage (fun () -> Simplex.solve_exact (Lazy.force lp_problem)));
+    Test.make ~name:"ablation_lp_float" (stage (fun () -> Simplex.solve_float (Lazy.force lp_problem)));
+    Test.make ~name:"ablation_lp_pure_exact"
+      (stage (fun () -> Simplex.solve_pure_exact (Lazy.force lp_problem)));
+    Test.make ~name:"ablation_opt_restricted_dp"
+      (stage
+         (let inst = Workload.single_instance ~k:3 ~fetch_time:3 (Workload.uniform ~seed:1 ~n:12 ~num_blocks:6) in
+          fun () -> Opt_single.solve inst));
+    Test.make ~name:"ablation_opt_exhaustive"
+      (stage
+         (let inst = Workload.single_instance ~k:3 ~fetch_time:3 (Workload.uniform ~seed:1 ~n:12 ~num_blocks:6) in
+          fun () -> Opt_exhaustive.solve_stall inst)) ]
+
+(* Scaling sweeps: the same algorithm at growing n (and the DP at growing
+   k), to expose asymptotic behaviour in the report. *)
+let scaling_tests =
+  let mk_inst n =
+    Workload.single_instance ~k:8 ~fetch_time:4
+      (Workload.zipf ~seed:7 ~alpha:0.9 ~n ~num_blocks:24)
+  in
+  List.concat_map
+    (fun n ->
+       let inst = mk_inst n in
+       [ Test.make ~name:(Printf.sprintf "scale_aggressive_n%d" n)
+           (stage (fun () -> Aggressive.schedule inst));
+         Test.make ~name:(Printf.sprintf "scale_conservative_n%d" n)
+           (stage (fun () -> Conservative.schedule inst)) ])
+    [ 100; 400; 1600 ]
+  @ List.map
+    (fun k ->
+       let inst =
+         Workload.single_instance ~k ~fetch_time:4
+           (Workload.zipf ~seed:7 ~alpha:0.9 ~n:60 ~num_blocks:11)
+       in
+       Test.make ~name:(Printf.sprintf "scale_opt_dp_k%d" k)
+         (stage (fun () -> Opt_single.solve inst)))
+    [ 3; 5; 7 ]
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"ipc" (tests @ scaling_tests)) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+       let ns =
+         match Analyze.OLS.estimates ols_result with
+         | Some (t :: _) -> t
+         | _ -> Float.nan
+       in
+       let r2 = match Analyze.OLS.r_square ols_result with Some r -> r | None -> Float.nan in
+       rows := (name, ns, r2) :: !rows)
+    results;
+  let rows = List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) !rows in
+  Tablefmt.print
+    (Tablefmt.make ~title:"Micro-benchmarks (monotonic clock, OLS estimate per call)"
+       ~headers:[ "benchmark"; "time/call"; "r^2" ]
+       (List.map
+          (fun (name, ns, r2) ->
+             let pretty =
+               if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+               else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+               else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+               else Printf.sprintf "%.0f ns" ns
+             in
+             [ name; pretty; Printf.sprintf "%.3f" r2 ])
+          rows))
+
+let () =
+  Printf.printf "=== Part 1: micro-benchmarks ===\n%!";
+  run_benchmarks ();
+  Printf.printf "\n=== Part 2: experiment battery (E1-E13) ===\n%!";
+  List.iter
+    (fun t ->
+       Tablefmt.print t;
+       print_newline ())
+    (Experiments_single.all () @ Experiments_parallel.all ());
+  Printf.printf "done.\n"

@@ -1,0 +1,153 @@
+(* ipc - command-line driver for the integrated prefetching/caching
+   reproduction.
+
+   Subcommands:
+     simulate    run one algorithm on a generated workload, print the trace
+     compare     run all single-disk algorithms on a workload
+     sweep       reproduce E3/E8 (ratio sweeps vs bounds)
+     lowerbound  reproduce E4 (Theorem 2 family)
+     delay       reproduce E5/E6 (Delay(d) sweep)
+     parallel    reproduce E2/E9/E10/E11 (parallel-disk experiments)
+     lp          solve one instance with the synchronized LP and print the
+                 fractional optimum and the rounded schedule
+     experiments run the complete E1-E13 battery *)
+
+open Cmdliner
+
+let workload_conv =
+  let parse s =
+    if List.exists (fun (f : Workload.family) -> f.Workload.name = s) Workload.families then Ok s
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "unknown workload %s (choose from: %s)" s
+              (String.concat ", " (List.map (fun (f : Workload.family) -> f.Workload.name) Workload.families))))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let family name = List.find (fun (f : Workload.family) -> f.Workload.name = name) Workload.families
+
+(* Common options. *)
+let k_arg = Arg.(value & opt int 8 & info [ "k"; "cache" ] ~doc:"Cache size k.")
+let f_arg = Arg.(value & opt int 4 & info [ "f"; "fetch-time" ] ~doc:"Fetch time F.")
+let n_arg = Arg.(value & opt int 100 & info [ "n"; "length" ] ~doc:"Request sequence length.")
+let blocks_arg = Arg.(value & opt int 12 & info [ "b"; "blocks" ] ~doc:"Number of distinct blocks.")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload generator seed.")
+
+let workload_arg =
+  Arg.(value & opt workload_conv "zipf" & info [ "w"; "workload" ] ~doc:"Workload family.")
+
+let mk_instance name ~seed ~n ~blocks ~k ~f =
+  Workload.single_instance ~k ~fetch_time:f ((family name).Workload.generate ~seed ~n ~num_blocks:blocks)
+
+(* simulate *)
+let simulate_cmd =
+  let alg_arg =
+    Arg.(
+      value
+      & opt (enum [ ("aggressive", `Agg); ("conservative", `Cons); ("combination", `Comb); ("opt", `Opt) ]) `Agg
+      & info [ "a"; "algorithm" ] ~doc:"Algorithm: aggressive|conservative|combination|opt.")
+  in
+  let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full event trace.") in
+  let gantt_arg = Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.") in
+  let file_arg =
+    Arg.(value & opt (some string) None & info [ "file" ] ~doc:"Load the instance from a trace file instead of generating it.")
+  in
+  let run wname seed n blocks k f alg trace gantt file =
+    let inst =
+      match file with
+      | Some path -> Trace_io.load_instance path
+      | None -> mk_instance wname ~seed ~n ~blocks ~k ~f
+    in
+    let schedule =
+      match alg with
+      | `Agg -> Aggressive.schedule inst
+      | `Cons -> Conservative.schedule inst
+      | `Comb -> Combination.schedule inst
+      | `Opt -> (Opt_single.solve inst).Opt_single.schedule
+    in
+    match Simulate.run ~record_events:trace inst schedule with
+    | Error e -> Printf.printf "invalid schedule at t=%d: %s\n" e.Simulate.at_time e.Simulate.reason
+    | Ok stats ->
+      Format.printf "%a@.%a@." Instance.pp inst Simulate.pp_stats stats;
+      if trace then List.iter (fun ev -> Format.printf "%a@." Simulate.pp_event ev) stats.Simulate.events;
+      if gantt then Gantt.print inst schedule
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run one algorithm on a generated workload.")
+    Term.(const run $ workload_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg $ f_arg $ alg_arg $ trace_arg $ gantt_arg $ file_arg)
+
+(* compare *)
+let compare_cmd =
+  let run wname seed n blocks k f =
+    let inst = mk_instance wname ~seed ~n ~blocks ~k ~f in
+    let opt = Opt_single.stall_time inst in
+    let rows =
+      List.map
+        (fun (alg : Measure.algorithm) ->
+           let s = Measure.stall inst alg in
+           [ alg.Measure.name; string_of_int s;
+             Printf.sprintf "%.3f" (float_of_int (n + s) /. float_of_int (n + opt)) ])
+        (Measure.all_single_disk_algorithms
+         @ [ Measure.delay_algorithm (Bounds.delay_opt_d ~f) ])
+      @ [ [ "opt"; string_of_int opt; "1.000" ] ]
+    in
+    Tablefmt.print
+      (Tablefmt.make
+         ~title:(Printf.sprintf "%s workload: n=%d blocks=%d k=%d F=%d" wname n blocks k f)
+         ~headers:[ "algorithm"; "stall"; "elapsed ratio" ] rows)
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare all single-disk algorithms on one workload.")
+    Term.(const run $ workload_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg $ f_arg)
+
+(* Experiment wrappers. *)
+let table_cmd name doc mk =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun () -> List.iter Tablefmt.print (mk ())) $ const ())
+
+let sweep_cmd = table_cmd "sweep" "Reproduce E3/E8: ratio sweeps vs bounds." (fun () -> [ Experiments_single.e3_e8 () ])
+let lower_cmd = table_cmd "lowerbound" "Reproduce E4: the Theorem 2 family." (fun () -> [ Experiments_single.e4 () ])
+let delay_cmd = table_cmd "delay" "Reproduce E5/E6: the Delay(d) sweep." (fun () -> [ Experiments_single.e5_e6 () ])
+
+let parallel_cmd =
+  table_cmd "parallel" "Reproduce E2/E9/E10/E11: parallel-disk experiments."
+    (fun () ->
+       [ Experiments_parallel.e2 (); Experiments_parallel.e9 (); Experiments_parallel.e10 ();
+         Experiments_parallel.e11 () ])
+
+let experiments_cmd =
+  table_cmd "experiments" "Run the complete E1-E13 battery."
+    (fun () -> Experiments_single.all () @ Experiments_parallel.all ())
+
+(* lp *)
+let lp_cmd =
+  let d_arg = Arg.(value & opt int 2 & info [ "d"; "disks" ] ~doc:"Number of disks.") in
+  let run wname seed n blocks k f d =
+    let seq = (family wname).Workload.generate ~seed ~n ~num_blocks:blocks in
+    let inst =
+      if d = 1 then Workload.single_instance ~k ~fetch_time:f seq
+      else
+        Workload.parallel_instance ~k ~fetch_time:f ~num_disks:d
+          ~layout:(fun ~num_blocks ~num_disks -> Workload.striped_layout ~num_blocks ~num_disks)
+          seq
+    in
+    let r = Rounding.solve inst in
+    Format.printf "%a@." Instance.pp inst;
+    Printf.printf "LP optimum (fractional): %s\n" (Rat.to_string r.Rounding.lp_value);
+    Printf.printf "rounded schedule: stall=%d, peak occupancy=%d (k=%d, allowed extra=%d)\n"
+      r.Rounding.stats.Simulate.stall_time r.Rounding.stats.Simulate.peak_occupancy k
+      r.Rounding.extra_slots_allowed;
+    Printf.printf "laminar=%b candidates_tried=%d fallback=%b\n" r.Rounding.laminar
+      r.Rounding.candidates_tried r.Rounding.used_fallback;
+    List.iter (fun op -> Format.printf "  %a@." Fetch_op.pp op) r.Rounding.schedule
+  in
+  Cmd.v (Cmd.info "lp" ~doc:"Solve one instance with the synchronized LP and round it.")
+    Term.(const run $ workload_arg $ seed_arg $ Arg.(value & opt int 16 & info [ "n" ]) $ blocks_arg $ k_arg $ f_arg $ d_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "ipc" ~version:"1.0"
+             ~doc:"Integrated prefetching and caching in single and parallel disk systems")
+          [ simulate_cmd; compare_cmd; sweep_cmd; lower_cmd; delay_cmd; parallel_cmd; lp_cmd;
+            experiments_cmd ]))

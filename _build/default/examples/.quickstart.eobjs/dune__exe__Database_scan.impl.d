@@ -1,0 +1,1 @@
+examples/database_scan.ml: Aggressive Bounds Combination Conservative Delay Format Instance List Online Opt_single Paging Printf Stdlib Workload

@@ -1,0 +1,1 @@
+examples/delay_tuning.ml: Bounds Combination Measure Printf String Workload

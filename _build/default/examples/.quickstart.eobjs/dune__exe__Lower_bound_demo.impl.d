@@ -1,0 +1,1 @@
+examples/lower_bound_demo.ml: Aggressive Bounds Combination Delay Format Gantt Instance Opt_single Printf Simulate Workload

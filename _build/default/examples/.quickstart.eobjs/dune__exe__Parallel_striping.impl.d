@@ -1,0 +1,1 @@
+examples/parallel_striping.ml: Fetch_op Format Instance List Opt_parallel Parallel_greedy Printf Rat Reverse_aggressive Rounding Simulate Stdlib Workload

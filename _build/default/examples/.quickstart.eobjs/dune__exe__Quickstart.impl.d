@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aggressive Combination Conservative Delay Fetch_op Format Instance List Opt_single Rat Rounding Simulate

@@ -1,0 +1,32 @@
+(* Tuning Delay(d): sweep the delay parameter and watch the Theorem-3 bound
+   curve max{(d+F)/F, (d+2F)/(d+F), 3(d+F)/(d+2F)} dip to ~sqrt(3) at
+   d0 = ceil((sqrt3 - 1)F/2), together with measured worst-case ratios.
+
+   Run with:  dune exec examples/delay_tuning.exe *)
+
+let () =
+  let f = 8 and k = 8 in
+  let d0 = Bounds.delay_opt_d ~f in
+  Printf.printf "F = %d, k = %d, d0 = %d, sqrt(3) = %.4f\n\n" f k d0 Bounds.sqrt3;
+  let pool =
+    Measure.instance_pool ~seeds:[ 1; 2 ] ~n:80 ~k ~fetch_time:f ()
+    @ [ Workload.theorem2_lower_bound ~k:(Workload.theorem2_round_k ~k ~fetch_time:f) ~fetch_time:f
+          ~phases:3 ]
+  in
+  Printf.printf "%-5s %-12s %-11s %-11s  bound curve\n" "d" "thm3 bound" "max ratio" "mean ratio";
+  for d = 0 to 2 * f do
+    let bound = Bounds.delay_bound ~d ~f in
+    let r = Measure.elapsed_ratios (Measure.delay_algorithm d) pool in
+    let bar = String.make (int_of_float ((bound -. 1.0) *. 40.0)) '#' in
+    Printf.printf "%-5s %-12.4f %-11.4f %-11.4f  %s\n"
+      (string_of_int d ^ if d = d0 then "*" else "")
+      bound r.Measure.max_ratio r.Measure.mean_ratio bar
+  done;
+  Printf.printf "\n(* = d0; the bound is minimized there and the Combination algorithm\n";
+  Printf.printf "   uses Delay(d0) whenever its bound beats Aggressive's Theorem-1 bound)\n";
+  let c0 = Bounds.delay_opt_bound ~f in
+  Printf.printf "\nc0 = bound(Delay(d0)) = %.4f; Aggressive bound = %.4f -> Combination picks %s\n" c0
+    (Bounds.aggressive_upper ~k ~f)
+    (match Combination.choose ~k ~f with
+     | Combination.Use_aggressive -> "Aggressive"
+     | Combination.Use_delay d -> Printf.sprintf "Delay(%d)" d)

@@ -1,0 +1,107 @@
+(** Arbitrary-precision signed integers.
+
+    This module is a from-scratch replacement for [zarith], which is not
+    available in the build environment.  It provides exactly the operations
+    needed by the exact rational arithmetic ({!module:Ipc_rat.Rat}) that
+    underlies the linear-programming pipeline of the reproduction: ring
+    operations, Euclidean division, gcd, comparisons, and conversions.
+
+    Representation: sign-magnitude, where the magnitude is a little-endian
+    array of 30-bit limbs.  All values are kept in canonical form (no leading
+    zero limbs; zero has a unique representation), so structural equality
+    coincides with numerical equality. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** {1 Construction and conversion} *)
+
+val of_int : int -> t
+
+val to_int : t -> int
+(** @raise Failure if the value does not fit in a native [int]. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] iff [x] fits in a native [int]. *)
+
+val fits_int : t -> bool
+
+val to_float : t -> float
+(** Nearest-double approximation; may lose precision or overflow to
+    infinity for huge values. *)
+
+val of_string : string -> t
+(** Parses an optionally signed decimal literal. Underscores are allowed as
+    digit separators.
+    @raise Invalid_argument on a malformed literal. *)
+
+val to_string : t -> string
+
+(** {1 Queries} *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_negative : t -> bool
+val is_even : t -> bool
+
+val num_bits : t -> int
+(** Number of bits of the magnitude; [num_bits zero = 0]. *)
+
+(** {1 Comparisons} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], truncated division
+    (quotient rounded towards zero, so [sign r] is [0] or [sign a]).
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val ediv_rem : t -> t -> t * t
+(** Euclidean division: the remainder satisfies [0 <= r < |b|]. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor of the absolute values; [gcd zero zero = zero]. *)
+
+val lcm : t -> t -> t
+
+val pow : t -> int -> t
+(** [pow x n] for [n >= 0].
+    @raise Invalid_argument if [n < 0]. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Arithmetic shifts on the magnitude (value division/multiplication by a
+    power of two with truncation towards zero). *)
+
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/aggressive.ml: Array Driver Fetch_op Instance Printf Simulate

@@ -1,0 +1,1 @@
+lib/core/aggressive.mli: Driver Fetch_op Instance Simulate

@@ -1,0 +1,1 @@
+lib/core/combination.ml: Aggressive Bounds Delay Fetch_op Instance Printf Simulate

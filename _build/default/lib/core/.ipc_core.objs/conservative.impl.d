@@ -1,0 +1,1 @@
+lib/core/conservative.ml: Array Driver Fetch_op Instance List Next_ref Paging Printf Simulate

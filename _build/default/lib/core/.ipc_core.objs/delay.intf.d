@@ -1,0 +1,1 @@
+lib/core/delay.mli: Fetch_op Instance Simulate

@@ -1,0 +1,1 @@
+lib/core/dominance.ml: Array Driver Format Instance List Next_ref String

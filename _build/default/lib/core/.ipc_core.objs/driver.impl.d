@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array Fetch_op Instance List Next_ref Printf

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Fetch_op Instance Next_ref

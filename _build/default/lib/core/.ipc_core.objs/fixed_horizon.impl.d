@@ -1,0 +1,1 @@
+lib/core/fixed_horizon.ml: Array Driver Fetch_op Instance Printf Simulate

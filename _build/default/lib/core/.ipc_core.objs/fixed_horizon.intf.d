@@ -1,0 +1,1 @@
+lib/core/fixed_horizon.mli: Fetch_op Instance Simulate

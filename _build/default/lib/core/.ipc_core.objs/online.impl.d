@@ -1,0 +1,1 @@
+lib/core/online.ml: Array Driver Fetch_op Instance List Next_ref Printf Simulate Stdlib

@@ -1,0 +1,1 @@
+lib/core/opt_exhaustive.ml: Array Hashtbl Instance List Opt_single Option Set

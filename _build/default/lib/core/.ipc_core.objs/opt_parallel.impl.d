@@ -1,0 +1,1 @@
+lib/core/opt_parallel.ml: Array Hashtbl Instance List Option Set

@@ -1,0 +1,1 @@
+lib/core/opt_single.ml: Array Fetch_op Hashtbl Instance List Next_ref Printf Stdlib

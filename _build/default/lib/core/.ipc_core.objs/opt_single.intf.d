@@ -1,0 +1,1 @@
+lib/core/opt_single.mli: Fetch_op Instance

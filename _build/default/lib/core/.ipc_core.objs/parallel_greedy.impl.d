@@ -1,0 +1,1 @@
+lib/core/parallel_greedy.ml: Array Conservative Driver Fetch_op Instance Printf Simulate

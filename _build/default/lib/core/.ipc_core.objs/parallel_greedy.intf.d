@@ -1,0 +1,1 @@
+lib/core/parallel_greedy.mli: Driver Fetch_op Instance Simulate

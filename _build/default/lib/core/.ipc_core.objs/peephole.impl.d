@@ -1,0 +1,1 @@
+lib/core/peephole.ml: Fetch_op Instance List Simulate

@@ -1,0 +1,1 @@
+lib/core/reverse_aggressive.ml: Aggressive Array Driver Fetch_op Hashtbl Instance List Next_ref Parallel_greedy Printf Simulate

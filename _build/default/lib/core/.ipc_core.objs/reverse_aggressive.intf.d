@@ -1,0 +1,1 @@
+lib/core/reverse_aggressive.mli: Fetch_op Hashtbl Instance Simulate

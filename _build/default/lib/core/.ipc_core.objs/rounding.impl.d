@@ -1,0 +1,1 @@
+lib/core/rounding.ml: Array Bigint Fetch_op Hashtbl Instance List Lp_problem Next_ref Option Parallel_greedy Printf Queue Rat Simplex Simulate Stdlib Sync_lp

@@ -1,0 +1,1 @@
+lib/core/rounding.mli: Fetch_op Hashtbl Instance Lp_problem Rat Simulate Sync_lp

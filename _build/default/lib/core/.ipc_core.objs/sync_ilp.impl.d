@@ -1,0 +1,1 @@
+lib/core/sync_ilp.ml: Ilp Instance Lp_problem Rat Sync_lp

@@ -1,0 +1,1 @@
+lib/core/sync_ilp.mli: Instance Rat

@@ -1,0 +1,1 @@
+lib/core/sync_lp.ml: Array Format Hashtbl Instance List Lp_problem Rat Simplex Stdlib

@@ -1,0 +1,1 @@
+lib/core/sync_lp.mli: Format Hashtbl Instance Lp_problem Rat

@@ -1,0 +1,38 @@
+(* The Aggressive algorithm (Cao et al.), single disk.
+
+   Whenever the disk is idle, initiate a prefetch for the next missing
+   block in the sequence, provided some cached block is not requested
+   before the block to be fetched; evict the cached block whose next
+   reference is furthest in the future.
+
+   Theorem 1 of the paper: the elapsed-time approximation ratio is at most
+   min{1 + F/(k + ceil(k/F) - 1), 2}; Theorem 2 shows this is essentially
+   tight. *)
+
+let decide d =
+  if not (Driver.disk_busy d 0) then begin
+    match Driver.next_missing d with
+    | None -> ()
+    | Some p ->
+      let block = (Driver.instance d).Instance.seq.(p) in
+      if not (Driver.cache_full d) then Driver.start_fetch d ~block ~evict:None
+      else begin
+        match Driver.furthest_cached d ~from:(Driver.cursor d) with
+        | Some (e, next) when next > p -> Driver.start_fetch d ~block ~evict:(Some e)
+        | Some _ | None -> ()  (* every cached block is requested before p *)
+      end
+  end
+
+(* Returns the schedule; use [stats] for validated timing. *)
+let schedule (inst : Instance.t) : Fetch_op.schedule =
+  Driver.schedule (Driver.run inst ~decide)
+
+let stats inst =
+  match Simulate.run inst (schedule inst) with
+  | Ok s -> s
+  | Error e ->
+    failwith (Printf.sprintf "Aggressive produced an invalid schedule at t=%d: %s"
+                e.Simulate.at_time e.Simulate.reason)
+
+let elapsed_time inst = (stats inst).Simulate.elapsed_time
+let stall_time inst = (stats inst).Simulate.stall_time

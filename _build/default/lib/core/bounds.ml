@@ -1,0 +1,58 @@
+(* Closed-form approximation bounds from the paper, used both by the
+   Combination algorithm (which selects a strategy by comparing bounds) and
+   by the experiment harness (measured ratios are checked against these).
+
+   All bounds are with respect to the elapsed-time measure. *)
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Theorem 1: ratio(Aggressive) <= min{1 + F/(k + ceil(k/F) - 1), 2}. *)
+let aggressive_upper ~k ~f =
+  Float.min (1.0 +. (float_of_int f /. float_of_int (k + ceil_div k f - 1))) 2.0
+
+(* The original Cao-Felten-Karlin-Li bound: min{1 + F/k, 2}.  Kept to show
+   the improvement of Theorem 1. *)
+let cao_aggressive_upper ~k ~f = Float.min (1.0 +. (float_of_int f /. float_of_int k)) 2.0
+
+(* Theorem 2: ratio(Aggressive) >= min{1 + F/(k + (k-1)/(F-1)), 2} in
+   general (for F > 1). *)
+let aggressive_lower ~k ~f =
+  if f <= 1 then 1.0
+  else begin
+    let l = float_of_int (k - 1) /. float_of_int (f - 1) in
+    Float.min (1.0 +. (float_of_int f /. (float_of_int k +. l))) 2.0
+  end
+
+(* The per-phase ratio actually achieved by the Theorem 2 construction with
+   (F-1) | (k-1): Aggressive spends k + l + F per phase vs OPT's k + l + 2,
+   i.e. 1 + (F-2)/(k + l + 2). *)
+let theorem2_phase_ratio ~k ~f =
+  let l = float_of_int (k - 1) /. float_of_int (f - 1) in
+  1.0 +. (float_of_int (f - 2) /. (float_of_int k +. l +. 2.0))
+
+(* Cao et al.: ratio(Conservative) <= 2 (tight). *)
+let conservative_upper = 2.0
+
+(* Theorem 3: ratio(Delay(d)) <= max{(d+F)/F, (d+2F)/(d+F), 3(d+F)/(d+2F)}. *)
+let delay_bound ~d ~f =
+  let d = float_of_int d and f = float_of_int f in
+  Float.max ((d +. f) /. f) (Float.max ((d +. (2.0 *. f)) /. (d +. f)) (3.0 *. (d +. f) /. (d +. (2.0 *. f))))
+
+(* Corollary 1: the optimal delay d0 = ceil((sqrt 3 - 1)/2 * F); the bound
+   at d0 tends to sqrt 3 as F grows. *)
+let delay_opt_d ~f = int_of_float (Float.ceil ((Float.sqrt 3.0 -. 1.0) /. 2.0 *. float_of_int f))
+
+let sqrt3 = Float.sqrt 3.0
+
+let delay_opt_bound ~f = delay_bound ~d:(delay_opt_d ~f) ~f
+
+(* Corollary 2: ratio(Combination) <= min{1 + F/(k + ceil(k/F) - 1), c0}. *)
+let combination_bound ~k ~f = Float.min (aggressive_upper ~k ~f) (delay_opt_bound ~f)
+
+(* Kimbrel-Karlin context bounds for D parallel disks (elapsed time):
+   Aggressive and Conservative are ~D-approximations; Reverse Aggressive is
+   (1 + DF/k)-approximate. *)
+let parallel_aggressive_upper ~d_disks = float_of_int d_disks
+
+let reverse_aggressive_upper ~k ~f ~d_disks =
+  1.0 +. (float_of_int (d_disks * f) /. float_of_int k)

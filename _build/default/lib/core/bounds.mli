@@ -1,0 +1,48 @@
+(** Closed-form approximation bounds from the paper (elapsed-time measure).
+
+    Used by {!Combination} (which selects a strategy by comparing bounds)
+    and by the experiment harness, which checks every measured ratio
+    against these. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b = ceil (a / b)] for positive integers. *)
+
+val aggressive_upper : k:int -> f:int -> float
+(** Theorem 1: [min (1 + F/(k + ceil(k/F) - 1)) 2]. *)
+
+val cao_aggressive_upper : k:int -> f:int -> float
+(** The original Cao-Felten-Karlin-Li bound [min (1 + F/k) 2], kept to
+    exhibit Theorem 1's improvement. *)
+
+val aggressive_lower : k:int -> f:int -> float
+(** Theorem 2: Aggressive's ratio is in general not smaller than
+    [min (1 + F/(k + (k-1)/(F-1))) 2] (for [f > 1]; returns 1 otherwise). *)
+
+val theorem2_phase_ratio : k:int -> f:int -> float
+(** The per-phase ratio [1 + (F-2)/(k + l + 2)] actually achieved by the
+    Theorem-2 construction with [l = (k-1)/(F-1)]. *)
+
+val conservative_upper : float
+(** Cao et al.: Conservative is 2-approximate (tight). *)
+
+val delay_bound : d:int -> f:int -> float
+(** Theorem 3: [max ((d+F)/F) (max ((d+2F)/(d+F)) (3(d+F)/(d+2F)))]. *)
+
+val delay_opt_d : f:int -> int
+(** Corollary 1: [d0 = ceil ((sqrt 3 - 1)/2 * F)].  Note that for small
+    [F] the integer minimizer of {!delay_bound} can be [d0 - 1]; the
+    corollary is asymptotic. *)
+
+val sqrt3 : float
+
+val delay_opt_bound : f:int -> float
+(** [delay_bound ~d:(delay_opt_d ~f) ~f]; tends to [sqrt3] as [f] grows. *)
+
+val combination_bound : k:int -> f:int -> float
+(** Corollary 2: [min (aggressive_upper ~k ~f) (delay_opt_bound ~f)]. *)
+
+val parallel_aggressive_upper : d_disks:int -> float
+(** Kimbrel-Karlin: forward Aggressive on [D] disks is ~[D]-approximate. *)
+
+val reverse_aggressive_upper : k:int -> f:int -> d_disks:int -> float
+(** Kimbrel-Karlin: Reverse Aggressive is [1 + D*F/k]-approximate. *)

@@ -1,0 +1,83 @@
+(* The Delay(d) family (Section 2 of the paper).
+
+   Delay(0) is exactly Aggressive; Delay(n) is exactly Conservative, so the
+   family interpolates between the two classical strategies.  The rule, for
+   a fixed non-negative integer d: when the disk is idle, let r_i be the
+   next request and r_j the next missing reference.
+
+   - If every cached block is requested before r_j, serve r_i without
+     fetching (re-evaluate at the next instant).
+   - Otherwise let d' = min{d, j - i} and let b be the cached block whose
+     next request is furthest in the future *measured after request
+     r_{i+d'-1}* (i.e. as if the decision were delayed d' requests).
+     Initiate the fetch for r_j's block at the earliest time after r_{i-1}
+     such that b is no longer requested before r_j.
+
+   Theorem 3: ratio(Delay(d)) <= max{(d+F)/F, (d+2F)/(d+F), 3(d+F)/(d+2F)};
+   Corollary 1: with d0 = ceil((sqrt3 - 1)F/2) the bound tends to sqrt 3. *)
+
+type committed = {
+  block : int;  (* block to fetch (the one missed at position j) *)
+  evict : int;
+  eligible_cursor : int;
+}
+
+let schedule ~d (inst : Instance.t) : Fetch_op.schedule =
+  if d < 0 then invalid_arg "Delay.schedule: d must be non-negative";
+  let pending : committed option ref = ref None in
+  let decide drv =
+    if not (Driver.disk_busy drv 0) then begin
+      (match !pending with
+       | Some _ -> ()
+       | None ->
+         let i = Driver.cursor drv in
+         (match Driver.next_missing drv with
+          | None -> ()
+          | Some j ->
+            let nr = Driver.next_ref drv in
+            (* Is some cached block requested only at or after position j? *)
+            let exists_late =
+              List.exists
+                (fun b -> Next_ref.next_at_or_after nr b i > j)
+                (Driver.cache_list drv)
+            in
+            if (not (Driver.cache_full drv)) then begin
+              (* Spare capacity: fetch without eviction, no delay needed. *)
+              pending :=
+                Some { block = (Driver.instance drv).Instance.seq.(j); evict = -1;
+                       eligible_cursor = i }
+            end
+            else if exists_late then begin
+              let d' = Stdlib.min d (j - i) in
+              (match Driver.furthest_cached drv ~from:(i + d') with
+               | None -> ()
+               | Some (b, _) ->
+                 (* Earliest initiation: after b's last request before j. *)
+                 let rec last_before p acc =
+                   if p >= j then acc
+                   else
+                     last_before (p + 1) (if (Driver.instance drv).Instance.seq.(p) = b then p + 1 else acc)
+                 in
+                 let eligible_cursor = last_before i i in
+                 pending :=
+                   Some { block = (Driver.instance drv).Instance.seq.(j); evict = b; eligible_cursor })
+            end));
+      (match !pending with
+       | Some c when Driver.cursor drv >= c.eligible_cursor ->
+         Driver.start_fetch drv ~block:c.block
+           ~evict:(if c.evict < 0 then None else Some c.evict);
+         pending := None
+       | _ -> ())
+    end
+  in
+  Driver.schedule (Driver.run inst ~decide)
+
+let stats ~d inst =
+  match Simulate.run inst (schedule ~d inst) with
+  | Ok s -> s
+  | Error e ->
+    failwith (Printf.sprintf "Delay(%d) produced an invalid schedule at t=%d: %s" d
+                e.Simulate.at_time e.Simulate.reason)
+
+let elapsed_time ~d inst = (stats ~d inst).Simulate.elapsed_time
+let stall_time ~d inst = (stats ~d inst).Simulate.stall_time

@@ -1,0 +1,105 @@
+(* The cursor/hole dominance framework of Section 2 (due to Cao et al.),
+   which underlies the Theorem 1 analysis of Aggressive.
+
+   For an algorithm state with cursor position i and missing-block set H,
+   the j-th *hole* h(i, j) is the smallest index such that exactly j
+   different blocks of H are referenced in the subsequence r_i ... r_h -
+   i.e. the position of the first reference to the j-th missing block.
+   State A *dominates* state B if A's cursor is at least B's and A's holes
+   are pointwise at least B's.
+
+   Lemma 1 (the Domination Lemma): if A's state dominates B's and both
+   initiate a fetch of their next missing block, evicting the cached block
+   whose next reference is furthest in the future, then A's state F time
+   units later still dominates B's.  The test suite validates this
+   empirically on random dominating pairs - a direct check of the engine
+   behind the paper's upper-bound proofs. *)
+
+type config = {
+  cursor : int;  (* number of requests served *)
+  cache : int list;  (* resident blocks, distinct *)
+}
+
+let config_of_driver d = { cursor = Driver.cursor d; cache = Driver.cache_list d }
+
+(* Hole positions in increasing order.  A missing block never referenced at
+   or after the cursor contributes a hole at position n (the "infinity"
+   sentinel), matching h's "not referenced again" convention. *)
+let holes (inst : Instance.t) (c : config) : int list =
+  let nr = Next_ref.of_instance inst in
+  let n = Instance.length inst in
+  let in_cache = Array.make (Instance.num_blocks inst) false in
+  List.iter (fun b -> in_cache.(b) <- true) c.cache;
+  let missing = ref [] in
+  for b = 0 to Instance.num_blocks inst - 1 do
+    if not in_cache.(b) then missing := b :: !missing
+  done;
+  !missing
+  |> List.map (fun b -> Next_ref.next_at_or_after nr b c.cursor)
+  |> List.sort compare
+  |> fun l -> ignore n; l
+
+(* A's state dominates B's: cursor and holes pointwise >=.  The two
+   configurations must have the same cache size (hence the same number of
+   holes over the same block universe). *)
+let dominates (inst : Instance.t) (a : config) (b : config) : bool =
+  a.cursor >= b.cursor
+  && begin
+    let ha = holes inst a and hb = holes inst b in
+    List.length ha = List.length hb && List.for_all2 (fun x y -> x >= y) ha hb
+  end
+
+(* One greedy fetch step (the Domination Lemma's premise): fetch the next
+   missing block, evict the cached block whose next reference is furthest
+   in the future, and serve for F time units.  Returns None when no fetch
+   is possible (no missing block, or every cached block is referenced
+   before the next missing one - the case excluded by the lemma's
+   premise). *)
+let greedy_fetch_step (inst : Instance.t) (c : config) : config option =
+  let nr = Next_ref.of_instance inst in
+  let n = Instance.length inst in
+  let in_cache = Array.make (Instance.num_blocks inst) false in
+  List.iter (fun b -> in_cache.(b) <- true) c.cache;
+  (* Next missing position at or after the cursor. *)
+  let rec next_missing i =
+    if i >= n then None
+    else if not in_cache.(inst.Instance.seq.(i)) then Some i
+    else next_missing (i + 1)
+  in
+  match next_missing c.cursor with
+  | None -> None
+  | Some p ->
+    let target = inst.Instance.seq.(p) in
+    (* Furthest-next-reference victim; the fetch is only legal when its
+       next reference is after p. *)
+    let victim =
+      List.fold_left
+        (fun best b ->
+           let nb = Next_ref.next_at_or_after nr b c.cursor in
+           match best with
+           | Some (_, nbest) when nbest >= nb -> best
+           | _ -> Some (b, nb))
+        None c.cache
+    in
+    (match victim with
+     | Some (v, nv) when nv > p ->
+       let cache = target :: List.filter (fun b -> b <> v) c.cache in
+       (* Serve for F time units; the fetched block only lands at the end,
+          so the cursor cannot pass p during the fetch. *)
+       let cursor = ref c.cursor in
+       let served = ref 0 in
+       while
+         !served < inst.Instance.fetch_time
+         && !cursor < n
+         && !cursor < p
+         && in_cache.(inst.Instance.seq.(!cursor))
+       do
+         incr cursor;
+         incr served
+       done;
+       Some { cursor = !cursor; cache }
+     | _ -> None)
+
+let pp fmt (c : config) =
+  Format.fprintf fmt "cursor=%d cache=[%s]" c.cursor
+    (String.concat ";" (List.map string_of_int (List.sort compare c.cache)))

@@ -1,0 +1,32 @@
+(** The cursor/hole dominance framework of Section 2 (Cao et al.), which
+    powers the paper's Theorem-1 analysis of Aggressive.
+
+    The [j]-th {e hole} of a state is the position of the first reference
+    to the [j]-th block missing from cache; state A {e dominates} state B
+    when A's cursor is at least B's and A's holes are pointwise at least
+    B's.  The Domination Lemma (Lemma 1) - if both states perform a greedy
+    fetch (next missing block, furthest-next-reference eviction),
+    domination is preserved [F] time units later - is validated empirically
+    by the test suite on thousands of random dominating pairs. *)
+
+type config = {
+  cursor : int;  (** number of requests served *)
+  cache : int list;  (** resident blocks, distinct *)
+}
+
+val config_of_driver : Driver.t -> config
+
+val holes : Instance.t -> config -> int list
+(** Hole positions in increasing order; a missing block never referenced
+    at or after the cursor contributes the sentinel position [n]. *)
+
+val dominates : Instance.t -> config -> config -> bool
+(** Pointwise cursor/hole comparison; requires equal cache sizes. *)
+
+val greedy_fetch_step : Instance.t -> config -> config option
+(** One Lemma-1 step: fetch the next missing block evicting the
+    furthest-next-reference victim and serve for [F] units; [None] when no
+    legal fetch exists (no missing block, or every cached block is
+    referenced before the next miss). *)
+
+val pp : Format.formatter -> config -> unit

@@ -1,0 +1,178 @@
+(* Shared timeline driver for the online-style scheduling algorithms
+   (Aggressive, Conservative, Delay(d) and their parallel variants).
+
+   The driver owns the simulated clock, cursor, cache and in-flight state
+   and records every initiated fetch as a {!Fetch_op.t} (anchored to the
+   cursor with the right delay), so an algorithm only has to express its
+   decision rule.  The resulting schedule is replayed through
+   {!Simulate.run} by callers, which keeps a single source of truth for
+   timing semantics: if a driver-based algorithm and the executor ever
+   disagreed on stall time, tests would catch it. *)
+
+type t = {
+  inst : Instance.t;
+  nr : Next_ref.t;
+  n : int;
+  mutable time : int;
+  mutable cursor : int;
+  in_cache : bool array;
+  mutable cache_count : int;
+  in_flight : (int * int) option array;  (* per disk: block, end_time *)
+  mutable in_flight_count : int;
+  reach : int array;  (* reach.(c) = first instant the cursor reached c *)
+  mutable ops : Fetch_op.t list;  (* reversed *)
+  mutable stall : int;
+}
+
+let create (inst : Instance.t) : t =
+  let n = Instance.length inst in
+  let num_blocks = Instance.num_blocks inst in
+  let in_cache = Array.make num_blocks false in
+  List.iter (fun b -> in_cache.(b) <- true) inst.Instance.initial_cache;
+  let reach = Array.make (n + 1) 0 in
+  { inst;
+    nr = Next_ref.of_instance inst;
+    n;
+    time = 0;
+    cursor = 0;
+    in_cache;
+    cache_count = List.length inst.Instance.initial_cache;
+    in_flight = Array.make inst.Instance.num_disks None;
+    in_flight_count = 0;
+    reach;
+    ops = [];
+    stall = 0 }
+
+let finished d = d.cursor >= d.n
+
+let time d = d.time
+let cursor d = d.cursor
+let next_ref d = d.nr
+let instance d = d.inst
+let stall_time d = d.stall
+
+let in_cache d b = d.in_cache.(b)
+let cache_count d = d.cache_count
+
+(* A fetch without eviction is only legal while resident blocks plus
+   in-flight reservations leave a slot free. *)
+let has_free_slot d = d.cache_count + d.in_flight_count < d.inst.Instance.cache_size
+let cache_full d = not (has_free_slot d)
+let disk_busy d disk = d.in_flight.(disk) <> None
+let any_disk_busy d = d.in_flight_count > 0
+
+let block_in_flight d b =
+  Array.exists (function Some (b', _) -> b' = b | None -> false) d.in_flight
+
+(* Blocks currently resident, as a list (cache sizes are small). *)
+let cache_list d =
+  let acc = ref [] in
+  Array.iteri (fun b c -> if c then acc := b :: !acc) d.in_cache;
+  List.rev !acc
+
+(* First position >= [from] whose block is neither cached nor in flight,
+   or None. *)
+let next_missing ?from d =
+  let from = match from with Some f -> f | None -> d.cursor in
+  let rec scan i =
+    if i >= d.n then None
+    else begin
+      let b = d.inst.Instance.seq.(i) in
+      if d.in_cache.(b) || block_in_flight d b then scan (i + 1) else Some i
+    end
+  in
+  scan from
+
+(* First position >= [from] of a missing block that lives on [disk]. *)
+let next_missing_on_disk d ~disk ~from =
+  let rec scan i =
+    if i >= d.n then None
+    else begin
+      let b = d.inst.Instance.seq.(i) in
+      if (not (d.in_cache.(b) || block_in_flight d b)) && d.inst.Instance.disk_of.(b) = disk
+      then Some i
+      else scan (i + 1)
+    end
+  in
+  scan from
+
+(* The cached block whose next reference measured from [from] is furthest
+   in the future (ties: smallest id).  None if the cache is empty. *)
+let furthest_cached d ~from =
+  let best = ref (-1) in
+  let best_next = ref (-1) in
+  Array.iteri
+    (fun b c ->
+       if c then begin
+         let nx = Next_ref.next_at_or_after d.nr b from in
+         if nx > !best_next then begin
+           best_next := nx;
+           best := b
+         end
+       end)
+    d.in_cache;
+  if !best < 0 then None else Some (!best, !best_next)
+
+(* Initiate a fetch at the current instant. *)
+let start_fetch ?(disk = 0) d ~block ~evict =
+  assert (not (disk_busy d disk));
+  assert (not d.in_cache.(block));
+  assert (not (block_in_flight d block));
+  (match evict with
+   | Some e ->
+     assert d.in_cache.(e);
+     d.in_cache.(e) <- false;
+     d.cache_count <- d.cache_count - 1
+   | None -> ());
+  let op =
+    Fetch_op.make ~at_cursor:d.cursor
+      ~delay:(d.time - d.reach.(d.cursor))
+      ~disk ~block ~evict ()
+  in
+  d.ops <- op :: d.ops;
+  d.in_flight.(disk) <- Some (block, d.time + d.inst.Instance.fetch_time);
+  d.in_flight_count <- d.in_flight_count + 1
+
+(* Process fetch completions due at the current instant.  Must be called
+   once per instant, before decisions. *)
+let tick_completions d =
+  Array.iteri
+    (fun disk slot ->
+       match slot with
+       | Some (b, end_time) when end_time = d.time ->
+         d.in_flight.(disk) <- None;
+         d.in_flight_count <- d.in_flight_count - 1;
+         d.in_cache.(b) <- true;
+         d.cache_count <- d.cache_count + 1
+       | _ -> ())
+    d.in_flight
+
+(* Serve the next request if its block is resident, otherwise record one
+   stall unit; advances the clock either way. *)
+let advance d =
+  let b = d.inst.Instance.seq.(d.cursor) in
+  if d.in_cache.(b) then begin
+    d.cursor <- d.cursor + 1;
+    d.time <- d.time + 1;
+    d.reach.(d.cursor) <- d.time
+  end
+  else begin
+    if d.in_flight_count = 0 then
+      failwith
+        (Printf.sprintf "driver: stall with empty pipeline at r%d (algorithm bug)" (d.cursor + 1));
+    d.stall <- d.stall + 1;
+    d.time <- d.time + 1
+  end
+
+let schedule d = List.rev d.ops
+
+(* Run an algorithm defined by a per-instant decision callback.  The
+   callback runs after completions and may call [start_fetch]. *)
+let run inst ~decide =
+  let d = create inst in
+  while not (finished d) do
+    tick_completions d;
+    decide d;
+    advance d
+  done;
+  d

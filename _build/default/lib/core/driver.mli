@@ -1,0 +1,71 @@
+(** Shared timeline driver for the online-style scheduling algorithms.
+
+    The driver owns the simulated clock, cursor, cache and per-disk
+    in-flight state, and records each initiated fetch as a {!Fetch_op.t}
+    anchored to the cursor with the correct delay.  Algorithms
+    (Aggressive, Conservative, Delay(d), the parallel greedy variants, the
+    online variants) only express a per-instant decision rule; the
+    resulting schedule is replayed through {!Simulate.run}, keeping a
+    single source of truth for timing semantics. *)
+
+type t
+
+val create : Instance.t -> t
+
+val run : Instance.t -> decide:(t -> unit) -> t
+(** [run inst ~decide] executes the timeline to completion, calling
+    [decide] once per instant after fetch completions are processed; the
+    callback may invoke {!start_fetch}.
+    @raise Failure if the algorithm deadlocks (stall with empty pipeline). *)
+
+(** {1 State queries (valid inside [decide])} *)
+
+val finished : t -> bool
+val time : t -> int
+val cursor : t -> int
+
+val next_ref : t -> Next_ref.t
+val instance : t -> Instance.t
+
+val in_cache : t -> int -> bool
+val cache_count : t -> int
+val cache_list : t -> int list
+
+val has_free_slot : t -> bool
+(** Whether a no-eviction fetch is legal: resident blocks plus in-flight
+    reservations leave a slot free. *)
+
+val cache_full : t -> bool
+(** [not (has_free_slot t)]. *)
+
+val disk_busy : t -> int -> bool
+val any_disk_busy : t -> bool
+val block_in_flight : t -> int -> bool
+
+val next_missing : ?from:int -> t -> int option
+(** First position at or after [from] (default: the cursor) whose block is
+    neither cached nor in flight. *)
+
+val next_missing_on_disk : t -> disk:int -> from:int -> int option
+
+val furthest_cached : t -> from:int -> (int * int) option
+(** The cached block whose next reference measured from [from] is furthest
+    in the future (ties broken towards smaller ids), with that reference
+    position ([Instance.length] meaning "never again"). *)
+
+(** {1 Actions} *)
+
+val start_fetch : ?disk:int -> t -> block:int -> evict:int option -> unit
+(** Initiate a fetch at the current instant.  Preconditions (checked by
+    assertions): the disk is idle, the block is absent and not in flight,
+    and the evicted block (if any) is resident. *)
+
+(** {1 Results} *)
+
+val schedule : t -> Fetch_op.schedule
+val stall_time : t -> int
+
+(** {1 Low-level stepping (used by tests)} *)
+
+val tick_completions : t -> unit
+val advance : t -> unit

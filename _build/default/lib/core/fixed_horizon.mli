@@ -1,0 +1,13 @@
+(** The Fixed Horizon prefetching strategy (Kimbrel et al., OSDI'96 -
+    reference [15] of the paper): initiate each fetch exactly [F] requests
+    before the missing block's reference ("just in time"), or as soon after
+    as the disk allows.  A classic baseline between Aggressive (earliest)
+    and Conservative/Delay (latest consistent). *)
+
+val schedule : Instance.t -> Fetch_op.schedule
+
+val stats : Instance.t -> Simulate.stats
+(** @raise Failure if the schedule is rejected by the executor (a bug). *)
+
+val stall_time : Instance.t -> int
+val elapsed_time : Instance.t -> int

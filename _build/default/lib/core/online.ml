@@ -1,0 +1,92 @@
+(* Limited-lookahead online prefetching (the open problem of Section 4).
+
+   "All the previous work on integrated prefetching and caching assumes
+   that the entire request sequence is known in advance.  A challenging
+   open problem is to investigate online variants of the problem when only
+   limited information about the future is available."
+
+   This module implements the natural experiment: Aggressive and Delay(d)
+   that can only see the next [lookahead] requests.  Decisions use the
+   visible window; blocks invisible in the window are treated as
+   never-requested-again (eviction candidates of last resort, broken by
+   LRU order so that the policy degrades gracefully to plain LRU caching
+   with zero lookahead knowledge).  Bench e13 measures the degradation as
+   the lookahead shrinks from n to F. *)
+
+type config = {
+  lookahead : int;  (* number of future requests visible, >= 1 *)
+  delay : int;  (* Delay(d) parameter; 0 = aggressive *)
+}
+
+let aggressive ~lookahead = { lookahead; delay = 0 }
+
+let schedule (cfg : config) (inst : Instance.t) : Fetch_op.schedule =
+  if cfg.lookahead < 1 then invalid_arg "Online.schedule: lookahead must be >= 1";
+  let n = Instance.length inst in
+  let seq = inst.Instance.seq in
+  let num_blocks = Instance.num_blocks inst in
+  let last_use = Array.make num_blocks (-1) in
+  (* LRU recency for invisible blocks. *)
+  let decide d =
+    let c = Driver.cursor d in
+    let horizon = Stdlib.min n (c + cfg.lookahead) in
+    (* Next reference within the visible window, or max_int sentinel. *)
+    let _next_in_window b =
+      let nx = Next_ref.next_at_or_after (Driver.next_ref d) b c in
+      if nx < horizon then nx else max_int
+    in
+    if not (Driver.disk_busy d 0) then begin
+      (* Next missing block within the window only. *)
+      let rec scan i =
+        if i >= horizon then None
+        else begin
+          let b = seq.(i) in
+          if Driver.in_cache d b then scan (i + 1) else Some i
+        end
+      in
+      match scan c with
+      | None -> ()
+      | Some j ->
+        let i = c in
+        let d' = Stdlib.min cfg.delay (j - i) in
+        (* Furthest-next-reference within the window measured after i + d';
+           invisible blocks count as infinitely far, least-recently-used
+           first. *)
+        let candidates = Driver.cache_list d in
+        let score b =
+          let nx = Next_ref.next_at_or_after (Driver.next_ref d) b (i + d') in
+          if nx < horizon then (0, nx, 0) else (1, - last_use.(b), b)
+          (* visible blocks score below invisible; among invisible, older
+             last use = better victim *)
+        in
+        let better a b =
+          let (ka, sa, ta) = score a and (kb, sb, tb) = score b in
+          if ka <> kb then ka > kb
+          else if ka = 0 then sa > sb || (sa = sb && ta > tb)
+          else sa > sb || (sa = sb && ta > tb)
+        in
+        (match candidates with
+         | [] -> ()
+         | first :: rest ->
+           let victim = List.fold_left (fun acc b -> if better b acc then b else acc) first rest in
+           let vk, vnx, _ = score victim in
+           if not (Driver.cache_full d) then
+             Driver.start_fetch d ~block:seq.(j) ~evict:None
+           else if vk = 1 || vnx > j then
+             (* victim not requested before the miss (as far as we can see) *)
+             Driver.start_fetch d ~block:seq.(j) ~evict:(Some victim))
+    end;
+    (* Track recency of the request being served. *)
+    if c < n then last_use.(seq.(c)) <- c
+  in
+  Driver.schedule (Driver.run inst ~decide)
+
+let stats cfg inst =
+  match Simulate.run inst (schedule cfg inst) with
+  | Ok s -> s
+  | Error e ->
+    failwith (Printf.sprintf "Online produced an invalid schedule at t=%d: %s" e.Simulate.at_time
+                e.Simulate.reason)
+
+let stall_time cfg inst = (stats cfg inst).Simulate.stall_time
+let elapsed_time cfg inst = (stats cfg inst).Simulate.elapsed_time

@@ -1,0 +1,15 @@
+(** Assumption-free optimal single-disk search (validation oracle).
+
+    Like {!Opt_single} this fixes the fetched block to the next missing
+    one and starts fetches at decision points (standard exchange
+    arguments), but it branches over {e every} eviction candidate,
+    including evictions that create an earlier hole.  Arbitrary evictions
+    make the state graph cyclic, so this runs Dijkstra over the lazily
+    generated graph rather than memoized recursion.
+
+    If furthest-next-reference eviction were ever suboptimal, this search
+    would beat {!Opt_single}; property tests assert they always agree. *)
+
+val solve_stall : Instance.t -> int
+(** Minimum stall time.
+    @raise Invalid_argument if the instance exceeds {!Opt_single.max_blocks}. *)

@@ -1,0 +1,15 @@
+(** Exhaustive optimal parallel-disk schedules for tiny instances.
+
+    Dijkstra over the full timeline state space (cursor, cache mask,
+    per-disk in-flight fetch with remaining time): at every instant each
+    idle disk may start a fetch for the earliest-referenced missing block
+    residing on it, with any eviction candidate or a free slot; then one
+    time unit elapses.  Stall units cost 1, served requests cost 0.
+
+    Exponential - intended as ground truth for Theorem 4 on instances with
+    roughly <= 10 requests. *)
+
+val solve_stall : ?extra_slots:int -> Instance.t -> int
+(** Minimum stall time using [cache_size + extra_slots] locations
+    (default [extra_slots = 0]).
+    @raise Invalid_argument if the instance has more than 30 blocks. *)

@@ -1,0 +1,34 @@
+(** Exact optimal single-disk prefetching/caching schedules.
+
+    By the normalization underlying Section 3 of the paper (and
+    Albers-Garg-Leonardi), there is always an optimal single-disk schedule
+    in {e greedy-content form}: every fetch loads the next missing block,
+    evicts the cached block whose next reference is furthest in the
+    future, and starts at a decision point (an instant when the disk is
+    idle).  The only remaining choice is {e when} to fetch, so the optimum
+    is a memoized search over (cursor, cache) states with a binary
+    fetch-now / serve-one decision per state.
+
+    {!Opt_exhaustive} validates the normalization by searching without the
+    eviction restriction; the test suite asserts the two always agree. *)
+
+type outcome = {
+  stall : int;  (** minimum achievable stall time *)
+  schedule : Fetch_op.schedule;  (** a witness schedule achieving it *)
+}
+
+val max_blocks : int
+(** Cache states are bit masks, so instances must use at most this many
+    distinct blocks (62). *)
+
+val roll_forward : Instance.t -> c:int -> mask:int -> f:int -> int * int
+(** [roll_forward inst ~c ~mask ~f] serves forward for [f] time units from
+    cursor [c] with cache bit mask [mask] and returns [(cursor', stall)].
+    Exposed for reuse by {!Opt_exhaustive}. *)
+
+val solve : Instance.t -> outcome
+(** @raise Invalid_argument if the instance has more than {!max_blocks}
+    distinct blocks. *)
+
+val stall_time : Instance.t -> int
+val elapsed_time : Instance.t -> int

@@ -1,0 +1,73 @@
+(* Greedy baselines for D parallel disks (Kimbrel-Karlin).
+
+   Aggressive-D: whenever a disk is idle, start a prefetch on it for the
+   next missing block residing on that disk, provided a cached block exists
+   whose next reference is after that miss; evict the
+   furthest-next-reference cached block.  Kimbrel & Karlin showed the
+   elapsed-time approximation ratio of this strategy degrades to about D.
+
+   Conservative-D: replicate MIN's replacements (as in the single-disk
+   Conservative), dispatching each fetch to its block's home disk at the
+   earliest consistent time. *)
+
+let aggressive_decide d =
+  let inst = Driver.instance d in
+  for disk = 0 to inst.Instance.num_disks - 1 do
+    if not (Driver.disk_busy d disk) then begin
+      match Driver.next_missing_on_disk d ~disk ~from:(Driver.cursor d) with
+      | None -> ()
+      | Some p ->
+        let block = inst.Instance.seq.(p) in
+        if not (Driver.cache_full d) then Driver.start_fetch d ~disk ~block ~evict:None
+        else begin
+          match Driver.furthest_cached d ~from:(Driver.cursor d) with
+          | Some (e, next) when next > p -> Driver.start_fetch d ~disk ~block ~evict:(Some e)
+          | Some _ | None -> ()
+        end
+    end
+  done
+
+let aggressive_schedule (inst : Instance.t) : Fetch_op.schedule =
+  Driver.schedule (Driver.run inst ~decide:aggressive_decide)
+
+let aggressive_stats inst =
+  match Simulate.run inst (aggressive_schedule inst) with
+  | Ok s -> s
+  | Error e ->
+    failwith (Printf.sprintf "Aggressive-D produced an invalid schedule at t=%d: %s"
+                e.Simulate.at_time e.Simulate.reason)
+
+let aggressive_stall inst = (aggressive_stats inst).Simulate.stall_time
+
+(* Conservative-D: MIN replacements dispatched per disk. *)
+let conservative_schedule (inst : Instance.t) : Fetch_op.schedule =
+  let pending = ref (Conservative.plan inst) in
+  let decide d =
+    (* Dispatch a consecutive prefix of the MIN replacement list: stopping
+       at the first non-startable fetch preserves MIN's eviction-order
+       invariants (a later replacement may rely on an earlier one having
+       happened), while consecutive fetches on different disks still start
+       in the same instant and overlap. *)
+    let rec dispatch = function
+      | [] -> []
+      | (p : Conservative.pending) :: rest as all ->
+        let disk = (Driver.instance d).Instance.disk_of.(p.Conservative.fetched) in
+        if (not (Driver.disk_busy d disk)) && Driver.cursor d >= p.Conservative.eligible_cursor
+        then begin
+          Driver.start_fetch d ~disk ~block:p.Conservative.fetched ~evict:p.Conservative.evicted;
+          dispatch rest
+        end
+        else all
+    in
+    pending := dispatch !pending
+  in
+  Driver.schedule (Driver.run inst ~decide)
+
+let conservative_stats inst =
+  match Simulate.run inst (conservative_schedule inst) with
+  | Ok s -> s
+  | Error e ->
+    failwith (Printf.sprintf "Conservative-D produced an invalid schedule at t=%d: %s"
+                e.Simulate.at_time e.Simulate.reason)
+
+let conservative_stall inst = (conservative_stats inst).Simulate.stall_time

@@ -1,0 +1,22 @@
+(** Greedy baselines for D parallel disks (Kimbrel-Karlin).
+
+    Aggressive-D starts, on every idle disk, a prefetch for the next
+    missing block residing there (furthest-next-reference eviction);
+    Kimbrel & Karlin showed its elapsed-time ratio degrades to about [D].
+    Conservative-D replays MIN's replacements, dispatching each fetch to
+    its block's home disk at the earliest consistent time. *)
+
+val aggressive_decide : Driver.t -> unit
+val aggressive_schedule : Instance.t -> Fetch_op.schedule
+
+val aggressive_stats : Instance.t -> Simulate.stats
+(** @raise Failure if the schedule is rejected by the executor (a bug). *)
+
+val aggressive_stall : Instance.t -> int
+
+val conservative_schedule : Instance.t -> Fetch_op.schedule
+
+val conservative_stats : Instance.t -> Simulate.stats
+(** @raise Failure if the schedule is rejected by the executor (a bug). *)
+
+val conservative_stall : Instance.t -> int

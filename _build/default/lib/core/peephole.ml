@@ -1,0 +1,83 @@
+(* Peephole post-optimization of schedules.
+
+   The exchange argument behind every algorithm in the paper includes a
+   weak-dominance fact: starting a fetch earlier (with the same fetched and
+   evicted blocks) never increases stall time, as long as the move keeps
+   the schedule feasible (the evicted block's pending requests must already
+   be served, the disk must be free, and the eviction must not starve an
+   intervening request).  This module applies that fact as a local
+   optimizer: repeatedly try to decrease each fetch's delay and then its
+   anchor, keeping a move only if the executor confirms the schedule is
+   still valid and the stall time did not increase.
+
+   This is not one of the paper's algorithms - it is a practical tool for
+   tightening heuristic schedules (e.g. Conservative's or the online
+   variants') and a test oracle: no peephole pass may ever beat the exact
+   optimum. *)
+
+let try_schedule ?extra_slots inst schedule =
+  match Simulate.run ?extra_slots inst schedule with
+  | Ok s -> Some s.Simulate.stall_time
+  | Error _ -> None
+
+(* Candidate weakenings of one op, best first: reduce delay, then move the
+   anchor one request earlier (keeping the absolute start as early as
+   possible at that anchor). *)
+let earlier_variants (op : Fetch_op.t) : Fetch_op.t list =
+  let open Fetch_op in
+  let with_delay d = { op with delay = d } in
+  let delays = if op.delay > 0 then [ with_delay 0; with_delay (op.delay / 2) ] else [] in
+  let anchors =
+    if op.at_cursor > 0 then [ { op with at_cursor = op.at_cursor - 1; delay = 0 } ] else []
+  in
+  delays @ anchors
+
+let rec replace_nth l n x =
+  match l with
+  | [] -> []
+  | h :: t -> if n = 0 then x :: t else h :: replace_nth t (n - 1) x
+
+(* One full pass; returns the improved schedule and whether anything
+   changed. *)
+let pass ?extra_slots (inst : Instance.t) (schedule : Fetch_op.schedule) :
+  Fetch_op.schedule * bool =
+  match try_schedule ?extra_slots inst schedule with
+  | None -> (schedule, false) (* invalid input: leave untouched *)
+  | Some baseline ->
+    let current = ref schedule in
+    let best = ref baseline in
+    let changed = ref false in
+    List.iteri
+      (fun i _ ->
+         let op = List.nth !current i in
+         List.iter
+           (fun variant ->
+              if variant <> op then begin
+                let candidate = replace_nth !current i variant in
+                match try_schedule ?extra_slots inst candidate with
+                | Some stall when stall <= !best ->
+                  (* Accept sideways moves too: an earlier start with equal
+                     stall can unlock later improvements. *)
+                  if stall < !best || variant.Fetch_op.delay < op.Fetch_op.delay
+                     || variant.Fetch_op.at_cursor < op.Fetch_op.at_cursor
+                  then begin
+                    current := candidate;
+                    best := stall;
+                    changed := true
+                  end
+                | _ -> ()
+              end)
+           (earlier_variants (List.nth !current i)))
+      schedule;
+    (!current, !changed)
+
+let optimize ?extra_slots ?(max_passes = 8) (inst : Instance.t) (schedule : Fetch_op.schedule) :
+  Fetch_op.schedule =
+  let rec loop s passes =
+    if passes = 0 then s
+    else begin
+      let s', changed = pass ?extra_slots inst s in
+      if changed then loop s' (passes - 1) else s'
+    end
+  in
+  loop schedule max_passes

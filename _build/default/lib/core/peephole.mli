@@ -1,0 +1,15 @@
+(** Peephole post-optimization of schedules.
+
+    Applies the weak-dominance fact behind the paper's exchange arguments -
+    starting a fetch earlier with the same content never increases stall
+    time when the move stays feasible - as a local optimizer: each fetch's
+    delay and anchor are repeatedly tightened, accepting a move only when
+    the executor confirms validity and non-increased stall.
+
+    A practical tool for tightening heuristic schedules and a test oracle:
+    no peephole pass may ever beat the exact optimum. *)
+
+val optimize :
+  ?extra_slots:int -> ?max_passes:int -> Instance.t -> Fetch_op.schedule -> Fetch_op.schedule
+(** Invalid input schedules are returned untouched.  [max_passes] defaults
+    to 8. *)

@@ -1,0 +1,335 @@
+(* The synchronized-schedule linear program of Section 3.
+
+   A synchronized schedule executes fetches in batches: in each fetch
+   interval all D disks fetch in lock-step, and no two intervals properly
+   intersect.  Lemma 3: some synchronized schedule using at most D-1 extra
+   cache locations achieves the optimal stall time s_OPT(sigma, k).  The
+   0-1 program below (relaxed to an LP and solved exactly) finds the best
+   synchronized schedule; {!Rounding} turns its fractional optimum into an
+   integral schedule with at most 2(D-1) extra locations (Theorem 4).
+
+   Interval coordinates are the paper's: I = (i, j) with 0 <= i < j <= n
+   represents a fetch starting after the i-th request (1-based) and ending
+   before the j-th; |I| = j - i - 1 <= F, and the batch incurs F - |I|
+   stall units at its end.
+
+   Model notes (documented in DESIGN.md):
+   - The cache is padded to k + D - 1 locations with dummy "Sinit" blocks
+     that are never requested and may be evicted once, exactly as in the
+     paper.
+   - Each disk gets one never-requested, initially-absent "junk" block so
+     that idle disks can satisfy the all-D-disks-fetch requirement of
+     synchronized batches (Lemma 3 fetches an arbitrary block on idle
+     disks).  A junk fetch is dropped when the integral schedule is
+     emitted - it only exists to keep batches synchronized.
+   - Blocks that start in cache AND are requested may be evicted and
+     re-fetched before their first reference (window treated like a middle
+     window); the paper's model has no such blocks. *)
+
+type interval = { lo : int; hi : int }
+
+let interval_length iv = iv.hi - iv.lo - 1
+
+let interval_contains ~outer ~inner = inner.lo >= outer.lo && inner.hi <= outer.hi
+
+let pp_interval fmt iv = Format.fprintf fmt "(%d,%d)" iv.lo iv.hi
+
+(* Interval order <: by start point, then end point. *)
+let compare_interval a b =
+  match compare a.lo b.lo with 0 -> compare a.hi b.hi | c -> c
+
+type augmented = {
+  inst : Instance.t;
+  n : int;
+  num_disks : int;
+  base_blocks : int;  (* ids < base_blocks are real *)
+  sinit : int list;  (* dummy initially-cached blocks *)
+  junk : int array;  (* per-disk junk block id *)
+  total_blocks : int;
+  disk_of : int array;  (* extended over dummies *)
+  initial_cache : int list;  (* real initial cache + sinit *)
+  occurrences : int list array;  (* per real block, 1-based request indices *)
+}
+
+let augment (inst : Instance.t) : augmented =
+  let n = Instance.length inst in
+  let d = inst.Instance.num_disks in
+  let k = inst.Instance.cache_size in
+  let base = Instance.num_blocks inst in
+  let n_sinit = (k - List.length inst.Instance.initial_cache) + (d - 1) in
+  let sinit = List.init n_sinit (fun i -> base + i) in
+  let junk = Array.init d (fun i -> base + n_sinit + i) in
+  let total = base + n_sinit + d in
+  let disk_of =
+    Array.init total (fun b ->
+        if b < base then inst.Instance.disk_of.(b)
+        else if b < base + n_sinit then 0
+        else b - (base + n_sinit))
+  in
+  let occurrences = Array.make base [] in
+  Array.iteri (fun p b -> occurrences.(b) <- (p + 1) :: occurrences.(b)) inst.Instance.seq;
+  Array.iteri (fun b l -> occurrences.(b) <- List.rev l) occurrences;
+  { inst;
+    n;
+    num_disks = d;
+    base_blocks = base;
+    sinit;
+    junk;
+    total_blocks = total;
+    disk_of;
+    initial_cache = inst.Instance.initial_cache @ sinit;
+    occurrences }
+
+(* All candidate intervals. *)
+let all_intervals (aug : augmented) : interval list =
+  let f = aug.inst.Instance.fetch_time in
+  let acc = ref [] in
+  for i = aug.n - 1 downto 0 do
+    let hi_max = Stdlib.min aug.n (i + f + 1) in
+    for j = hi_max downto i + 1 do
+      acc := { lo = i; hi = j } :: !acc
+    done
+  done;
+  !acc
+
+(* Fetch windows of a real block: pairs (lo, hi) such that a fetch interval
+   for the block must satisfy lo <= I.lo and I.hi <= hi.  [`Mandatory]
+   marks the before-first-request window of an initially-absent block. *)
+type window_kind = [ `Mandatory_fetch | `Balanced | `Evict_only ]
+
+let windows (aug : augmented) (b : int) : (window_kind * interval) list =
+  let initially_cached = List.mem b aug.inst.Instance.initial_cache in
+  match aug.occurrences.(b) with
+  | [] -> []
+  | first :: _ as occs ->
+    let rec middles = function
+      | a :: (c :: _ as rest) -> (`Balanced, { lo = a; hi = c }) :: middles rest
+      | [ last ] -> [ (`Evict_only, { lo = last; hi = aug.n }) ]
+      | [] -> []
+    in
+    let w0 =
+      if initially_cached then (`Balanced, { lo = 0; hi = first })
+      else (`Mandatory_fetch, { lo = 0; hi = first })
+    in
+    w0 :: middles occs
+
+type var_kind = X of int | F_var of int * int | E_var of int * int
+(* X interval-index; F_var/E_var (interval-index, block). *)
+
+type built = {
+  aug : augmented;
+  intervals : interval array;
+  problem : Lp_problem.t;
+  var_of : (var_kind, int) Hashtbl.t;
+  kind_of : var_kind array;  (* indexed by LP variable *)
+}
+
+let build (inst : Instance.t) : built =
+  let aug = augment inst in
+  let f = inst.Instance.fetch_time in
+  let intervals = Array.of_list (all_intervals aug) in
+  Array.sort compare_interval intervals;
+  let ni = Array.length intervals in
+  let b = Lp_problem.Builder.create ~direction:Lp_problem.Minimize () in
+  let var_of = Hashtbl.create 1024 in
+  let kinds = ref [] in
+  let mk kind name =
+    let v = Lp_problem.Builder.add_var b name in
+    Hashtbl.replace var_of kind v;
+    kinds := kind :: !kinds;
+    v
+  in
+  (* x variables. *)
+  let xv =
+    Array.init ni (fun i ->
+        mk (X i) (Format.asprintf "x%a" pp_interval intervals.(i)))
+  in
+  (* f/e variables, window-pruned. *)
+  let f_vars = Hashtbl.create 1024 in
+  (* (interval index, block) -> var *)
+  let e_vars = Hashtbl.create 1024 in
+  let add_f ii blk =
+    if not (Hashtbl.mem f_vars (ii, blk)) then begin
+      let v = mk (F_var (ii, blk)) (Format.asprintf "f%a_b%d" pp_interval intervals.(ii) blk) in
+      Hashtbl.replace f_vars (ii, blk) v
+    end
+  in
+  let add_e ii blk =
+    if not (Hashtbl.mem e_vars (ii, blk)) then begin
+      let v = mk (E_var (ii, blk)) (Format.asprintf "e%a_b%d" pp_interval intervals.(ii) blk) in
+      Hashtbl.replace e_vars (ii, blk) v
+    end
+  in
+  (* Real blocks: windows. *)
+  let block_windows = Array.make aug.base_blocks [] in
+  for blk = 0 to aug.base_blocks - 1 do
+    block_windows.(blk) <- windows aug blk;
+    List.iter
+      (fun (kind, w) ->
+         Array.iteri
+           (fun ii iv ->
+              if interval_contains ~outer:w ~inner:iv then begin
+                (match kind with
+                 | `Mandatory_fetch -> add_f ii blk
+                 | `Balanced ->
+                   add_f ii blk;
+                   add_e ii blk
+                 | `Evict_only -> add_e ii blk)
+              end)
+           intervals)
+      block_windows.(blk)
+  done;
+  (* Sinit dummies: evictable anywhere, once. *)
+  List.iter (fun blk -> Array.iteri (fun ii _ -> add_e ii blk) intervals) aug.sinit;
+  (* Junk blocks: fetchable anywhere (self-balancing, no e variable). *)
+  Array.iter (fun blk -> Array.iteri (fun ii _ -> add_f ii blk) intervals) aug.junk;
+  let one = Rat.one and mone = Rat.minus_one in
+  (* Objective: sum x(I) * (F - |I|). *)
+  Lp_problem.Builder.set_objective b
+    (Array.to_list
+       (Array.mapi (fun i iv -> (xv.(i), Rat.of_int (f - interval_length iv))) intervals));
+  (* x(I) <= 1. *)
+  Array.iter (fun v -> Lp_problem.Builder.add_row b [ (v, one) ] Lp_problem.Le one) xv;
+  (* (C1) at most one batch spans the service of any request. *)
+  for m = 1 to aug.n - 1 do
+    let coeffs = ref [] in
+    Array.iteri
+      (fun i iv -> if iv.lo <= m - 1 && iv.hi >= m + 1 then coeffs := (xv.(i), one) :: !coeffs)
+      intervals;
+    if !coeffs <> [] then Lp_problem.Builder.add_row b !coeffs Lp_problem.Le one
+  done;
+  (* (C2) each batch fetches exactly one block from each disk. *)
+  for ii = 0 to ni - 1 do
+    for disk = 0 to aug.num_disks - 1 do
+      let coeffs = ref [ (xv.(ii), mone) ] in
+      Hashtbl.iter
+        (fun (ii', blk) v ->
+           if ii' = ii && aug.disk_of.(blk) = disk then coeffs := (v, one) :: !coeffs)
+        f_vars;
+      Lp_problem.Builder.add_row b !coeffs Lp_problem.Eq Rat.zero
+    done
+  done;
+  (* (C3) per batch, #real fetches = #evictions (junk is self-balancing). *)
+  for ii = 0 to ni - 1 do
+    let coeffs = ref [] in
+    Hashtbl.iter
+      (fun (ii', blk) v ->
+         if ii' = ii && blk < aug.base_blocks then coeffs := (v, one) :: !coeffs)
+      f_vars;
+    Hashtbl.iter (fun (ii', _) v -> if ii' = ii then coeffs := (v, mone) :: !coeffs) e_vars;
+    if !coeffs <> [] then Lp_problem.Builder.add_row b !coeffs Lp_problem.Eq Rat.zero
+  done;
+  (* (C4) per-block window constraints. *)
+  let sum_vars tbl blk w =
+    let acc = ref [] in
+    Array.iteri
+      (fun ii iv ->
+         if interval_contains ~outer:w ~inner:iv then
+           match Hashtbl.find_opt tbl (ii, blk) with
+           | Some v -> acc := (v, one) :: !acc
+           | None -> ())
+      intervals;
+    !acc
+  in
+  for blk = 0 to aug.base_blocks - 1 do
+    List.iter
+      (fun (kind, w) ->
+         match kind with
+         | `Mandatory_fetch ->
+           let fs = sum_vars f_vars blk w in
+           if fs = [] then
+             (* No interval fits before the first request: infeasible
+                unless the block starts in cache; leave an infeasible row
+                so the solver reports it. *)
+             Lp_problem.Builder.add_row b [] Lp_problem.Eq one
+           else Lp_problem.Builder.add_row b fs Lp_problem.Eq one
+         | `Balanced ->
+           let fs = sum_vars f_vars blk w in
+           let es = sum_vars e_vars blk w in
+           Lp_problem.Builder.add_row b (fs @ List.map (fun (v, _) -> (v, mone)) es)
+             Lp_problem.Eq Rat.zero;
+           if fs <> [] then Lp_problem.Builder.add_row b fs Lp_problem.Le one
+         | `Evict_only ->
+           let es = sum_vars e_vars blk w in
+           if es <> [] then Lp_problem.Builder.add_row b es Lp_problem.Le one)
+      block_windows.(blk)
+  done;
+  (* (C5) each Sinit dummy evicted at most once. *)
+  List.iter
+    (fun blk ->
+       let coeffs = ref [] in
+       Hashtbl.iter (fun (_, blk') v -> if blk' = blk then coeffs := (v, one) :: !coeffs) e_vars;
+       Lp_problem.Builder.add_row b !coeffs Lp_problem.Le one)
+    aug.sinit;
+  let problem = Lp_problem.Builder.freeze b in
+  let kind_of = Array.of_list (List.rev !kinds) in
+  { aug; intervals; problem; var_of; kind_of }
+
+(* ------------------------------------------------------------------ *)
+(* Fractional solutions. *)
+
+type fractional = {
+  faug : augmented;
+  (* Support intervals in < order with their x mass and per-interval fetch
+     and eviction masses. *)
+  supp : interval array;
+  sx : Rat.t array;
+  sfetch : (int * Rat.t) list array;  (* (block, amount), junk included *)
+  sevict : (int * Rat.t) list array;
+  value : Rat.t;
+}
+
+let extract (bt : built) (values : Rat.t array) : fractional =
+  let ni = Array.length bt.intervals in
+  let x = Array.make ni Rat.zero in
+  let fetch = Array.make ni [] in
+  let evict = Array.make ni [] in
+  Array.iteri
+    (fun v kind ->
+       let value = values.(v) in
+       if not (Rat.is_zero value) then
+         match kind with
+         | X i -> x.(i) <- value
+         | F_var (i, blk) -> fetch.(i) <- (blk, value) :: fetch.(i)
+         | E_var (i, blk) -> evict.(i) <- (blk, value) :: evict.(i))
+    bt.kind_of;
+  (* Keep only the support, in < order. *)
+  let idx = ref [] in
+  for i = ni - 1 downto 0 do
+    if not (Rat.is_zero x.(i)) then idx := i :: !idx
+  done;
+  let idx = Array.of_list !idx in
+  let value =
+    Array.fold_left
+      (fun acc i ->
+         Rat.add acc
+           (Rat.mul x.(i)
+              (Rat.of_int (bt.aug.inst.Instance.fetch_time - interval_length bt.intervals.(i)))))
+      Rat.zero idx
+  in
+  { faug = bt.aug;
+    supp = Array.map (fun i -> bt.intervals.(i)) idx;
+    sx = Array.map (fun i -> x.(i)) idx;
+    sfetch = Array.map (fun i -> fetch.(i)) idx;
+    sevict = Array.map (fun i -> evict.(i)) idx;
+    value }
+
+type solve_result = {
+  frac : fractional;
+  lp_value : Rat.t;
+}
+
+exception Lp_infeasible
+
+let solve ?(solver = Simplex.solve_exact) (inst : Instance.t) : solve_result =
+  let bt = build inst in
+  match solver bt.problem with
+  | Lp_problem.Optimal { objective_value; values } ->
+    let frac = extract bt values in
+    { frac; lp_value = objective_value }
+  | Lp_problem.Infeasible -> raise Lp_infeasible
+  | Lp_problem.Unbounded -> failwith "Sync_lp: unbounded (model bug)"
+
+(* The LP optimum is a lower bound on the best synchronized schedule with
+   k + D - 1 cache locations, hence (Lemma 3) on s_OPT(sigma, k). *)
+let lower_bound inst = (solve inst).lp_value

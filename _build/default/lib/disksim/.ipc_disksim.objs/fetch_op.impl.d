@@ -1,0 +1,1 @@
+lib/disksim/fetch_op.ml: Format Instance Printf

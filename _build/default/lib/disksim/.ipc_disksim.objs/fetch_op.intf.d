@@ -1,0 +1,1 @@
+lib/disksim/fetch_op.mli: Format Instance

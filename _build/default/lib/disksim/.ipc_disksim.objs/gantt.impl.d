@@ -1,0 +1,1 @@
+lib/disksim/gantt.ml: Array Buffer Bytes Char Fetch_op Instance List Printf Result Simulate Stdlib String

@@ -1,0 +1,1 @@
+lib/disksim/gantt.mli: Fetch_op Instance Result

@@ -1,0 +1,1 @@
+lib/disksim/instance.ml: Array Format Hashtbl List Printf Stdlib String

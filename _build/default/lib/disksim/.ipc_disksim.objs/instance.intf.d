@@ -1,0 +1,1 @@
+lib/disksim/instance.mli: Format

@@ -1,0 +1,1 @@
+lib/disksim/next_ref.ml: Array Instance

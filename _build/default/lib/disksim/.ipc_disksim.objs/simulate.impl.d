@@ -1,0 +1,1 @@
+lib/disksim/simulate.ml: Array Fetch_op Format Instance List Printf Result

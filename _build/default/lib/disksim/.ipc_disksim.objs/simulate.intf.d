@@ -1,0 +1,1 @@
+lib/disksim/simulate.mli: Fetch_op Format Instance Result

@@ -1,0 +1,38 @@
+(* Schedule representation.
+
+   A prefetching/caching schedule is a set of fetch operations.  A fetch is
+   anchored to the *cursor* (the number of requests served so far), matching
+   how the paper describes schedules ("initiate the fetch at the request to
+   b3"): the operation becomes eligible the first instant the cursor reaches
+   [at_cursor], and actually starts [delay] whole time units later ([delay]
+   expresses starts in the middle of a stall interval, which parallel-disk
+   schedules need).  The eviction happens at the instant the fetch starts;
+   the fetched block becomes available [fetch_time] units later. *)
+
+type t = {
+  at_cursor : int;  (* eligible once this many requests have been served *)
+  delay : int;  (* extra time units after eligibility before starting *)
+  disk : int;
+  block : Instance.block;  (* block fetched *)
+  evict : Instance.block option;  (* None = consume a free cache slot *)
+}
+
+type schedule = t list
+
+let make ?(delay = 0) ?(disk = 0) ~at_cursor ~block ~evict () =
+  { at_cursor; delay; disk; block; evict }
+
+let pp fmt f =
+  Format.fprintf fmt "fetch{b%d disk%d @@cursor=%d%s evict=%s}" f.block f.disk f.at_cursor
+    (if f.delay > 0 then Printf.sprintf "+%dt" f.delay else "")
+    (match f.evict with None -> "-" | Some b -> "b" ^ string_of_int b)
+
+let pp_schedule fmt s =
+  Format.fprintf fmt "@[<v>%a@]" (Format.pp_print_list pp) s
+
+(* Total order used for deterministic processing: by anchor, then delay,
+   then disk. *)
+let compare_start a b =
+  match compare a.at_cursor b.at_cursor with
+  | 0 -> (match compare a.delay b.delay with 0 -> compare a.disk b.disk | c -> c)
+  | c -> c

@@ -1,0 +1,32 @@
+(** Schedule representation: a prefetching/caching schedule is a list of
+    fetch operations.
+
+    A fetch is anchored to the {e cursor} (the number of requests served so
+    far), matching how the paper describes schedules ("initiate the fetch
+    at the request to b3"): the operation becomes eligible the first
+    instant the cursor reaches [at_cursor] and actually starts [delay]
+    whole time units later - delays express starts in the middle of stall
+    intervals, which parallel-disk schedules need.  The eviction happens at
+    the instant the fetch starts; the fetched block becomes available
+    [fetch_time] units later. *)
+
+type t = {
+  at_cursor : int;  (** eligible once this many requests have been served *)
+  delay : int;  (** extra time units after eligibility before starting *)
+  disk : int;
+  block : Instance.block;  (** block fetched *)
+  evict : Instance.block option;  (** [None] = consume a free cache slot *)
+}
+
+type schedule = t list
+
+val make :
+  ?delay:int -> ?disk:int -> at_cursor:int -> block:Instance.block ->
+  evict:Instance.block option -> unit -> t
+(** [delay] and [disk] default to 0. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_schedule : Format.formatter -> schedule -> unit
+
+val compare_start : t -> t -> int
+(** Deterministic processing order: anchor, then delay, then disk. *)

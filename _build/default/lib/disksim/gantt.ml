@@ -1,0 +1,74 @@
+(* ASCII Gantt rendering of schedules.
+
+   One row for the processor (serve/stall per time unit) and one row per
+   disk (fetch progress), driven by the executor's event trace so the
+   rendering can never disagree with the measured timings.
+
+   Example output for the paper's two-disk instance:
+
+     t        0123456789
+     cpu      ssss.ss..s
+     disk0    [b2:===)[b3:===)
+     disk1     [b6:===)
+*)
+
+let render (inst : Instance.t) (schedule : Fetch_op.schedule) : (string, string) Result.t =
+  match Simulate.run ~extra_slots:(2 * inst.Instance.num_disks) ~record_events:true inst schedule with
+  | Error e -> Error (Printf.sprintf "invalid schedule at t=%d: %s" e.Simulate.at_time e.Simulate.reason)
+  | Ok stats ->
+    let horizon = stats.Simulate.elapsed_time in
+    let cpu = Bytes.make horizon ' ' in
+    let disks = Array.init inst.Instance.num_disks (fun _ -> Bytes.make (horizon + 16) ' ') in
+    let label_rows = Array.make inst.Instance.num_disks [] in
+    List.iter
+      (fun ev ->
+         match ev with
+         | Simulate.Serve { time; _ } -> if time < horizon then Bytes.set cpu time 's'
+         | Simulate.Stall { time } -> if time < horizon then Bytes.set cpu time '.'
+         | Simulate.Fetch_start { time; fetch } ->
+           label_rows.(fetch.Fetch_op.disk) <-
+             (time, fetch.Fetch_op.block, fetch.Fetch_op.evict) :: label_rows.(fetch.Fetch_op.disk)
+         | Simulate.Fetch_complete _ -> ())
+      stats.Simulate.events;
+    Array.iteri
+      (fun d row ->
+         List.iter
+           (fun (start, block, _evict) ->
+              let label = Printf.sprintf "[b%d:" block in
+              let fin = start + inst.Instance.fetch_time in
+              let len = String.length label in
+              if start + len < Bytes.length row then
+                Bytes.blit_string label 0 row start len;
+              for t = start + len to Stdlib.min (fin - 1) (Bytes.length row - 1) do
+                Bytes.set row t '='
+              done;
+              if fin - 1 >= 0 && fin - 1 < Bytes.length row then Bytes.set row (fin - 1) ')')
+           (List.rev label_rows.(d)))
+      disks;
+    let buf = Buffer.create 256 in
+    let time_ruler =
+      String.init horizon (fun t -> Char.chr (Char.code '0' + (t mod 10)))
+    in
+    Buffer.add_string buf (Printf.sprintf "%-8s %s\n" "t" time_ruler);
+    Buffer.add_string buf (Printf.sprintf "%-8s %s\n" "cpu" (Bytes.to_string cpu));
+    let rtrim s =
+      let n = ref (String.length s) in
+      while !n > 0 && s.[!n - 1] = ' ' do
+        decr n
+      done;
+      String.sub s 0 !n
+    in
+    Array.iteri
+      (fun d row ->
+         Buffer.add_string buf
+           (Printf.sprintf "%-8s %s\n" (Printf.sprintf "disk%d" d) (rtrim (Bytes.to_string row))))
+      disks;
+    Buffer.add_string buf
+      (Printf.sprintf "%-8s stall=%d elapsed=%d ('s'=serve, '.'=stall)\n" ""
+         stats.Simulate.stall_time stats.Simulate.elapsed_time);
+    Ok (Buffer.contents buf)
+
+let print inst schedule =
+  match render inst schedule with
+  | Ok s -> print_string s
+  | Error e -> print_endline ("gantt: " ^ e)

@@ -1,0 +1,11 @@
+(** ASCII Gantt rendering of schedules.
+
+    One row for the processor (serve/stall per time unit) and one per disk
+    (fetch bars), driven by the executor's event trace so the rendering can
+    never disagree with the measured timings. *)
+
+val render : Instance.t -> Fetch_op.schedule -> (string, string) Result.t
+(** [Error reason] when the executor rejects the schedule. *)
+
+val print : Instance.t -> Fetch_op.schedule -> unit
+(** Prints the rendering, or a one-line error. *)

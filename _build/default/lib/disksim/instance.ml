@@ -1,0 +1,103 @@
+(* A problem instance in the Cao-Felten-Karlin-Li model of integrated
+   prefetching and caching, extended with the parallel-disk layout of
+   Kimbrel-Karlin and Albers-Buettner.
+
+   Blocks are dense non-negative integers.  Every block referenced by the
+   request sequence lives on exactly one disk; [initial_cache] lists the
+   blocks resident in cache at time 0 (at most [cache_size] of them). *)
+
+type block = int
+
+type t = {
+  seq : block array;  (* the request sequence r_1 ... r_n, index 0-based *)
+  cache_size : int;  (* k *)
+  fetch_time : int;  (* F *)
+  num_disks : int;  (* D *)
+  disk_of : int array;  (* disk_of.(b) = home disk of block b, in [0, D) *)
+  initial_cache : block list;
+}
+
+let length t = Array.length t.seq
+
+let num_blocks t = Array.length t.disk_of
+
+(* Universe of blocks that appear in the sequence or the initial cache. *)
+let max_block seq initial_cache =
+  let m = List.fold_left Stdlib.max (-1) initial_cache in
+  Array.fold_left Stdlib.max m seq
+
+exception Invalid of string
+
+let invalidf fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let validate t =
+  if t.cache_size <= 0 then invalidf "cache_size must be positive (got %d)" t.cache_size;
+  if t.fetch_time <= 0 then invalidf "fetch_time must be positive (got %d)" t.fetch_time;
+  if t.num_disks <= 0 then invalidf "num_disks must be positive (got %d)" t.num_disks;
+  let nb = Array.length t.disk_of in
+  Array.iteri
+    (fun i b ->
+       if b < 0 || b >= nb then invalidf "request %d references unknown block %d" (i + 1) b)
+    t.seq;
+  Array.iteri
+    (fun b d -> if d < 0 || d >= t.num_disks then invalidf "block %d on invalid disk %d" b d)
+    t.disk_of;
+  List.iter
+    (fun b -> if b < 0 || b >= nb then invalidf "initial cache contains unknown block %d" b)
+    t.initial_cache;
+  if List.length t.initial_cache > t.cache_size then
+    invalidf "initial cache holds %d blocks but k = %d" (List.length t.initial_cache) t.cache_size;
+  let sorted = List.sort_uniq compare t.initial_cache in
+  if List.length sorted <> List.length t.initial_cache then
+    invalidf "initial cache contains duplicates";
+  t
+
+(* Build a single-disk instance. *)
+let single_disk ~k ~fetch_time ~initial_cache seq =
+  let nb = max_block seq initial_cache + 1 in
+  validate
+    { seq;
+      cache_size = k;
+      fetch_time;
+      num_disks = 1;
+      disk_of = Array.make nb 0;
+      initial_cache }
+
+(* Build a parallel-disk instance from an explicit block -> disk map. *)
+let parallel ~k ~fetch_time ~num_disks ~disk_of ~initial_cache seq =
+  let nb = max_block seq initial_cache + 1 in
+  if Array.length disk_of < nb then
+    invalidf "disk_of covers %d blocks but %d are referenced" (Array.length disk_of) nb;
+  validate { seq; cache_size = k; fetch_time; num_disks; disk_of; initial_cache }
+
+(* Cold start: cache initially filled with the first k distinct blocks of
+   the sequence (the common convention in experimental prefetching work;
+   blocks outside the cache must be fetched). *)
+let warm_initial_cache ~k seq =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  Array.iter
+    (fun b ->
+       if List.length !acc < k && not (Hashtbl.mem seen b) then begin
+         Hashtbl.add seen b ();
+         acc := b :: !acc
+       end)
+    seq;
+  List.rev !acc
+
+let disk_blocks t d =
+  let acc = ref [] in
+  Array.iteri (fun b disk -> if disk = d then acc := b :: !acc) t.disk_of;
+  List.rev !acc
+
+(* Positions (0-based) at which block [b] is requested. *)
+let positions_of_block t b =
+  let acc = ref [] in
+  Array.iteri (fun i x -> if x = b then acc := i :: !acc) t.seq;
+  List.rev !acc
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>instance: n=%d k=%d F=%d D=%d blocks=%d@,seq=[%s]@,init=[%s]@]"
+    (length t) t.cache_size t.fetch_time t.num_disks (num_blocks t)
+    (String.concat "; " (Array.to_list (Array.map string_of_int t.seq)))
+    (String.concat "; " (List.map string_of_int t.initial_cache))

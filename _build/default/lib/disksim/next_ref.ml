@@ -1,0 +1,62 @@
+(* Next-reference oracle.
+
+   Every algorithm in the paper (Aggressive's furthest-in-future eviction,
+   Conservative's MIN replacements, the LP normalization properties) needs
+   "when is block b next requested at or after position i?" in O(1) or
+   O(log) time.  We precompute, for every position, the next occurrence of
+   the block requested there, and keep per-block sorted position lists for
+   arbitrary (position, block) queries. *)
+
+type t = {
+  n : int;
+  next_same : int array;
+  (* next_same.(i) = smallest j > i with seq.(j) = seq.(i), or n. *)
+  first_at_or_after : int array array;
+  (* first_at_or_after.(b) = sorted positions of block b. *)
+}
+
+let infinity_pos t = t.n
+(* Convention: position [n] (one past the sequence) means "never again". *)
+
+let build (seq : int array) ~num_blocks =
+  let n = Array.length seq in
+  let next_same = Array.make n n in
+  let last_seen = Array.make num_blocks n in
+  for i = n - 1 downto 0 do
+    next_same.(i) <- last_seen.(seq.(i));
+    last_seen.(seq.(i)) <- i
+  done;
+  let positions = Array.make num_blocks [] in
+  for i = n - 1 downto 0 do
+    positions.(seq.(i)) <- i :: positions.(seq.(i))
+  done;
+  { n; next_same; first_at_or_after = Array.map Array.of_list positions }
+
+let of_instance (inst : Instance.t) = build inst.Instance.seq ~num_blocks:(Instance.num_blocks inst)
+
+(* Next occurrence of the block at position i, strictly after i. *)
+let next_after_same t i = t.next_same.(i)
+
+(* Smallest position >= pos at which block b is requested, or n if none. *)
+let next_at_or_after t b pos =
+  let ps = t.first_at_or_after.(b) in
+  let lo = ref 0 and hi = ref (Array.length ps) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if ps.(mid) >= pos then hi := mid else lo := mid + 1
+  done;
+  if !lo < Array.length ps then ps.(!lo) else t.n
+
+(* Smallest position > pos at which block b is requested, or n if none. *)
+let next_strictly_after t b pos = next_at_or_after t b (pos + 1)
+
+let is_requested_at_or_after t b pos = next_at_or_after t b pos < t.n
+
+(* Number of requests to block b. *)
+let count t b = Array.length t.first_at_or_after.(b)
+
+let first_request t b = if count t b = 0 then t.n else t.first_at_or_after.(b).(0)
+
+let last_request t b =
+  let c = count t b in
+  if c = 0 then -1 else t.first_at_or_after.(b).(c - 1)

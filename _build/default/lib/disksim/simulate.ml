@@ -1,0 +1,208 @@
+(* Reference executor/validator for prefetching/caching schedules.
+
+   This is the ground truth of the reproduction: every algorithm's output
+   and every LP rounding is fed through [run], which either rejects the
+   schedule with a reason or reports its exact stall time, elapsed time and
+   peak cache occupancy under the model of Section 1 of the paper.
+
+   Timeline semantics (time advances in whole units):
+   - at instant [t]: fetches completing at [t] deposit their block in cache;
+     then fetches whose start time is [t] begin (performing their eviction);
+   - during [t, t+1): if the next unserved request's block is in cache it is
+     served (cursor advances), otherwise the unit is processor stall time.
+   - a fetch anchored at cursor [c] with delay [d] starts at
+     [first_time_cursor_reached(c) + d].
+
+   Stall benefits all in-flight fetches simultaneously, which is exactly the
+   parallel-disk behaviour described in the paper's two-disk example. *)
+
+type event =
+  | Serve of { time : int; index : int; block : Instance.block }
+  | Stall of { time : int }
+  | Fetch_start of { time : int; fetch : Fetch_op.t }
+  | Fetch_complete of { time : int; fetch : Fetch_op.t }
+
+type stats = {
+  stall_time : int;
+  elapsed_time : int;
+  fetches_started : int;
+  fetches_completed : int;
+  peak_occupancy : int;  (* max over time of |cache| + #in-flight fetches *)
+  events : event list;  (* chronological *)
+}
+
+type error = {
+  reason : string;
+  at_time : int;
+}
+
+let pp_event fmt = function
+  | Serve { time; index; block } -> Format.fprintf fmt "t=%-3d serve r%d (b%d)" time (index + 1) block
+  | Stall { time } -> Format.fprintf fmt "t=%-3d stall" time
+  | Fetch_start { time; fetch } -> Format.fprintf fmt "t=%-3d start %a" time Fetch_op.pp fetch
+  | Fetch_complete { time; fetch } -> Format.fprintf fmt "t=%-3d done  %a" time Fetch_op.pp fetch
+
+let pp_stats fmt s =
+  Format.fprintf fmt "stall=%d elapsed=%d fetches=%d peak_occupancy=%d" s.stall_time
+    s.elapsed_time s.fetches_completed s.peak_occupancy
+
+exception Reject of error
+
+let rejectf at_time fmt = Printf.ksprintf (fun reason -> raise (Reject { reason; at_time })) fmt
+
+(* [extra_slots] extends capacity beyond k (the paper's parallel algorithm
+   is allowed 2(D-1) extra locations).  [record_events] controls whether the
+   full event trace is accumulated (examples want it; sweeps do not). *)
+let run ?(extra_slots = 0) ?(record_events = false) (inst : Instance.t)
+    (schedule : Fetch_op.schedule) : (stats, error) Result.t =
+  let n = Instance.length inst in
+  let capacity = inst.Instance.cache_size + extra_slots in
+  let num_blocks = Instance.num_blocks inst in
+  (* Static validation of fetch operations. *)
+  let validate f =
+    let open Fetch_op in
+    if f.at_cursor < 0 || f.at_cursor > n then
+      rejectf 0 "fetch %s anchored outside [0,%d]" (Format.asprintf "%a" Fetch_op.pp f) n;
+    if f.delay < 0 then rejectf 0 "negative delay";
+    if f.block < 0 || f.block >= num_blocks then rejectf 0 "fetch of unknown block %d" f.block;
+    if f.disk < 0 || f.disk >= inst.Instance.num_disks then
+      rejectf 0 "fetch on unknown disk %d" f.disk;
+    if inst.Instance.disk_of.(f.block) <> f.disk then
+      rejectf 0 "block %d lives on disk %d, fetched from disk %d" f.block
+        inst.Instance.disk_of.(f.block) f.disk;
+    match f.evict with
+    | Some b when b < 0 || b >= num_blocks -> rejectf 0 "eviction of unknown block %d" b
+    | _ -> ()
+  in
+  try
+    List.iter validate schedule;
+    (* State. *)
+    let in_cache = Array.make num_blocks false in
+    List.iter (fun b -> in_cache.(b) <- true) inst.Instance.initial_cache;
+    let cache_count = ref (List.length inst.Instance.initial_cache) in
+    let in_flight = Array.make inst.Instance.num_disks None in
+    (* in_flight.(d) = Some (fetch, end_time) *)
+    let in_flight_count = ref 0 in
+    let block_in_flight = Array.make num_blocks false in
+    (* Pending fetches grouped by anchor cursor. *)
+    let by_cursor = Array.make (n + 1) [] in
+    List.iter (fun f -> by_cursor.(f.Fetch_op.at_cursor) <- f :: by_cursor.(f.Fetch_op.at_cursor)) schedule;
+    for c = 0 to n do
+      by_cursor.(c) <- List.sort Fetch_op.compare_start by_cursor.(c)
+    done;
+    (* Fetches whose absolute start time is known (anchor reached):
+       (start_time, fetch), kept sorted by start time. *)
+    let armed = ref [] in
+    let arm time c =
+      armed :=
+        List.merge
+          (fun (t1, f1) (t2, f2) -> match compare t1 t2 with 0 -> Fetch_op.compare_start f1 f2 | x -> x)
+          !armed
+          (List.map (fun f -> (time + f.Fetch_op.delay, f)) by_cursor.(c));
+      by_cursor.(c) <- []
+    in
+    let events = ref [] in
+    let push e = if record_events then events := e :: !events in
+    let stall = ref 0 in
+    let started = ref 0 in
+    let completed = ref 0 in
+    let peak = ref !cache_count in
+    let cursor = ref 0 in
+    let t = ref 0 in
+    arm 0 0;
+    (* Upper bound on total time: every fetch costs at most F (+delays). *)
+    let horizon =
+      n + List.fold_left (fun acc f -> acc + inst.Instance.fetch_time + f.Fetch_op.delay) 0 schedule + 1
+    in
+    while !cursor < n do
+      if !t > horizon then rejectf !t "simulation exceeded time horizon (deadlock)";
+      (* 1. Completions at instant t. *)
+      for d = 0 to inst.Instance.num_disks - 1 do
+        match in_flight.(d) with
+        | Some (f, end_time) when end_time = !t ->
+          in_flight.(d) <- None;
+          decr in_flight_count;
+          block_in_flight.(f.Fetch_op.block) <- false;
+          in_cache.(f.Fetch_op.block) <- true;
+          incr cache_count;
+          incr completed;
+          push (Fetch_complete { time = !t; fetch = f })
+        | _ -> ()
+      done;
+      (* 2. Starts at instant t. *)
+      let rec start_due () =
+        match !armed with
+        | (start_time, f) :: rest when start_time = !t ->
+          armed := rest;
+          let open Fetch_op in
+          (match in_flight.(f.disk) with
+           | Some _ -> rejectf !t "disk %d already busy when fetch of b%d starts" f.disk f.block
+           | None -> ());
+          if in_cache.(f.block) then rejectf !t "fetch of b%d but it is already in cache" f.block;
+          if block_in_flight.(f.block) then rejectf !t "fetch of b%d already in flight" f.block;
+          (match f.evict with
+           | Some b ->
+             if not in_cache.(b) then rejectf !t "eviction of b%d which is not in cache" b;
+             in_cache.(b) <- false;
+             decr cache_count
+           | None -> ());
+          (* The started fetch reserves a slot for the incoming block. *)
+          if !cache_count + !in_flight_count + 1 > capacity then
+            rejectf !t "cache capacity %d exceeded" capacity;
+          in_flight.(f.disk) <- Some (f, !t + inst.Instance.fetch_time);
+          incr in_flight_count;
+          block_in_flight.(f.block) <- true;
+          incr started;
+          push (Fetch_start { time = !t; fetch = f });
+          start_due ()
+        | (start_time, _) :: _ when start_time < !t -> assert false
+        | _ -> ()
+      in
+      start_due ();
+      if !cache_count + !in_flight_count > !peak then peak := !cache_count + !in_flight_count;
+      (* 3. Serve or stall during [t, t+1). *)
+      let b = inst.Instance.seq.(!cursor) in
+      if in_cache.(b) then begin
+        push (Serve { time = !t; index = !cursor; block = b });
+        incr cursor;
+        incr t;
+        arm !t !cursor
+      end
+      else begin
+        (* Stall is legal while a fetch is in flight or an armed fetch will
+           start later (a delayed start is a voluntary stall).  With neither,
+           the missing block can never arrive: reject as a deadlock. *)
+        if !in_flight_count = 0 && !armed = [] then
+          rejectf !t "request r%d (b%d) missing with no fetch in flight or scheduled" (!cursor + 1) b;
+        push (Stall { time = !t });
+        incr stall;
+        incr t
+      end
+    done;
+    (* Drain: any still-armed fetches after the last request are ignored for
+       timing (they cannot add stall) but still counted as unstarted. *)
+    Ok
+      { stall_time = !stall;
+        elapsed_time = !t;
+        fetches_started = !started;
+        fetches_completed = !completed;
+        peak_occupancy = !peak;
+        events = List.rev !events }
+  with Reject e -> Error e
+
+(* Convenience wrappers. *)
+
+let stall_time ?extra_slots inst schedule =
+  match run ?extra_slots inst schedule with
+  | Ok s -> Ok s.stall_time
+  | Error e -> Error e
+
+let stall_time_exn ?extra_slots inst schedule =
+  match run ?extra_slots inst schedule with
+  | Ok s -> s.stall_time
+  | Error e -> failwith (Printf.sprintf "invalid schedule at t=%d: %s" e.at_time e.reason)
+
+let elapsed_time_exn ?extra_slots inst schedule =
+  match run ?extra_slots inst schedule with
+  | Ok s -> s.elapsed_time
+  | Error e -> failwith (Printf.sprintf "invalid schedule at t=%d: %s" e.at_time e.reason)

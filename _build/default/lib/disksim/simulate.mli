@@ -1,0 +1,52 @@
+(** Reference executor/validator for prefetching/caching schedules - the
+    ground truth of the reproduction.
+
+    Every algorithm's output and every LP rounding is fed through {!run},
+    which either rejects the schedule with a reason or reports its exact
+    stall time, elapsed time and peak cache occupancy under the timing
+    model of Section 1 of the paper:
+
+    - at instant [t], fetches completing at [t] deposit their block, then
+      fetches whose start time is [t] begin (performing their eviction);
+    - during [t, t+1) the next request is served if its block is resident,
+      otherwise the unit is processor stall time;
+    - stall benefits all in-flight fetches simultaneously (the
+      parallel-disk behaviour of the paper's two-disk example). *)
+
+type event =
+  | Serve of { time : int; index : int; block : Instance.block }
+  | Stall of { time : int }
+  | Fetch_start of { time : int; fetch : Fetch_op.t }
+  | Fetch_complete of { time : int; fetch : Fetch_op.t }
+
+type stats = {
+  stall_time : int;
+  elapsed_time : int;  (** always [length + stall_time] *)
+  fetches_started : int;
+  fetches_completed : int;
+  peak_occupancy : int;  (** max over time of resident blocks + in-flight fetches *)
+  events : event list;  (** chronological; empty unless [record_events] *)
+}
+
+type error = { reason : string; at_time : int }
+
+val pp_event : Format.formatter -> event -> unit
+val pp_stats : Format.formatter -> stats -> unit
+
+val run :
+  ?extra_slots:int -> ?record_events:bool -> Instance.t -> Fetch_op.schedule ->
+  (stats, error) Result.t
+(** [extra_slots] extends capacity beyond [k] (the paper's parallel
+    algorithm may use [2(D-1)] extra locations); [record_events] keeps the
+    full trace.  Rejections include: fetches on busy disks, fetching
+    resident or in-flight blocks, evicting absent blocks, capacity
+    violations, wrong home disks, and deadlocks (a missing block that no
+    in-flight or scheduled fetch can supply). *)
+
+val stall_time : ?extra_slots:int -> Instance.t -> Fetch_op.schedule -> (int, error) Result.t
+
+val stall_time_exn : ?extra_slots:int -> Instance.t -> Fetch_op.schedule -> int
+(** @raise Failure on invalid schedules. *)
+
+val elapsed_time_exn : ?extra_slots:int -> Instance.t -> Fetch_op.schedule -> int
+(** @raise Failure on invalid schedules. *)

@@ -1,0 +1,1 @@
+lib/experiments/experiments_parallel.ml: Instance List Opt_parallel Opt_single Parallel_greedy Printf Rat Reverse_aggressive Rounding Simulate Stdlib Sync_ilp Sync_lp Tablefmt Workload

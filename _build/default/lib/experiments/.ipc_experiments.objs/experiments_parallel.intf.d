@@ -1,0 +1,1 @@
+lib/experiments/experiments_parallel.mli: Instance Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/experiments_single.ml: Aggressive Bounds Combination Instance List Measure Online Opt_single Printf Tablefmt Workload

@@ -1,0 +1,1 @@
+lib/experiments/measure.ml: Aggressive Combination Conservative Delay Fetch_op Fixed_horizon Instance List Opt_single Printf Simulate Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/measure.mli: Fetch_op Instance Stats

@@ -1,0 +1,1 @@
+lib/experiments/tablefmt.ml: Array Buffer List Printf Stdlib String

@@ -1,0 +1,28 @@
+(** Parallel-disk experiments (E2, E9-E12, E14 of DESIGN.md). *)
+
+val paper_example2 : unit -> Instance.t
+(** The introduction's two-disk example. *)
+
+val e2 : unit -> Tablefmt.t
+(** All parallel algorithms on the paper's two-disk example. *)
+
+val tiny_instances : ?count:int -> num_disks:int -> unit -> Instance.t list
+(** Deterministic pool of exhaustively-solvable instances. *)
+
+val e9 : ?count:int -> unit -> Tablefmt.t
+(** Lemma 3: synchronized LP value vs exhaustive OPT. *)
+
+val e10 : ?count:int -> unit -> Tablefmt.t
+(** Theorem 4 end-to-end: rounded stall vs OPT, extra-slot usage. *)
+
+val e11 : ?n:int -> ?f:int -> ?k:int -> unit -> Tablefmt.t
+(** Greedy baselines vs the LP pipeline on medium instances. *)
+
+val e12 : ?count:int -> unit -> Tablefmt.t
+(** Single-disk LP integrality (Albers-Garg-Leonardi property). *)
+
+val e14 : ?count:int -> unit -> Tablefmt.t
+(** Branch-and-bound integral synchronized optima sandwiching the
+    pipeline. *)
+
+val all : unit -> Tablefmt.t list

@@ -1,0 +1,30 @@
+(** Single-disk experiments (E1, E3-E8, E13 of DESIGN.md): each validates
+    the shape of a theorem against exact optima.  All functions return
+    printable tables; parameter defaults are the ones recorded in
+    EXPERIMENTS.md. *)
+
+val paper_example1 : unit -> Instance.t
+(** The introduction's worked single-disk example. *)
+
+val e1 : unit -> Tablefmt.t
+(** All algorithms and OPT on the paper's intro example. *)
+
+val default_grid : (int * int) list
+
+val e3_e8 : ?grid:(int * int) list -> ?n:int -> unit -> Tablefmt.t
+(** Aggressive/Conservative measured worst ratios vs the Theorem-1, Cao et
+    al. and factor-2 bounds. *)
+
+val e4 : ?cases:(int * int) list -> ?phases:int -> unit -> Tablefmt.t
+(** The Theorem-2 adversarial family vs its asymptotic bounds. *)
+
+val e5_e6 : ?f:int -> ?k:int -> ?n:int -> unit -> Tablefmt.t
+(** The Delay(d) sweep: Theorem-3 bound curve and measured ratios. *)
+
+val e7 : ?n:int -> unit -> Tablefmt.t
+(** Combination vs the classics across the F<<k / F=k / F>>k regimes. *)
+
+val e13 : ?k:int -> ?f:int -> ?n:int -> unit -> Tablefmt.t
+(** Online lookahead degradation (the Section-4 open problem). *)
+
+val all : unit -> Tablefmt.t list

@@ -1,0 +1,66 @@
+(* Measurement harness: run algorithms against exact optima and aggregate
+   elapsed-time / stall-time ratios across workloads and parameters. *)
+
+type algorithm = {
+  name : string;
+  schedule : Instance.t -> Fetch_op.schedule;
+}
+
+let single_disk_algorithms : algorithm list =
+  [ { name = "aggressive"; schedule = Aggressive.schedule };
+    { name = "conservative"; schedule = Conservative.schedule };
+    { name = "combination"; schedule = Combination.schedule } ]
+
+let all_single_disk_algorithms : algorithm list =
+  single_disk_algorithms @ [ { name = "fixed-horizon"; schedule = Fixed_horizon.schedule } ]
+
+let delay_algorithm d = { name = Printf.sprintf "delay(%d)" d; schedule = Delay.schedule ~d }
+
+let elapsed (inst : Instance.t) (alg : algorithm) : int =
+  match Simulate.run inst (alg.schedule inst) with
+  | Ok s -> s.Simulate.elapsed_time
+  | Error e ->
+    failwith (Printf.sprintf "%s: invalid schedule at t=%d: %s" alg.name e.Simulate.at_time
+                e.Simulate.reason)
+
+let stall (inst : Instance.t) (alg : algorithm) : int =
+  match Simulate.run inst (alg.schedule inst) with
+  | Ok s -> s.Simulate.stall_time
+  | Error e ->
+    failwith (Printf.sprintf "%s: invalid schedule at t=%d: %s" alg.name e.Simulate.at_time
+                e.Simulate.reason)
+
+type ratio_stats = {
+  max_ratio : float;
+  mean_ratio : float;
+  samples : int;
+  summary : Stats.summary;  (* full distribution, for detailed reports *)
+}
+
+(* Elapsed-time ratio of [alg] against the exact single-disk optimum over
+   [instances]. *)
+let elapsed_ratios (alg : algorithm) (instances : Instance.t list) : ratio_stats =
+  let ratios =
+    List.map
+      (fun inst ->
+         let a = float_of_int (elapsed inst alg) in
+         let o = float_of_int (Opt_single.elapsed_time inst) in
+         a /. o)
+      instances
+  in
+  let s = Stats.summarize ratios in
+  { max_ratio = (if s.Stats.count = 0 then 0.0 else s.Stats.maximum);
+    mean_ratio = s.Stats.mean;
+    samples = s.Stats.count;
+    summary = s }
+
+(* Standard instance pool: all workload families at several seeds. *)
+let instance_pool ?(seeds = [ 1; 2; 3 ]) ?(n = 120) ?(num_blocks = 12) ~k ~fetch_time () :
+  Instance.t list =
+  List.concat_map
+    (fun (fam : Workload.family) ->
+       List.map
+         (fun seed ->
+            Workload.single_instance ~k ~fetch_time (fam.Workload.generate ~seed ~n ~num_blocks))
+         seeds)
+    Workload.families

@@ -1,0 +1,37 @@
+(** Measurement harness: algorithms against exact optima, aggregated over
+    workloads and parameters. *)
+
+type algorithm = {
+  name : string;
+  schedule : Instance.t -> Fetch_op.schedule;
+}
+
+val single_disk_algorithms : algorithm list
+(** aggressive, conservative, combination (in that order). *)
+
+val all_single_disk_algorithms : algorithm list
+(** {!single_disk_algorithms} plus the Fixed-Horizon baseline. *)
+
+val delay_algorithm : int -> algorithm
+
+val elapsed : Instance.t -> algorithm -> int
+(** @raise Failure if the algorithm emits an invalid schedule. *)
+
+val stall : Instance.t -> algorithm -> int
+(** @raise Failure if the algorithm emits an invalid schedule. *)
+
+type ratio_stats = {
+  max_ratio : float;
+  mean_ratio : float;
+  samples : int;
+  summary : Stats.summary;
+}
+
+val elapsed_ratios : algorithm -> Instance.t list -> ratio_stats
+(** Elapsed-time ratios against the exact single-disk optimum. *)
+
+val instance_pool :
+  ?seeds:int list -> ?n:int -> ?num_blocks:int -> k:int -> fetch_time:int -> unit ->
+  Instance.t list
+(** Every {!Workload.families} member at each seed (defaults: seeds 1-3,
+    n = 120, 12 blocks). *)

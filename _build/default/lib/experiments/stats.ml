@@ -1,0 +1,54 @@
+(* Summary statistics for experiment reporting. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (* population standard deviation *)
+  minimum : float;
+  maximum : float;
+  median : float;
+  p90 : float;
+}
+
+let empty = { count = 0; mean = 0.; stddev = 0.; minimum = 0.; maximum = 0.; median = 0.; p90 = 0. }
+
+(* Linear-interpolation percentile on the sorted sample, q in [0, 1]. *)
+let percentile_sorted (sorted : float array) (q : float) : float =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample"
+  else if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize (xs : float list) : summary =
+  match xs with
+  | [] -> empty
+  | _ ->
+    let arr = Array.of_list xs in
+    Array.sort Float.compare arr;
+    let n = Array.length arr in
+    let fn = float_of_int n in
+    let mean = Array.fold_left ( +. ) 0.0 arr /. fn in
+    let var = Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 arr /. fn in
+    { count = n;
+      mean;
+      stddev = Float.sqrt var;
+      minimum = arr.(0);
+      maximum = arr.(n - 1);
+      median = percentile_sorted arr 0.5;
+      p90 = percentile_sorted arr 0.9 }
+
+let percentile (xs : float list) (q : float) : float =
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q outside [0,1]";
+  let arr = Array.of_list xs in
+  Array.sort Float.compare arr;
+  percentile_sorted arr q
+
+let pp fmt s =
+  Format.fprintf fmt "n=%d mean=%.4f sd=%.4f min=%.4f med=%.4f p90=%.4f max=%.4f" s.count s.mean
+    s.stddev s.minimum s.median s.p90 s.maximum

@@ -1,0 +1,22 @@
+(** Summary statistics for experiment reporting. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** population standard deviation *)
+  minimum : float;
+  maximum : float;
+  median : float;
+  p90 : float;
+}
+
+val empty : summary
+
+val summarize : float list -> summary
+(** [summarize []] is {!empty}. *)
+
+val percentile : float list -> float -> float
+(** Linear-interpolation percentile, [q] in [[0, 1]].
+    @raise Invalid_argument on an empty sample or [q] outside [[0, 1]]. *)
+
+val pp : Format.formatter -> summary -> unit

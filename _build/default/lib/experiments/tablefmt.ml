@@ -1,0 +1,43 @@
+(* Minimal fixed-width ASCII table rendering for experiment reports. *)
+
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ?(notes = []) ~title ~headers rows = { title; headers; rows; notes }
+
+let render (t : t) : string =
+  let all = t.headers :: t.rows in
+  let ncols = List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+       List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row)
+    all;
+  let pad i s = s ^ String.make (widths.(i) - String.length s) ' ' in
+  let render_row row =
+    let cells = List.mapi pad row in
+    let missing = ncols - List.length row in
+    let cells = cells @ List.init missing (fun j -> String.make widths.(List.length row + j) ' ') in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "+" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (t.title ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.add_string buf (render_row t.headers ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (render_row r ^ "\n")) t.rows;
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun n -> Buffer.add_string buf ("  note: " ^ n ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let f2 x = Printf.sprintf "%.3f" x
+let f3 x = Printf.sprintf "%.4f" x

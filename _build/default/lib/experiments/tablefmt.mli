@@ -1,0 +1,18 @@
+(** Fixed-width ASCII tables for experiment reports. *)
+
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make : ?notes:string list -> title:string -> headers:string list -> string list list -> t
+val render : t -> string
+val print : t -> unit
+
+val f2 : float -> string
+(** 3 decimal places. *)
+
+val f3 : float -> string
+(** 4 decimal places. *)

@@ -1,0 +1,279 @@
+(* Classic (pure) paging algorithms.
+
+   These operate in the demand-paging model with unit-cost misses and no
+   timing: they only decide *which* block to evict on each miss.  The
+   integrated-prefetching algorithm Conservative (Cao et al.) is defined as
+   "perform exactly the same replacements as Belady's MIN, fetching at the
+   earliest consistent time", so MIN's replacement sequence is a first-class
+   object here.  LRU and FIFO are included as context baselines and for
+   tests (MIN must never miss more than either). *)
+
+type replacement = {
+  position : int;  (* 0-based index of the missed request *)
+  fetched : Instance.block;
+  evicted : Instance.block option;  (* None while the cache is not full *)
+}
+
+type result = {
+  replacements : replacement list;  (* in request order *)
+  misses : int;
+  final_cache : Instance.block list;
+}
+
+let run_generic ~choose_victim (inst : Instance.t) : result =
+  let n = Instance.length inst in
+  let num_blocks = Instance.num_blocks inst in
+  let k = inst.Instance.cache_size in
+  let in_cache = Array.make num_blocks false in
+  let cache = ref [] in
+  (* [cache] mirrors [in_cache] as a list for victim selection. *)
+  List.iter
+    (fun b ->
+       in_cache.(b) <- true;
+       cache := b :: !cache)
+    inst.Instance.initial_cache;
+  let replacements = ref [] in
+  let misses = ref 0 in
+  for i = 0 to n - 1 do
+    let b = inst.Instance.seq.(i) in
+    if not in_cache.(b) then begin
+      incr misses;
+      let evicted =
+        if List.length !cache < k then None
+        else begin
+          let v = choose_victim ~position:i ~cache:!cache in
+          in_cache.(v) <- false;
+          cache := List.filter (fun x -> x <> v) !cache;
+          Some v
+        end
+      in
+      in_cache.(b) <- true;
+      cache := b :: !cache;
+      replacements := { position = i; fetched = b; evicted } :: !replacements
+    end;
+    (* Notify policies that care about access order. *)
+    ()
+  done;
+  { replacements = List.rev !replacements; misses = !misses; final_cache = List.sort compare !cache }
+
+(* Belady's MIN: evict the cached block whose next reference is furthest in
+   the future (never-again blocks first; ties broken by smallest id for
+   determinism). *)
+let min_offline (inst : Instance.t) : result =
+  let nr = Next_ref.of_instance inst in
+  let choose_victim ~position ~cache =
+    let score b = Next_ref.next_at_or_after nr b position in
+    List.fold_left
+      (fun best b ->
+         let sb = score b and sbest = score best in
+         if sb > sbest || (sb = sbest && b < best) then b else best)
+      (List.hd cache) (List.tl cache)
+  in
+  run_generic ~choose_victim inst
+
+(* LRU needs access recency, so it does not fit [run_generic]'s stateless
+   victim choice; implement directly. *)
+let lru (inst : Instance.t) : result =
+  let n = Instance.length inst in
+  let num_blocks = Instance.num_blocks inst in
+  let k = inst.Instance.cache_size in
+  let last_use = Array.make num_blocks (-1) in
+  let in_cache = Array.make num_blocks false in
+  let cache = ref [] in
+  List.iter
+    (fun b ->
+       in_cache.(b) <- true;
+       cache := b :: !cache)
+    inst.Instance.initial_cache;
+  let replacements = ref [] in
+  let misses = ref 0 in
+  for i = 0 to n - 1 do
+    let b = inst.Instance.seq.(i) in
+    if not in_cache.(b) then begin
+      incr misses;
+      let evicted =
+        if List.length !cache < k then None
+        else begin
+          let v =
+            List.fold_left
+              (fun best x ->
+                 if last_use.(x) < last_use.(best)
+                 || (last_use.(x) = last_use.(best) && x < best)
+                 then x
+                 else best)
+              (List.hd !cache) (List.tl !cache)
+          in
+          in_cache.(v) <- false;
+          cache := List.filter (fun x -> x <> v) !cache;
+          Some v
+        end
+      in
+      in_cache.(b) <- true;
+      cache := b :: !cache;
+      replacements := { position = i; fetched = b; evicted } :: !replacements
+    end;
+    last_use.(b) <- i
+  done;
+  { replacements = List.rev !replacements; misses = !misses; final_cache = List.sort compare !cache }
+
+let fifo (inst : Instance.t) : result =
+  let num_blocks = Instance.num_blocks inst in
+  let arrival = Array.make num_blocks (-1) in
+  (* Initial blocks arrived "before time 0", in list order. *)
+  List.iteri (fun i b -> arrival.(b) <- i - List.length inst.Instance.initial_cache) inst.Instance.initial_cache;
+  let counter = ref 0 in
+  let choose_victim ~position:_ ~cache =
+    List.fold_left
+      (fun best x ->
+         if arrival.(x) < arrival.(best) || (arrival.(x) = arrival.(best) && x < best) then x
+         else best)
+      (List.hd cache) (List.tl cache)
+  in
+  let inst' = inst in
+  (* Wrap run_generic but update arrival stamps on misses: we re-run with a
+     victim chooser that reads [arrival]; stamps are written here by
+     intercepting replacements as they are produced.  Simplest correct way:
+     replicate the loop. *)
+  let n = Instance.length inst' in
+  let k = inst'.Instance.cache_size in
+  let in_cache = Array.make num_blocks false in
+  let cache = ref [] in
+  List.iter
+    (fun b ->
+       in_cache.(b) <- true;
+       cache := b :: !cache)
+    inst'.Instance.initial_cache;
+  let replacements = ref [] in
+  let misses = ref 0 in
+  for i = 0 to n - 1 do
+    let b = inst'.Instance.seq.(i) in
+    if not in_cache.(b) then begin
+      incr misses;
+      let evicted =
+        if List.length !cache < k then None
+        else begin
+          let v = choose_victim ~position:i ~cache:!cache in
+          in_cache.(v) <- false;
+          cache := List.filter (fun x -> x <> v) !cache;
+          Some v
+        end
+      in
+      in_cache.(b) <- true;
+      arrival.(b) <- !counter;
+      incr counter;
+      cache := b :: !cache;
+      replacements := { position = i; fetched = b; evicted } :: !replacements
+    end
+  done;
+  { replacements = List.rev !replacements; misses = !misses; final_cache = List.sort compare !cache }
+
+(* CLOCK (second-chance): the classic practical LRU approximation.  Each
+   resident block has a reference bit; the hand sweeps circularly, clearing
+   bits until it finds an unreferenced victim. *)
+let clock (inst : Instance.t) : result =
+  let n = Instance.length inst in
+  let num_blocks = Instance.num_blocks inst in
+  let k = inst.Instance.cache_size in
+  let in_cache = Array.make num_blocks false in
+  let refbit = Array.make num_blocks false in
+  let frames = Array.make k (-1) in
+  let hand = ref 0 in
+  let used = ref 0 in
+  List.iteri
+    (fun i b ->
+       in_cache.(b) <- true;
+       frames.(i) <- b;
+       incr used)
+    inst.Instance.initial_cache;
+  let replacements = ref [] in
+  let misses = ref 0 in
+  for i = 0 to n - 1 do
+    let b = inst.Instance.seq.(i) in
+    if in_cache.(b) then refbit.(b) <- true
+    else begin
+      incr misses;
+      let evicted =
+        if !used < k then begin
+          frames.(!used) <- b;
+          incr used;
+          None
+        end
+        else begin
+          (* Sweep until a frame with a clear bit is found. *)
+          let rec sweep () =
+            let v = frames.(!hand) in
+            if refbit.(v) then begin
+              refbit.(v) <- false;
+              hand := (!hand + 1) mod k;
+              sweep ()
+            end
+            else begin
+              in_cache.(v) <- false;
+              frames.(!hand) <- b;
+              hand := (!hand + 1) mod k;
+              v
+            end
+          in
+          Some (sweep ())
+        end
+      in
+      in_cache.(b) <- true;
+      refbit.(b) <- true;
+      replacements := { position = i; fetched = b; evicted } :: !replacements
+    end
+  done;
+  let final = Array.to_list (Array.sub frames 0 !used) |> List.filter (fun b -> b >= 0) in
+  { replacements = List.rev !replacements; misses = !misses; final_cache = List.sort compare final }
+
+(* The randomized MARKING algorithm (Fiat et al.): O(log k)-competitive.
+   Blocks are marked on access; on a miss with a full cache, a uniformly
+   random unmarked block is evicted; when everything is marked a new phase
+   begins with all marks cleared. *)
+let marking ?(seed = 1) (inst : Instance.t) : result =
+  let st = Random.State.make [| seed; 0x6d61726b |] in
+  let n = Instance.length inst in
+  let num_blocks = Instance.num_blocks inst in
+  let k = inst.Instance.cache_size in
+  let in_cache = Array.make num_blocks false in
+  let marked = Array.make num_blocks false in
+  let cache = ref [] in
+  List.iter
+    (fun b ->
+       in_cache.(b) <- true;
+       cache := b :: !cache)
+    inst.Instance.initial_cache;
+  let replacements = ref [] in
+  let misses = ref 0 in
+  for i = 0 to n - 1 do
+    let b = inst.Instance.seq.(i) in
+    if not in_cache.(b) then begin
+      incr misses;
+      let evicted =
+        if List.length !cache < k then None
+        else begin
+          let unmarked () = List.filter (fun x -> not marked.(x)) !cache in
+          (* New phase when everything is marked. *)
+          let candidates =
+            match unmarked () with
+            | [] ->
+              List.iter (fun x -> marked.(x) <- false) !cache;
+              unmarked ()
+            | l -> l
+          in
+          let v = List.nth candidates (Random.State.int st (List.length candidates)) in
+          in_cache.(v) <- false;
+          cache := List.filter (fun x -> x <> v) !cache;
+          Some v
+        end
+      in
+      in_cache.(b) <- true;
+      cache := b :: !cache;
+      replacements := { position = i; fetched = b; evicted } :: !replacements
+    end;
+    marked.(b) <- true
+  done;
+  { replacements = List.rev !replacements; misses = !misses; final_cache = List.sort compare !cache }
+
+let pp_replacement fmt r =
+  Format.fprintf fmt "@@r%d fetch b%d evict %s" (r.position + 1) r.fetched
+    (match r.evicted with None -> "-" | Some b -> "b" ^ string_of_int b)

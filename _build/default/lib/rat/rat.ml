@@ -1,0 +1,222 @@
+(* Normalized rationals: positive denominator, gcd(num, den) = 1, zero is
+   canonically 0/1.
+
+   Performance: LP pivoting performs tens of millions of rational
+   operations, and in the prefetching/caching LPs almost all values are
+   tiny fractions.  We therefore use a two-level representation: a [Small]
+   constructor holding native ints (fast path, no allocation beyond the
+   pair) and a [Big] constructor over {!Bigint} used only when intermediate
+   values overflow the small range.  Results are demoted back to [Small]
+   whenever they fit, so equality remains structural. *)
+
+module B = Bigint
+
+(* Bounds chosen so that cross products in add/compare cannot overflow
+   63-bit native ints: with |num| <= 2^30 and den <= 2^30, the quantity
+   a.num * b.den + b.num * a.den is at most 2^61 < 2^62. *)
+let small_bound = 1 lsl 30
+
+type t =
+  | Small of int * int  (* num, den: den > 0, coprime, both < small_bound in magnitude *)
+  | Big of B.t * B.t    (* num, den: den > 0, coprime *)
+
+let rec int_gcd a b = if b = 0 then a else int_gcd b (a mod b)
+
+let int_gcd a b = int_gcd (abs a) (abs b)
+
+let fits n = n > -small_bound && n < small_bound
+
+let demote num den =
+  (* num/den normalized bigints with den > 0; build canonical value. *)
+  match (B.to_int_opt num, B.to_int_opt den) with
+  | Some n, Some d when fits n && fits d -> Small (n, d)
+  | _ -> Big (num, den)
+
+let normalize_big num den =
+  if B.is_zero den then raise Division_by_zero
+  else if B.is_zero num then Small (0, 1)
+  else begin
+    let num, den = if B.is_negative den then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    if B.is_one g then demote num den else demote (B.div num g) (B.div den g)
+  end
+
+(* Normalize a small pair that may be unreduced / have negative denominator.
+   Inputs must be exact (no prior overflow). *)
+let normalize_small num den =
+  if den = 0 then raise Division_by_zero
+  else if num = 0 then Small (0, 1)
+  else begin
+    let num, den = if den < 0 then (-num, -den) else (num, den) in
+    let g = int_gcd num den in
+    let num = num / g and den = den / g in
+    if fits num && fits den then Small (num, den) else Big (B.of_int num, B.of_int den)
+  end
+
+let make num den = normalize_big num den
+
+let zero = Small (0, 1)
+let one = Small (1, 1)
+let two = Small (2, 1)
+let minus_one = Small (-1, 1)
+let half = Small (1, 2)
+
+let of_int n = if fits n then Small (n, 1) else Big (B.of_int n, B.one)
+
+let of_ints p q =
+  if q = 0 then raise Division_by_zero
+  else if fits p && fits q then normalize_small p q
+  else normalize_big (B.of_int p) (B.of_int q)
+
+let of_bigint n = demote n B.one
+
+let num = function Small (n, _) -> B.of_int n | Big (n, _) -> n
+let den = function Small (_, d) -> B.of_int d | Big (_, d) -> d
+
+let sign = function Small (n, _) -> compare n 0 | Big (n, _) -> B.sign n
+let is_zero = function Small (0, _) -> true | Small _ -> false | Big (n, _) -> B.is_zero n
+let is_integer = function Small (_, 1) -> true | Small _ -> false | Big (_, d) -> B.is_one d
+
+let to_bigint_opt x = if is_integer x then Some (num x) else None
+
+let to_int_exn x =
+  match x with
+  | Small (n, 1) -> n
+  | Small _ -> failwith "Rat.to_int_exn: not an integer"
+  | Big (n, d) ->
+    if B.is_one d then B.to_int n else failwith "Rat.to_int_exn: not an integer"
+
+let to_float = function
+  | Small (n, d) -> float_of_int n /. float_of_int d
+  | Big (n, d) -> B.to_float n /. B.to_float d
+
+let compare a b =
+  match (a, b) with
+  | Small (n1, d1), Small (n2, d2) ->
+    (* |n*d| <= 2^60, safe. *)
+    compare (n1 * d2) (n2 * d1)
+  | _ -> B.compare (B.mul (num a) (den b)) (B.mul (num b) (den a))
+
+let equal a b =
+  match (a, b) with
+  | Small (n1, d1), Small (n2, d2) -> n1 = n2 && d1 = d2
+  | Big (n1, d1), Big (n2, d2) -> B.equal n1 n2 && B.equal d1 d2
+  | Small _, Big _ | Big _, Small _ -> false
+(* Canonical forms make mixed comparisons always unequal: a Big value by
+   construction does not fit in Small. *)
+
+let lt a b = compare a b < 0
+let le a b = compare a b <= 0
+let gt a b = compare a b > 0
+let ge a b = compare a b >= 0
+let min a b = if le a b then a else b
+let max a b = if ge a b then a else b
+
+let hash = function
+  | Small (n, d) -> (n * 31) lxor d
+  | Big (n, d) -> (B.hash n * 31) lxor B.hash d
+
+let neg = function
+  | Small (n, d) -> Small (-n, d)
+  | Big (n, d) -> Big (B.neg n, d)
+
+let abs x = if sign x < 0 then neg x else x
+
+let add a b =
+  match (a, b) with
+  | Small (0, _), _ -> b
+  | _, Small (0, _) -> a
+  | Small (n1, d1), Small (n2, d2) ->
+    (* Exact in 63-bit ints: |n1*d2 + n2*d1| <= 2^61, d1*d2 <= 2^60. *)
+    normalize_small ((n1 * d2) + (n2 * d1)) (d1 * d2)
+  | _ ->
+    let n = B.add (B.mul (num a) (den b)) (B.mul (num b) (den a)) in
+    normalize_big n (B.mul (den a) (den b))
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  match (a, b) with
+  | Small (0, _), _ | _, Small (0, _) -> zero
+  | Small (n1, d1), Small (n2, d2) ->
+    (* Cross-reduce first so the products are as small as possible; they are
+       exact in any case (<= 2^60). *)
+    let g1 = int_gcd n1 d2 and g2 = int_gcd n2 d1 in
+    let n = (n1 / g1) * (n2 / g2) and d = (d1 / g2) * (d2 / g1) in
+    if fits n && fits d then Small (n, d) else Big (B.of_int n, B.of_int d)
+  | _ ->
+    let an = num a and ad = den a and bn = num b and bd = den b in
+    if B.is_zero an || B.is_zero bn then zero
+    else begin
+      let g1 = B.gcd an bd and g2 = B.gcd bn ad in
+      demote (B.mul (B.div an g1) (B.div bn g2)) (B.mul (B.div ad g2) (B.div bd g1))
+    end
+
+let inv = function
+  | Small (0, _) -> raise Division_by_zero
+  | Small (n, d) -> if n < 0 then Small (-d, -n) else Small (d, n)
+  | Big (n, d) ->
+    if B.is_negative n then Big (B.neg d, B.neg n) else Big (d, n)
+
+let div a b = mul a (inv b)
+
+let add_int x n = add x (of_int n)
+let mul_int x n = mul x (of_int n)
+
+let floor x =
+  match x with
+  | Small (n, d) ->
+    let q = n / d and r = n mod d in
+    B.of_int (if r < 0 then q - 1 else q)
+  | Big (n, d) ->
+    let q, r = B.divmod n d in
+    if B.is_negative r then B.pred q else q
+
+let ceil x = B.neg (floor (neg x))
+
+let fractional x = sub x (of_bigint (floor x))
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) = lt
+  let ( <= ) = le
+  let ( > ) = gt
+  let ( >= ) = ge
+end
+
+let to_string x =
+  if is_integer x then B.to_string (num x)
+  else B.to_string (num x) ^ "/" ^ B.to_string (den x)
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let p = B.of_string (String.sub s 0 i) in
+    let q = B.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make p q
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> of_bigint (B.of_string s)
+     | Some i ->
+       let int_part = String.sub s 0 i in
+       let frac_part = String.sub s (i + 1) (String.length s - i - 1) in
+       if frac_part = "" then of_bigint (B.of_string int_part)
+       else begin
+         let negative = String.length int_part > 0 && int_part.[0] = '-' in
+         let scale = B.pow (B.of_int 10) (String.length frac_part) in
+         let ip =
+           if int_part = "" || int_part = "-" || int_part = "+" then B.zero
+           else B.of_string int_part
+         in
+         let fp = B.of_string frac_part in
+         let n = B.add (B.mul (B.abs ip) scale) fp in
+         let n = if negative then B.neg n else n in
+         make n scale
+       end)

@@ -1,0 +1,104 @@
+(** Exact rational numbers over {!module:Ipc_bigint.Bigint}.
+
+    Values are kept normalized: the denominator is strictly positive and
+    coprime with the numerator, and zero is represented as [0/1].  Structural
+    equality therefore coincides with numerical equality.
+
+    This is the number type of the exact simplex solver used to compute
+    optimal (fractional) prefetching/caching schedules: LP pivoting over
+    rationals is what lets the reproduction check the paper's stall-time
+    bounds without floating-point tolerances. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+val half : t
+
+(** {1 Construction} *)
+
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints p q] is the rational [p/q].
+    @raise Division_by_zero if [q = 0]. *)
+
+val of_bigint : Bigint.t -> t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] normalizes [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+
+val of_string : string -> t
+(** Accepts ["p"], ["p/q"] and decimal notation ["d.ddd"].
+    @raise Invalid_argument on malformed input. *)
+
+(** {1 Accessors} *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+val to_float : t -> float
+
+val to_int_exn : t -> int
+(** @raise Failure if the value is not an integer fitting in [int]. *)
+
+val is_integer : t -> bool
+val to_bigint_opt : t -> Bigint.t option
+
+(** {1 Predicates and comparisons} *)
+
+val sign : t -> int
+val is_zero : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val add_int : t -> int -> t
+val mul_int : t -> int -> t
+
+val floor : t -> Bigint.t
+val ceil : t -> Bigint.t
+val fractional : t -> t
+(** [fractional x = x - floor x], in [[0, 1)]. *)
+
+(** {1 Infix operators} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/simplex/ilp.ml: Array List Lp_problem Rat Simplex

@@ -1,0 +1,1 @@
+lib/simplex/ilp.mli: Lp_problem

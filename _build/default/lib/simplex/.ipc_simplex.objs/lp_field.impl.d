@@ -1,0 +1,1 @@
+lib/simplex/lp_field.ml: Float Format Rat

@@ -1,0 +1,1 @@
+lib/simplex/lp_problem.ml: Array Format Hashtbl List Printf Rat Result

@@ -1,0 +1,1 @@
+lib/simplex/lp_problem.mli: Format Rat Result

@@ -1,0 +1,1 @@
+lib/simplex/rat_linalg.ml: Array Bigint Rat

@@ -1,0 +1,1 @@
+lib/simplex/simplex.ml: Array Float List Lp_field Lp_problem Rat Rat_linalg

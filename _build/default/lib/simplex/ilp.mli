@@ -1,0 +1,25 @@
+(** Small exact 0-1 integer programming by branch and bound over the
+    hybrid LP solver (minimization).
+
+    Branches on the most fractional binary variable, exploring the side the
+    relaxation leans towards first; prunes on the exact relaxation bound.
+    Used to compute certified optimal integral synchronized schedules
+    ({!Sync_ilp}) as an independent witness for the rounding pipeline. *)
+
+type outcome = {
+  result : Lp_problem.result;
+  nodes_explored : int;
+  proved_optimal : bool;  (** false iff the node budget was exhausted *)
+}
+
+val solve :
+  ?binary:int list ->
+  ?node_limit:int ->
+  ?solver:(Lp_problem.t -> Lp_problem.result) ->
+  Lp_problem.t ->
+  outcome
+(** [binary] defaults to all variables (each must carry a [<= 1] row in
+    the problem); [node_limit] defaults to 5000; [solver] defaults to
+    {!Simplex.solve_exact}.
+    @raise Failure if a relaxation is unbounded (a modelling error for
+    0-1 programs). *)

@@ -1,0 +1,62 @@
+(* Number fields the simplex solver can pivot over.
+
+   The solver is written as a functor so the same code runs over exact
+   rationals (reference, used to certify stall-time optimality claims) and
+   over floats (fast path; see the hybrid driver in {!Simplex.solve_exact}).
+   The only subtlety is [is_zero]/sign tests: exact for rationals, but
+   tolerance-based for floats. *)
+
+module type FIELD = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_rat : Rat.t -> t
+  val to_float : t -> float
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val compare : t -> t -> int
+
+  val is_zero : t -> bool
+  (** Whether the value should be treated as exactly zero by pivoting. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Rat_field : FIELD with type t = Rat.t = struct
+  type t = Rat.t
+
+  let zero = Rat.zero
+  let one = Rat.one
+  let of_rat x = x
+  let to_float = Rat.to_float
+  let add = Rat.add
+  let sub = Rat.sub
+  let mul = Rat.mul
+  let div = Rat.div
+  let neg = Rat.neg
+  let compare = Rat.compare
+  let is_zero = Rat.is_zero
+  let pp = Rat.pp
+end
+
+module Float_field : FIELD with type t = float = struct
+  type t = float
+
+  let eps = 1e-9
+  let zero = 0.0
+  let one = 1.0
+  let of_rat = Rat.to_float
+  let to_float x = x
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let neg x = -.x
+  let compare a b = if Float.abs (a -. b) <= eps then 0 else Float.compare a b
+  let is_zero x = Float.abs x <= eps
+  let pp fmt x = Format.fprintf fmt "%.12g" x
+end

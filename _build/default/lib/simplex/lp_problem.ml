@@ -1,0 +1,127 @@
+(* Field-independent LP problem description.
+
+   All coefficients are exact rationals; solvers convert to their own field.
+   Variables are indexed 0 .. num_vars-1 and implicitly constrained to be
+   non-negative (which matches the prefetching/caching LPs: every variable is
+   a relaxed 0-1 indicator with an explicit <= 1 row where needed). *)
+
+type relation = Le | Ge | Eq
+
+type direction = Minimize | Maximize
+
+type row = {
+  coeffs : (int * Rat.t) list;  (* sparse: (variable index, coefficient) *)
+  relation : relation;
+  rhs : Rat.t;
+}
+
+type t = {
+  direction : direction;
+  num_vars : int;
+  objective : (int * Rat.t) list;
+  rows : row list;
+  names : string array;  (* one per variable, for diagnostics *)
+}
+
+type result =
+  | Optimal of { objective_value : Rat.t; values : Rat.t array }
+  | Infeasible
+  | Unbounded
+
+(* ------------------------------------------------------------------ *)
+(* Builder: accumulate variables and rows imperatively, then freeze. *)
+
+module Builder = struct
+  type state = {
+    mutable next_var : int;
+    mutable b_names : string list;  (* reversed *)
+    mutable b_rows : row list;      (* reversed *)
+    mutable b_objective : (int * Rat.t) list;
+    b_direction : direction;
+  }
+
+  let create ?(direction = Minimize) () =
+    { next_var = 0; b_names = []; b_rows = []; b_objective = []; b_direction = direction }
+
+  let add_var b name =
+    let v = b.next_var in
+    b.next_var <- v + 1;
+    b.b_names <- name :: b.b_names;
+    v
+
+  let add_row b coeffs relation rhs =
+    (* Merge duplicate variable indices so solvers can assume unique keys. *)
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (v, c) ->
+         let prev = try Hashtbl.find tbl v with Not_found -> Rat.zero in
+         Hashtbl.replace tbl v (Rat.add prev c))
+      coeffs;
+    let coeffs =
+      Hashtbl.fold (fun v c acc -> if Rat.is_zero c then acc else (v, c) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    b.b_rows <- { coeffs; relation; rhs } :: b.b_rows
+
+  let set_objective b coeffs = b.b_objective <- coeffs
+
+  let freeze b =
+    { direction = b.b_direction;
+      num_vars = b.next_var;
+      objective = b.b_objective;
+      rows = List.rev b.b_rows;
+      names = Array.of_list (List.rev b.b_names) }
+end
+
+let num_rows p = List.length p.rows
+
+let pp_relation fmt = function
+  | Le -> Format.pp_print_string fmt "<="
+  | Ge -> Format.pp_print_string fmt ">="
+  | Eq -> Format.pp_print_string fmt "="
+
+let pp fmt p =
+  let pp_terms fmt coeffs =
+    if coeffs = [] then Format.pp_print_string fmt "0"
+    else
+      List.iteri
+        (fun i (v, c) ->
+           if i > 0 then Format.pp_print_string fmt " + ";
+           Format.fprintf fmt "%a*%s" Rat.pp c p.names.(v))
+        coeffs
+  in
+  Format.fprintf fmt "%s %a@."
+    (match p.direction with Minimize -> "minimize" | Maximize -> "maximize")
+    pp_terms p.objective;
+  List.iter
+    (fun r -> Format.fprintf fmt "  %a %a %a@." pp_terms r.coeffs pp_relation r.relation Rat.pp r.rhs)
+    p.rows
+
+(* Exact feasibility check of an assignment against the problem, used by
+   tests and by the hybrid solver's certificate step. *)
+let check_feasible p (values : Rat.t array) : (unit, string) Result.t =
+  let exception Bad of string in
+  try
+    if Array.length values <> p.num_vars then raise (Bad "wrong arity");
+    Array.iteri
+      (fun i v ->
+         if Rat.sign v < 0 then raise (Bad (Printf.sprintf "variable %s negative" p.names.(i))))
+      values;
+    List.iteri
+      (fun i r ->
+         let lhs =
+           List.fold_left (fun acc (v, c) -> Rat.add acc (Rat.mul c values.(v))) Rat.zero r.coeffs
+         in
+         let ok =
+           match r.relation with
+           | Le -> Rat.le lhs r.rhs
+           | Ge -> Rat.ge lhs r.rhs
+           | Eq -> Rat.equal lhs r.rhs
+         in
+         if not ok then raise (Bad (Printf.sprintf "row %d violated" i)))
+      p.rows;
+    Ok ()
+  with Bad msg -> Error msg
+
+let objective_value p (values : Rat.t array) =
+  List.fold_left (fun acc (v, c) -> Rat.add acc (Rat.mul c values.(v))) Rat.zero p.objective

@@ -1,0 +1,55 @@
+(** Field-independent linear-program description.
+
+    Coefficients are exact rationals; solvers convert to their own field.
+    Variables are indexed [0 .. num_vars - 1] and implicitly non-negative,
+    matching the prefetching/caching LPs where every variable is a relaxed
+    0-1 indicator (explicit [<= 1] rows are added where needed). *)
+
+type relation = Le | Ge | Eq
+type direction = Minimize | Maximize
+
+type row = {
+  coeffs : (int * Rat.t) list;  (** sparse (variable, coefficient), unique keys *)
+  relation : relation;
+  rhs : Rat.t;
+}
+
+type t = {
+  direction : direction;
+  num_vars : int;
+  objective : (int * Rat.t) list;
+  rows : row list;
+  names : string array;  (** one per variable, for diagnostics *)
+}
+
+type result =
+  | Optimal of { objective_value : Rat.t; values : Rat.t array }
+  | Infeasible
+  | Unbounded
+
+(** Imperative accumulation of variables and rows. *)
+module Builder : sig
+  type state
+
+  val create : ?direction:direction -> unit -> state
+  (** Default direction: [Minimize]. *)
+
+  val add_var : state -> string -> int
+  (** Returns the new variable's index. *)
+
+  val add_row : state -> (int * Rat.t) list -> relation -> Rat.t -> unit
+  (** Duplicate variable entries in the coefficient list are merged. *)
+
+  val set_objective : state -> (int * Rat.t) list -> unit
+  val freeze : state -> t
+end
+
+val num_rows : t -> int
+val pp_relation : Format.formatter -> relation -> unit
+val pp : Format.formatter -> t -> unit
+
+val check_feasible : t -> Rat.t array -> (unit, string) Result.t
+(** Exact feasibility check of an assignment (used by tests and by the
+    hybrid solver's certificate step). *)
+
+val objective_value : t -> Rat.t array -> Rat.t

@@ -1,0 +1,92 @@
+(* Dense exact linear algebra over rationals.
+
+   Used by the hybrid LP driver to certify a float-simplex basis: solving
+   [B x = b] and [B^T y = c_B] exactly recovers the rational vertex and its
+   dual, from which optimality is checked without tolerances. *)
+
+(* Solve [m x = b] by Gaussian elimination with a pivot heuristic that
+   prefers structurally simple entries (±1 first, then smallest numerator)
+   to limit coefficient growth.  Returns [None] when the matrix is
+   singular.  [m] and [b] are not modified. *)
+let solve (m : Rat.t array array) (b : Rat.t array) : Rat.t array option =
+  let n = Array.length m in
+  if n = 0 then Some [||]
+  else begin
+    assert (Array.length b = n);
+    let a = Array.init n (fun i -> Array.copy m.(i)) in
+    let rhs = Array.copy b in
+    let exception Singular in
+    try
+      for col = 0 to n - 1 do
+        (* Pick the "nicest" nonzero pivot in this column at or below [col]. *)
+        let best = ref (-1) in
+        let best_score = ref max_int in
+        for row = col to n - 1 do
+          let v = a.(row).(col) in
+          if not (Rat.is_zero v) then begin
+            let score =
+              if Rat.equal (Rat.abs v) Rat.one then 0
+              else Bigint.num_bits (Rat.num v) + Bigint.num_bits (Rat.den v)
+            in
+            if score < !best_score then begin
+              best_score := score;
+              best := row
+            end
+          end
+        done;
+        if !best < 0 then raise Singular;
+        if !best <> col then begin
+          let t = a.(col) in
+          a.(col) <- a.(!best);
+          a.(!best) <- t;
+          let t = rhs.(col) in
+          rhs.(col) <- rhs.(!best);
+          rhs.(!best) <- t
+        end;
+        let pivot = a.(col).(col) in
+        for row = col + 1 to n - 1 do
+          let factor = a.(row).(col) in
+          if not (Rat.is_zero factor) then begin
+            let f = Rat.div factor pivot in
+            a.(row).(col) <- Rat.zero;
+            for j = col + 1 to n - 1 do
+              if not (Rat.is_zero a.(col).(j)) then
+                a.(row).(j) <- Rat.sub a.(row).(j) (Rat.mul f a.(col).(j))
+            done;
+            rhs.(row) <- Rat.sub rhs.(row) (Rat.mul f rhs.(col))
+          end
+        done
+      done;
+      (* Back substitution. *)
+      let x = Array.make n Rat.zero in
+      for row = n - 1 downto 0 do
+        let s = ref rhs.(row) in
+        for j = row + 1 to n - 1 do
+          if not (Rat.is_zero a.(row).(j)) then s := Rat.sub !s (Rat.mul a.(row).(j) x.(j))
+        done;
+        x.(row) <- Rat.div !s a.(row).(row)
+      done;
+      Some x
+    with Singular -> None
+  end
+
+let transpose (m : Rat.t array array) : Rat.t array array =
+  let n = Array.length m in
+  if n = 0 then [||]
+  else Array.init (Array.length m.(0)) (fun j -> Array.init n (fun i -> m.(i).(j)))
+
+let solve_transposed m b = solve (transpose m) b
+
+(* Matrix-vector product, used in residual checks and reduced costs. *)
+let mat_vec (m : Rat.t array array) (x : Rat.t array) : Rat.t array =
+  Array.map
+    (fun row ->
+       let s = ref Rat.zero in
+       Array.iteri (fun j v -> if not (Rat.is_zero v) then s := Rat.add !s (Rat.mul v x.(j))) row;
+       !s)
+    m
+
+let dot (a : Rat.t array) (b : Rat.t array) : Rat.t =
+  let s = ref Rat.zero in
+  Array.iteri (fun i v -> if not (Rat.is_zero v) then s := Rat.add !s (Rat.mul v b.(i))) a;
+  !s

@@ -1,0 +1,14 @@
+(** Dense exact linear algebra over rationals.
+
+    Used by the hybrid LP driver to certify a float-simplex basis: solving
+    [B x = b] and [B^T y = c_B] exactly recovers the rational vertex and
+    its dual, from which optimality is checked without tolerances. *)
+
+val solve : Rat.t array array -> Rat.t array -> Rat.t array option
+(** Gaussian elimination with a simplest-pivot heuristic; [None] when the
+    matrix is singular.  Inputs are not modified. *)
+
+val transpose : Rat.t array array -> Rat.t array array
+val solve_transposed : Rat.t array array -> Rat.t array -> Rat.t array option
+val mat_vec : Rat.t array array -> Rat.t array -> Rat.t array
+val dot : Rat.t array -> Rat.t array -> Rat.t

@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Array Fun Instance List Printf String

@@ -1,0 +1,84 @@
+(* Text format for instances and traces, so experiments can be saved,
+   shared and replayed outside the generators.
+
+   Format (line-oriented, '#' comments):
+
+     # integrated prefetching/caching instance
+     k 4
+     f 4
+     disks 2
+     layout 0 0 0 0 1 1 1        # block -> disk (optional; default all 0)
+     init 0 1 4 5                # initial cache (optional; default warm)
+     seq 0 1 4 5 2 6 3
+*)
+
+let save_instance (path : string) (inst : Instance.t) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+       Printf.fprintf oc "# integrated prefetching/caching instance\n";
+       Printf.fprintf oc "k %d\n" inst.Instance.cache_size;
+       Printf.fprintf oc "f %d\n" inst.Instance.fetch_time;
+       Printf.fprintf oc "disks %d\n" inst.Instance.num_disks;
+       Printf.fprintf oc "layout %s\n"
+         (String.concat " " (Array.to_list (Array.map string_of_int inst.Instance.disk_of)));
+       Printf.fprintf oc "init %s\n"
+         (String.concat " " (List.map string_of_int inst.Instance.initial_cache));
+       Printf.fprintf oc "seq %s\n"
+         (String.concat " " (Array.to_list (Array.map string_of_int inst.Instance.seq))))
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let load_instance (path : string) : Instance.t =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+       let k = ref None and f = ref None and disks = ref 1 in
+       let layout = ref None and init = ref None and seq = ref None in
+       let ints rest =
+         String.split_on_char ' ' rest
+         |> List.filter (fun s -> s <> "")
+         |> List.map (fun s ->
+             match int_of_string_opt s with
+             | Some v -> v
+             | None -> parse_error "not an integer: %s" s)
+       in
+       (try
+          while true do
+            let line = String.trim (input_line ic) in
+            if line = "" || line.[0] = '#' then ()
+            else begin
+              let line =
+                match String.index_opt line '#' with
+                | Some i -> String.trim (String.sub line 0 i)
+                | None -> line
+              in
+              match String.index_opt line ' ' with
+              | None -> parse_error "malformed line: %s" line
+              | Some i ->
+                let key = String.sub line 0 i in
+                let rest = String.sub line (i + 1) (String.length line - i - 1) in
+                (match key with
+                 | "k" -> k := Some (int_of_string (String.trim rest))
+                 | "f" -> f := Some (int_of_string (String.trim rest))
+                 | "disks" -> disks := int_of_string (String.trim rest)
+                 | "layout" -> layout := Some (Array.of_list (ints rest))
+                 | "init" -> init := Some (ints rest)
+                 | "seq" -> seq := Some (Array.of_list (ints rest))
+                 | _ -> parse_error "unknown key: %s" key)
+            end
+          done
+        with End_of_file -> ());
+       let k = match !k with Some v -> v | None -> parse_error "missing k" in
+       let f = match !f with Some v -> v | None -> parse_error "missing f" in
+       let seq = match !seq with Some v -> v | None -> parse_error "missing seq" in
+       let init = match !init with Some v -> v | None -> Instance.warm_initial_cache ~k seq in
+       match !layout with
+       | None when !disks = 1 -> Instance.single_disk ~k ~fetch_time:f ~initial_cache:init seq
+       | None -> parse_error "layout required when disks > 1"
+       | Some disk_of ->
+         Instance.parallel ~k ~fetch_time:f ~num_disks:!disks ~disk_of ~initial_cache:init seq)

@@ -1,0 +1,19 @@
+(** Text format for saving and replaying instances.
+
+    Line-oriented with ['#'] comments:
+    {v
+    k 4
+    f 4
+    disks 2
+    layout 0 0 0 0 1 1 1   # block -> disk (required when disks > 1)
+    init 0 1 4 5           # initial cache (default: warm)
+    seq 0 1 4 5 2 6 3
+    v} *)
+
+val save_instance : string -> Instance.t -> unit
+
+exception Parse_error of string
+
+val load_instance : string -> Instance.t
+(** @raise Parse_error on malformed input.
+    @raise Instance.Invalid if the parsed instance is inconsistent. *)

@@ -1,0 +1,1 @@
+test/test_core_parallel.ml: Alcotest Array Format Instance List Opt_parallel Opt_single Parallel_greedy Printf QCheck2 QCheck_alcotest Rat Rounding Simulate Stdlib Sync_lp Workload

@@ -1,0 +1,1 @@
+test/test_core_single.ml: Aggressive Alcotest Bounds Combination Conservative Delay Driver Float Format Instance List Opt_exhaustive Opt_single Printf QCheck2 QCheck_alcotest Simulate Workload

@@ -1,0 +1,1 @@
+test/test_disksim.ml: Alcotest Array Fetch_op Instance List Next_ref QCheck2 QCheck_alcotest Simulate String

@@ -1,0 +1,1 @@
+test/test_dominance.ml: Aggressive Alcotest Array Dominance Driver Format Instance List QCheck2 QCheck_alcotest Random Seq Stdlib Workload

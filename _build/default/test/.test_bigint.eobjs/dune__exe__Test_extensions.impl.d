@@ -1,0 +1,1 @@
+test/test_extensions.ml: Aggressive Alcotest Array Fixed_horizon Format Instance List Online Opt_parallel Opt_single Printf QCheck2 QCheck_alcotest Reverse_aggressive Simulate Stdlib Workload

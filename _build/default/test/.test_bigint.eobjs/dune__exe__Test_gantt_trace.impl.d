@@ -1,0 +1,1 @@
+test/test_gantt_trace.ml: Aggressive Alcotest Array Combination Conservative Fetch_op Filename Fun Gantt Instance List QCheck2 QCheck_alcotest Result Stdlib String Sys Trace_io Workload

@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Ilp Instance List Lp_problem Opt_parallel Printf QCheck2 QCheck_alcotest Rat Rounding Simulate Stdlib Sync_ilp Workload

@@ -1,0 +1,1 @@
+test/test_paging.ml: Alcotest Array Conservative Instance List Paging Printf QCheck2 QCheck_alcotest Workload

@@ -1,0 +1,1 @@
+test/test_peephole.ml: Aggressive Alcotest Conservative Fetch_op Instance List Online Opt_single Option Peephole Printf QCheck2 QCheck_alcotest Simulate

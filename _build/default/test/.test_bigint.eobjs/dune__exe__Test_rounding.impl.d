@@ -1,0 +1,1 @@
+test/test_rounding.ml: Alcotest Array Hashtbl Instance List Opt_single QCheck2 QCheck_alcotest Rat Rounding Simulate Stdlib Sync_lp Workload

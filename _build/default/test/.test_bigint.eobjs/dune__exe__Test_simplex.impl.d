@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Float List Lp_problem Printf QCheck2 QCheck_alcotest Rat Result Simplex

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Hashtbl Instance List Printf QCheck2 QCheck_alcotest Workload

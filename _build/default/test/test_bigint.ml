@@ -1,0 +1,356 @@
+(* Unit and property tests for the arbitrary-precision integer substrate.
+   The reproduction's exact-LP pipeline depends on this module being
+   bulletproof, so we test both against native ints (small range) and via
+   algebraic identities (huge range). *)
+
+module B = Bigint
+
+let bi = Alcotest.testable B.pp B.equal
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests. *)
+
+let test_constants () =
+  Alcotest.check bi "zero" (B.of_int 0) B.zero;
+  Alcotest.check bi "one" (B.of_int 1) B.one;
+  Alcotest.check bi "two" (B.of_int 2) B.two;
+  Alcotest.check bi "minus_one" (B.of_int (-1)) B.minus_one;
+  Alcotest.(check int) "sign zero" 0 (B.sign B.zero);
+  Alcotest.(check int) "sign one" 1 (B.sign B.one);
+  Alcotest.(check int) "sign minus_one" (-1) (B.sign B.minus_one)
+
+let test_of_to_int () =
+  List.iter
+    (fun n ->
+       Alcotest.(check int) (Printf.sprintf "roundtrip %d" n) n (B.to_int (B.of_int n)))
+    [ 0; 1; -1; 42; -42; 1 lsl 29; (1 lsl 30) - 1; 1 lsl 30; (1 lsl 30) + 17;
+      1 lsl 45; -(1 lsl 45); max_int; min_int; max_int - 1; min_int + 1 ]
+
+let test_to_int_overflow () =
+  let big = B.mul (B.of_int max_int) (B.of_int 4) in
+  Alcotest.(check (option int)) "overflow is None" None (B.to_int_opt big);
+  Alcotest.(check bool) "fits_int max_int" true (B.fits_int (B.of_int max_int));
+  Alcotest.(check bool) "fits_int min_int" true (B.fits_int (B.of_int min_int));
+  Alcotest.(check bool) "not fits" false (B.fits_int big)
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s ->
+       Alcotest.(check string) ("roundtrip " ^ s) s (B.to_string (B.of_string s)))
+    [ "0"; "1"; "-1"; "123456789"; "-987654321";
+      "123456789012345678901234567890";
+      "-340282366920938463463374607431768211456" ]
+
+let test_string_underscores () =
+  Alcotest.check bi "underscores" (B.of_int 1_000_000) (B.of_string "1_000_000")
+
+let test_string_invalid () =
+  List.iter
+    (fun s ->
+       Alcotest.check_raises ("invalid " ^ s) (Invalid_argument "Bigint.of_string: invalid character")
+         (fun () -> ignore (B.of_string s)))
+    [ "12a3"; "1.5" ];
+  Alcotest.check_raises "empty" (Invalid_argument "Bigint.of_string: empty string")
+    (fun () -> ignore (B.of_string ""))
+
+let test_add_sub_known () =
+  let a = B.of_string "99999999999999999999999999" in
+  let b = B.of_string "1" in
+  Alcotest.check bi "carry chain" (B.of_string "100000000000000000000000000") (B.add a b);
+  Alcotest.check bi "sub back" a (B.sub (B.add a b) b)
+
+let test_mul_known () =
+  let a = B.of_string "12345678901234567890" in
+  let b = B.of_string "98765432109876543210" in
+  Alcotest.check bi "big product"
+    (B.of_string "1219326311370217952237463801111263526900")
+    (B.mul a b);
+  Alcotest.check bi "times zero" B.zero (B.mul a B.zero);
+  Alcotest.check bi "times -1" (B.neg a) (B.mul a B.minus_one)
+
+let test_divmod_known () =
+  let a = B.of_string "1000000000000000000000000000000" in
+  let b = B.of_string "999999999999" in
+  let q, r = B.divmod a b in
+  Alcotest.check bi "reconstruct" a (B.add (B.mul q b) r);
+  Alcotest.(check bool) "0 <= r" true (B.compare r B.zero >= 0);
+  Alcotest.(check bool) "r < b" true (B.compare r b < 0)
+
+let test_divmod_signs () =
+  (* Truncated division: quotient towards zero, remainder has dividend's sign. *)
+  let check a b q r =
+    let q', r' = B.divmod (B.of_int a) (B.of_int b) in
+    Alcotest.check bi (Printf.sprintf "q %d/%d" a b) (B.of_int q) q';
+    Alcotest.check bi (Printf.sprintf "r %d/%d" a b) (B.of_int r) r'
+  in
+  check 7 2 3 1;
+  check (-7) 2 (-3) (-1);
+  check 7 (-2) (-3) 1;
+  check (-7) (-2) 3 (-1)
+
+let test_ediv_rem () =
+  let check a b =
+    let q, r = B.ediv_rem (B.of_int a) (B.of_int b) in
+    Alcotest.(check bool) "0 <= r" true (B.sign r >= 0);
+    Alcotest.(check bool) "r < |b|" true (B.compare r (B.abs (B.of_int b)) < 0);
+    Alcotest.check bi "identity" (B.of_int a) (B.add (B.mul q (B.of_int b)) r)
+  in
+  List.iter (fun (a, b) -> check a b) [ (7, 2); (-7, 2); (7, -2); (-7, -2); (0, 5); (6, 3); (-6, 3) ]
+
+let test_div_by_zero () =
+  Alcotest.check_raises "divmod" Division_by_zero (fun () -> ignore (B.divmod B.one B.zero));
+  Alcotest.check_raises "ediv" Division_by_zero (fun () -> ignore (B.ediv_rem B.one B.zero))
+
+let test_gcd () =
+  Alcotest.check bi "gcd(12,18)" (B.of_int 6) (B.gcd (B.of_int 12) (B.of_int 18));
+  Alcotest.check bi "gcd(-12,18)" (B.of_int 6) (B.gcd (B.of_int (-12)) (B.of_int 18));
+  Alcotest.check bi "gcd(0,5)" (B.of_int 5) (B.gcd B.zero (B.of_int 5));
+  Alcotest.check bi "gcd(0,0)" B.zero (B.gcd B.zero B.zero);
+  Alcotest.check bi "gcd coprime" B.one (B.gcd (B.of_int 17) (B.of_int 31))
+
+let test_lcm () =
+  Alcotest.check bi "lcm(4,6)" (B.of_int 12) (B.lcm (B.of_int 4) (B.of_int 6));
+  Alcotest.check bi "lcm(0,5)" B.zero (B.lcm B.zero (B.of_int 5))
+
+let test_pow () =
+  Alcotest.check bi "2^10" (B.of_int 1024) (B.pow B.two 10);
+  Alcotest.check bi "x^0" B.one (B.pow (B.of_int 7) 0);
+  Alcotest.check bi "10^30" (B.of_string "1000000000000000000000000000000") (B.pow (B.of_int 10) 30);
+  Alcotest.check bi "(-2)^3" (B.of_int (-8)) (B.pow (B.of_int (-2)) 3);
+  Alcotest.check_raises "neg exponent" (Invalid_argument "Bigint.pow: negative exponent")
+    (fun () -> ignore (B.pow B.two (-1)))
+
+let test_shifts () =
+  Alcotest.check bi "1 << 100 >> 100" B.one (B.shift_right (B.shift_left B.one 100) 100);
+  Alcotest.check bi "5 << 3" (B.of_int 40) (B.shift_left (B.of_int 5) 3);
+  Alcotest.check bi "41 >> 3" (B.of_int 5) (B.shift_right (B.of_int 41) 3);
+  Alcotest.check bi "shift 0" (B.of_int 7) (B.shift_left (B.of_int 7) 0)
+
+let test_num_bits () =
+  Alcotest.(check int) "bits 0" 0 (B.num_bits B.zero);
+  Alcotest.(check int) "bits 1" 1 (B.num_bits B.one);
+  Alcotest.(check int) "bits 4" 3 (B.num_bits (B.of_int 4));
+  Alcotest.(check int) "bits 2^100" 101 (B.num_bits (B.shift_left B.one 100))
+
+let test_compare_order () =
+  let sorted = List.map B.of_int [ -100; -1; 0; 1; 2; 100 ] in
+  let shuffled = List.map B.of_int [ 2; -1; 100; 0; -100; 1 ] in
+  Alcotest.(check (list string)) "sort"
+    (List.map B.to_string sorted)
+    (List.map B.to_string (List.sort B.compare shuffled))
+
+let test_even () =
+  Alcotest.(check bool) "0 even" true (B.is_even B.zero);
+  Alcotest.(check bool) "1 odd" false (B.is_even B.one);
+  Alcotest.(check bool) "-4 even" true (B.is_even (B.of_int (-4)))
+
+let test_to_float () =
+  Alcotest.(check (float 1e-9)) "to_float small" 42.0 (B.to_float (B.of_int 42));
+  Alcotest.(check (float 1e6)) "to_float 2^70"
+    (Float.pow 2.0 70.0) (B.to_float (B.shift_left B.one 70));
+  Alcotest.(check (float 1e-9)) "to_float neg" (-17.0) (B.to_float (B.of_int (-17)))
+
+let test_succ_pred () =
+  Alcotest.check bi "succ 0" B.one (B.succ B.zero);
+  Alcotest.check bi "pred 0" B.minus_one (B.pred B.zero);
+  Alcotest.check bi "succ -1" B.zero (B.succ B.minus_one)
+
+let test_mul_int () =
+  Alcotest.check bi "mul_int" (B.of_int 84) (B.mul_int (B.of_int 42) 2);
+  Alcotest.check bi "mul_int neg" (B.of_int (-84)) (B.mul_int (B.of_int 42) (-2));
+  Alcotest.check bi "mul_int big scalar"
+    (B.mul (B.of_int 3) (B.of_int (1 lsl 40)))
+    (B.mul_int (B.of_int 3) (1 lsl 40))
+
+(* ------------------------------------------------------------------ *)
+(* Property tests. *)
+
+let gen_small = QCheck2.Gen.int_range (-1_000_000) 1_000_000
+
+(* Arbitrary magnitude: product of several ints, possibly hundreds of bits. *)
+let gen_big =
+  QCheck2.Gen.(
+    map
+      (fun xs -> List.fold_left (fun acc x -> B.add (B.mul acc (B.of_int 1_000_003)) (B.of_int x)) B.zero xs)
+      (list_size (int_range 1 12) (int_range (-1_000_000) 1_000_000)))
+
+let prop_small_matches_int name f_big f_int =
+  QCheck2.Test.make ~count:1000 ~name QCheck2.Gen.(pair gen_small gen_small)
+    (fun (a, b) -> B.equal (f_big (B.of_int a) (B.of_int b)) (B.of_int (f_int a b)))
+
+let prop_add_matches = prop_small_matches_int "add matches int" B.add ( + )
+let prop_sub_matches = prop_small_matches_int "sub matches int" B.sub ( - )
+let prop_mul_matches = prop_small_matches_int "mul matches int" B.mul ( * )
+
+let prop_divmod_matches =
+  QCheck2.Test.make ~count:1000 ~name:"divmod matches int"
+    QCheck2.Gen.(pair gen_small gen_small)
+    (fun (a, b) ->
+       QCheck2.assume (b <> 0);
+       let q, r = B.divmod (B.of_int a) (B.of_int b) in
+       B.equal q (B.of_int (a / b)) && B.equal r (B.of_int (a mod b)))
+
+let prop_add_comm =
+  QCheck2.Test.make ~count:500 ~name:"add commutative (big)"
+    QCheck2.Gen.(pair gen_big gen_big)
+    (fun (a, b) -> B.equal (B.add a b) (B.add b a))
+
+let prop_add_assoc =
+  QCheck2.Test.make ~count:500 ~name:"add associative (big)"
+    QCheck2.Gen.(triple gen_big gen_big gen_big)
+    (fun (a, b, c) -> B.equal (B.add (B.add a b) c) (B.add a (B.add b c)))
+
+let prop_mul_comm =
+  QCheck2.Test.make ~count:300 ~name:"mul commutative (big)"
+    QCheck2.Gen.(pair gen_big gen_big)
+    (fun (a, b) -> B.equal (B.mul a b) (B.mul b a))
+
+let prop_mul_assoc =
+  QCheck2.Test.make ~count:200 ~name:"mul associative (big)"
+    QCheck2.Gen.(triple gen_big gen_big gen_big)
+    (fun (a, b, c) -> B.equal (B.mul (B.mul a b) c) (B.mul a (B.mul b c)))
+
+let prop_distrib =
+  QCheck2.Test.make ~count:300 ~name:"mul distributes over add (big)"
+    QCheck2.Gen.(triple gen_big gen_big gen_big)
+    (fun (a, b, c) -> B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)))
+
+let prop_sub_inverse =
+  QCheck2.Test.make ~count:500 ~name:"(a+b)-b = a (big)"
+    QCheck2.Gen.(pair gen_big gen_big)
+    (fun (a, b) -> B.equal (B.sub (B.add a b) b) a)
+
+let prop_divmod_identity =
+  QCheck2.Test.make ~count:500 ~name:"a = q*b + r with |r|<|b| (big)"
+    QCheck2.Gen.(pair gen_big gen_big)
+    (fun (a, b) ->
+       QCheck2.assume (not (B.is_zero b));
+       let q, r = B.divmod a b in
+       B.equal a (B.add (B.mul q b) r)
+       && B.compare (B.abs r) (B.abs b) < 0
+       && (B.is_zero r || B.sign r = B.sign a))
+
+let prop_div_exact =
+  QCheck2.Test.make ~count:500 ~name:"(a*b)/b = a (big)"
+    QCheck2.Gen.(pair gen_big gen_big)
+    (fun (a, b) ->
+       QCheck2.assume (not (B.is_zero b));
+       B.equal (B.div (B.mul a b) b) a)
+
+let prop_gcd_divides =
+  QCheck2.Test.make ~count:300 ~name:"gcd divides both (big)"
+    QCheck2.Gen.(pair gen_big gen_big)
+    (fun (a, b) ->
+       QCheck2.assume (not (B.is_zero a) || not (B.is_zero b));
+       let g = B.gcd a b in
+       B.sign g > 0 && B.is_zero (B.rem a g) && B.is_zero (B.rem b g))
+
+let prop_gcd_linearity =
+  QCheck2.Test.make ~count:300 ~name:"gcd(a,b) = gcd(b, a mod b) (big)"
+    QCheck2.Gen.(pair gen_big gen_big)
+    (fun (a, b) ->
+       QCheck2.assume (not (B.is_zero b));
+       B.equal (B.gcd a b) (B.gcd b (B.rem a b)))
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"string roundtrip (big)" gen_big
+    (fun a -> B.equal a (B.of_string (B.to_string a)))
+
+let prop_compare_antisym =
+  QCheck2.Test.make ~count:500 ~name:"compare antisymmetric (big)"
+    QCheck2.Gen.(pair gen_big gen_big)
+    (fun (a, b) -> B.compare a b = - (B.compare b a))
+
+let prop_shift_mul =
+  QCheck2.Test.make ~count:300 ~name:"shift_left = mul by 2^n"
+    QCheck2.Gen.(pair gen_big (int_range 0 80))
+    (fun (a, n) -> B.equal (B.shift_left a n) (B.mul a (B.pow B.two n)))
+
+let prop_neg_involution =
+  QCheck2.Test.make ~count:500 ~name:"neg involutive (big)" gen_big
+    (fun a -> B.equal a (B.neg (B.neg a)))
+
+let prop_hash_consistent =
+  QCheck2.Test.make ~count:500 ~name:"equal implies same hash" gen_big
+    (fun a ->
+       let b = B.add (B.sub a B.one) B.one in
+       B.equal a b && B.hash a = B.hash b)
+
+(* Huge operands cross the Karatsuba threshold (32 limbs = ~960 bits);
+   validate against modular arithmetic (division is Knuth D, independent of
+   multiplication) and ring identities. *)
+let gen_huge =
+  QCheck2.Gen.(
+    map2
+      (fun bits x ->
+         let seedling = B.add (B.of_int x) B.one in
+         (* spread entropy across ~bits bits *)
+         let rec grow acc =
+           if B.num_bits acc >= bits then acc
+           else grow (B.add (B.mul acc seedling) (B.of_int (x land 0xffff)))
+         in
+         grow seedling)
+      (int_range 1000 3000)
+      (int_range 2 1_000_000))
+
+let prop_karatsuba_mod_check =
+  QCheck2.Test.make ~count:60 ~name:"huge product correct modulo primes"
+    QCheck2.Gen.(pair gen_huge gen_huge)
+    (fun (a, b) ->
+       let p = B.of_int 1_000_000_007 in
+       let q = B.of_int 998_244_353 in
+       let check m =
+         let r1 = B.rem (B.mul a b) m in
+         let r2 = B.rem (B.mul (B.rem a m) (B.rem b m)) m in
+         B.equal r1 r2
+       in
+       check p && check q)
+
+let prop_karatsuba_square_identity =
+  QCheck2.Test.make ~count:40 ~name:"(a+b)^2 = a^2 + 2ab + b^2 (huge)"
+    QCheck2.Gen.(pair gen_huge gen_huge)
+    (fun (a, b) ->
+       let lhs = B.mul (B.add a b) (B.add a b) in
+       let rhs = B.add (B.mul a a) (B.add (B.mul_int (B.mul a b) 2) (B.mul b b)) in
+       B.equal lhs rhs)
+
+let prop_karatsuba_div_roundtrip =
+  QCheck2.Test.make ~count:40 ~name:"(a*b)/b = a (huge)"
+    QCheck2.Gen.(pair gen_huge gen_huge)
+    (fun (a, b) -> B.equal (B.div (B.mul a b) b) a)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_add_matches; prop_sub_matches; prop_mul_matches; prop_divmod_matches;
+      prop_add_comm; prop_add_assoc; prop_mul_comm; prop_mul_assoc; prop_distrib;
+      prop_sub_inverse; prop_divmod_identity; prop_div_exact; prop_gcd_divides;
+      prop_gcd_linearity; prop_string_roundtrip; prop_compare_antisym;
+      prop_shift_mul; prop_neg_involution; prop_hash_consistent;
+      prop_karatsuba_mod_check; prop_karatsuba_square_identity; prop_karatsuba_div_roundtrip ]
+
+let () =
+  Alcotest.run "bigint"
+    [ ( "unit",
+        [ Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "of/to int" `Quick test_of_to_int;
+          Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "string underscores" `Quick test_string_underscores;
+          Alcotest.test_case "string invalid" `Quick test_string_invalid;
+          Alcotest.test_case "add/sub carries" `Quick test_add_sub_known;
+          Alcotest.test_case "mul known" `Quick test_mul_known;
+          Alcotest.test_case "divmod known" `Quick test_divmod_known;
+          Alcotest.test_case "divmod signs" `Quick test_divmod_signs;
+          Alcotest.test_case "ediv_rem" `Quick test_ediv_rem;
+          Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "lcm" `Quick test_lcm;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "num_bits" `Quick test_num_bits;
+          Alcotest.test_case "compare order" `Quick test_compare_order;
+          Alcotest.test_case "is_even" `Quick test_even;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+          Alcotest.test_case "succ/pred" `Quick test_succ_pred;
+          Alcotest.test_case "mul_int" `Quick test_mul_int ] );
+      ("properties", props) ]

@@ -1,0 +1,176 @@
+(* Unit and property tests for exact rationals. *)
+
+module B = Bigint
+module R = Rat
+
+let rt = Alcotest.testable R.pp R.equal
+
+let r = R.of_ints
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests. *)
+
+let test_normalization () =
+  Alcotest.check rt "6/8 = 3/4" (r 3 4) (r 6 8);
+  Alcotest.check rt "-6/8 = -3/4" (r (-3) 4) (r 6 (-8));
+  Alcotest.check rt "0/7 = 0" R.zero (r 0 7);
+  Alcotest.(check string) "den positive" "1/2" (R.to_string (r (-1) (-2)));
+  Alcotest.(check string) "canonical zero" "0" (R.to_string (r 0 (-3)))
+
+let test_constants () =
+  Alcotest.check rt "half" (r 1 2) R.half;
+  Alcotest.check rt "two" (r 2 1) R.two;
+  Alcotest.check rt "one+one" R.two (R.add R.one R.one)
+
+let test_arithmetic_known () =
+  Alcotest.check rt "1/2 + 1/3" (r 5 6) (R.add (r 1 2) (r 1 3));
+  Alcotest.check rt "1/2 - 1/3" (r 1 6) (R.sub (r 1 2) (r 1 3));
+  Alcotest.check rt "2/3 * 3/4" (r 1 2) (R.mul (r 2 3) (r 3 4));
+  Alcotest.check rt "1/2 / 1/4" R.two (R.div (r 1 2) (r 1 4));
+  Alcotest.check rt "neg" (r (-5) 6) (R.neg (r 5 6));
+  Alcotest.check rt "abs" (r 5 6) (R.abs (r (-5) 6))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true (R.lt (r 1 3) (r 1 2));
+  Alcotest.(check bool) "-1/2 < 1/3" true (R.lt (r (-1) 2) (r 1 3));
+  Alcotest.(check bool) "2/4 = 1/2" true (R.equal (r 2 4) (r 1 2));
+  Alcotest.check rt "min" (r 1 3) (R.min (r 1 3) (r 1 2));
+  Alcotest.check rt "max" (r 1 2) (R.max (r 1 3) (r 1 2))
+
+let test_floor_ceil () =
+  let bi = Alcotest.testable B.pp B.equal in
+  Alcotest.check bi "floor 7/2" (B.of_int 3) (R.floor (r 7 2));
+  Alcotest.check bi "floor -7/2" (B.of_int (-4)) (R.floor (r (-7) 2));
+  Alcotest.check bi "ceil 7/2" (B.of_int 4) (R.ceil (r 7 2));
+  Alcotest.check bi "ceil -7/2" (B.of_int (-3)) (R.ceil (r (-7) 2));
+  Alcotest.check bi "floor integer" (B.of_int 5) (R.floor (r 5 1));
+  Alcotest.check rt "fractional 7/2" R.half (R.fractional (r 7 2));
+  Alcotest.check rt "fractional -7/2" R.half (R.fractional (r (-7) 2));
+  Alcotest.check rt "fractional 3" R.zero (R.fractional (r 3 1))
+
+let test_integrality () =
+  Alcotest.(check bool) "4/2 integer" true (R.is_integer (r 4 2));
+  Alcotest.(check bool) "1/2 not integer" false (R.is_integer R.half);
+  Alcotest.(check int) "to_int_exn" 2 (R.to_int_exn (r 4 2));
+  Alcotest.check_raises "to_int_exn non-integer" (Failure "Rat.to_int_exn: not an integer")
+    (fun () -> ignore (R.to_int_exn R.half))
+
+let test_of_string () =
+  Alcotest.check rt "p/q" (r 3 4) (R.of_string "3/4");
+  Alcotest.check rt "negative p/q" (r (-3) 4) (R.of_string "-3/4");
+  Alcotest.check rt "integer" (r 17 1) (R.of_string "17");
+  Alcotest.check rt "decimal" (r 5 4) (R.of_string "1.25");
+  Alcotest.check rt "neg decimal" (r (-5) 4) (R.of_string "-1.25");
+  Alcotest.check rt "decimal frac only" (r 1 2) (R.of_string "0.5")
+
+let test_to_float () =
+  Alcotest.(check (float 1e-12)) "0.25" 0.25 (R.to_float (r 1 4));
+  Alcotest.(check (float 1e-12)) "-1.5" (-1.5) (R.to_float (r (-3) 2))
+
+let test_division_by_zero () =
+  Alcotest.check_raises "div" Division_by_zero (fun () -> ignore (R.div R.one R.zero));
+  Alcotest.check_raises "inv" Division_by_zero (fun () -> ignore (R.inv R.zero));
+  Alcotest.check_raises "of_ints" Division_by_zero (fun () -> ignore (r 1 0))
+
+let test_infix () =
+  let open R.Infix in
+  Alcotest.(check bool) "1/2 + 1/2 = 1" true (R.half + R.half = R.one);
+  Alcotest.(check bool) "2 * 1/2 = 1" true (R.two * R.half = R.one);
+  Alcotest.(check bool) "1 - 1/2 < 1" true (R.one - R.half < R.one);
+  Alcotest.(check bool) "1 / 2 = 1/2" true (R.one / R.two = R.half)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests. *)
+
+let gen_rat =
+  QCheck2.Gen.(
+    map
+      (fun (p, q) -> R.of_ints p (if q = 0 then 1 else q))
+      (pair (int_range (-10_000) 10_000) (int_range (-500) 500)))
+
+let gen_rat_nonzero = QCheck2.Gen.map (fun x -> if R.is_zero x then R.one else x) gen_rat
+
+let prop_add_comm =
+  QCheck2.Test.make ~count:500 ~name:"add commutative" QCheck2.Gen.(pair gen_rat gen_rat)
+    (fun (a, b) -> R.equal (R.add a b) (R.add b a))
+
+let prop_add_assoc =
+  QCheck2.Test.make ~count:500 ~name:"add associative"
+    QCheck2.Gen.(triple gen_rat gen_rat gen_rat)
+    (fun (a, b, c) -> R.equal (R.add (R.add a b) c) (R.add a (R.add b c)))
+
+let prop_mul_assoc =
+  QCheck2.Test.make ~count:500 ~name:"mul associative"
+    QCheck2.Gen.(triple gen_rat gen_rat gen_rat)
+    (fun (a, b, c) -> R.equal (R.mul (R.mul a b) c) (R.mul a (R.mul b c)))
+
+let prop_distrib =
+  QCheck2.Test.make ~count:500 ~name:"distributivity"
+    QCheck2.Gen.(triple gen_rat gen_rat gen_rat)
+    (fun (a, b, c) -> R.equal (R.mul a (R.add b c)) (R.add (R.mul a b) (R.mul a c)))
+
+let prop_div_inverse =
+  QCheck2.Test.make ~count:500 ~name:"(a*b)/b = a" QCheck2.Gen.(pair gen_rat gen_rat_nonzero)
+    (fun (a, b) -> R.equal (R.div (R.mul a b) b) a)
+
+let prop_inv_involution =
+  QCheck2.Test.make ~count:500 ~name:"inv involutive" gen_rat_nonzero
+    (fun a -> R.equal a (R.inv (R.inv a)))
+
+let prop_normalized =
+  QCheck2.Test.make ~count:500 ~name:"results normalized" QCheck2.Gen.(pair gen_rat gen_rat)
+    (fun (a, b) ->
+       let c = R.add a b in
+       B.sign (R.den c) > 0 && B.is_one (B.gcd (R.num c) (R.den c)))
+
+let prop_compare_total =
+  QCheck2.Test.make ~count:500 ~name:"compare consistent with to_float"
+    QCheck2.Gen.(pair gen_rat gen_rat)
+    (fun (a, b) ->
+       let c = R.compare a b in
+       let fa = R.to_float a and fb = R.to_float b in
+       (* floats are exact for these small rationals' orderings unless equal *)
+       if c = 0 then Float.abs (fa -. fb) < 1e-9
+       else if c < 0 then fa < fb +. 1e-9
+       else fa > fb -. 1e-9)
+
+let prop_floor_bound =
+  QCheck2.Test.make ~count:500 ~name:"floor(x) <= x < floor(x)+1" gen_rat
+    (fun a ->
+       let f = R.of_bigint (R.floor a) in
+       R.le f a && R.lt a (R.add f R.one))
+
+let prop_fractional_range =
+  QCheck2.Test.make ~count:500 ~name:"fractional in [0,1)" gen_rat
+    (fun a ->
+       let f = R.fractional a in
+       R.le R.zero f && R.lt f R.one)
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"string roundtrip" gen_rat
+    (fun a -> R.equal a (R.of_string (R.to_string a)))
+
+let prop_sign =
+  QCheck2.Test.make ~count:500 ~name:"sign matches compare-to-zero" gen_rat
+    (fun a -> R.sign a = R.compare a R.zero)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_add_comm; prop_add_assoc; prop_mul_assoc; prop_distrib; prop_div_inverse;
+      prop_inv_involution; prop_normalized; prop_compare_total; prop_floor_bound;
+      prop_fractional_range; prop_string_roundtrip; prop_sign ]
+
+let () =
+  Alcotest.run "rat"
+    [ ( "unit",
+        [ Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic_known;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+          Alcotest.test_case "integrality" `Quick test_integrality;
+          Alcotest.test_case "of_string" `Quick test_of_string;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "infix" `Quick test_infix ] );
+      ("properties", props) ]

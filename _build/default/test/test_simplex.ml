@@ -1,0 +1,259 @@
+(* Tests for the LP substrate: problem construction, the exact simplex, the
+   float simplex, and the hybrid certified driver. *)
+
+module P = Lp_problem
+module R = Rat
+
+let rt = Alcotest.testable R.pp R.equal
+
+let r = R.of_ints
+
+(* Build a problem from plain int data for readability:
+   [vars] = number of variables, [obj] = (var, coeff) list,
+   rows = (coeffs, relation, rhs). *)
+let make_problem ?(direction = P.Minimize) vars obj rows =
+  let b = P.Builder.create ~direction () in
+  for i = 0 to vars - 1 do
+    ignore (P.Builder.add_var b (Printf.sprintf "x%d" i))
+  done;
+  P.Builder.set_objective b (List.map (fun (v, c) -> (v, R.of_int c)) obj);
+  List.iter
+    (fun (coeffs, rel, rhs) ->
+       P.Builder.add_row b (List.map (fun (v, c) -> (v, R.of_int c)) coeffs) rel (R.of_int rhs))
+    rows;
+  P.Builder.freeze b
+
+let get_optimal = function
+  | P.Optimal { objective_value; values } -> (objective_value, values)
+  | P.Infeasible -> Alcotest.fail "unexpected: infeasible"
+  | P.Unbounded -> Alcotest.fail "unexpected: unbounded"
+
+let solvers = [ ("exact", Simplex.solve_pure_exact); ("hybrid", Simplex.solve_exact) ]
+
+let check_all_solvers name problem expected_obj expected_values =
+  List.iter
+    (fun (sname, solve) ->
+       let obj, values = get_optimal (solve problem) in
+       Alcotest.check rt (Printf.sprintf "%s/%s objective" name sname) expected_obj obj;
+       match expected_values with
+       | None -> ()
+       | Some ev ->
+         Alcotest.(check (list string))
+           (Printf.sprintf "%s/%s values" name sname)
+           (List.map R.to_string ev)
+           (Array.to_list (Array.map R.to_string values)))
+    solvers
+
+(* ------------------------------------------------------------------ *)
+
+(* max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (classic Dantzig):
+   optimum 36 at (2, 6). *)
+let test_classic_max () =
+  let p =
+    make_problem ~direction:P.Maximize 2
+      [ (0, 3); (1, 5) ]
+      [ ([ (0, 1) ], P.Le, 4); ([ (1, 2) ], P.Le, 12); ([ (0, 3); (1, 2) ], P.Le, 18) ]
+  in
+  check_all_solvers "classic" p (R.of_int 36) (Some [ R.of_int 2; R.of_int 6 ])
+
+(* min x + y s.t. x + 2y >= 4, 3x + y >= 6: optimum at intersection
+   (8/5, 6/5), value 14/5. *)
+let test_min_ge () =
+  let p =
+    make_problem 2
+      [ (0, 1); (1, 1) ]
+      [ ([ (0, 1); (1, 2) ], P.Ge, 4); ([ (0, 3); (1, 1) ], P.Ge, 6) ]
+  in
+  check_all_solvers "min-ge" p (r 14 5) (Some [ r 8 5; r 6 5 ])
+
+(* Equality constraints: min 2x + 3y s.t. x + y = 10, x - y <= 2.
+   Optimal: push x up to its cap: x - y = 2 with x + y = 10 -> (6, 4),
+   value 24. *)
+let test_equality () =
+  let p =
+    make_problem 2
+      [ (0, 2); (1, 3) ]
+      [ ([ (0, 1); (1, 1) ], P.Eq, 10); ([ (0, 1); (1, -1) ], P.Le, 2) ]
+  in
+  check_all_solvers "equality" p (R.of_int 24) (Some [ R.of_int 6; R.of_int 4 ])
+
+let test_infeasible () =
+  let p =
+    make_problem 1 [ (0, 1) ]
+      [ ([ (0, 1) ], P.Le, 1); ([ (0, 1) ], P.Ge, 2) ]
+  in
+  List.iter
+    (fun (sname, solve) ->
+       match solve p with
+       | P.Infeasible -> ()
+       | _ -> Alcotest.fail (sname ^ ": expected infeasible"))
+    solvers
+
+let test_unbounded () =
+  let p = make_problem ~direction:P.Maximize 1 [ (0, 1) ] [ ([ (0, 1) ], P.Ge, 1) ] in
+  List.iter
+    (fun (sname, solve) ->
+       match solve p with
+       | P.Unbounded -> ()
+       | _ -> Alcotest.fail (sname ^ ": expected unbounded"))
+    solvers
+
+(* Degenerate LP known to cycle under naive most-negative rule (Beale's
+   example); Bland fallback must terminate. *)
+let test_beale_cycling () =
+  let b = P.Builder.create ~direction:P.Minimize () in
+  let x1 = P.Builder.add_var b "x1" in
+  let x2 = P.Builder.add_var b "x2" in
+  let x3 = P.Builder.add_var b "x3" in
+  let x4 = P.Builder.add_var b "x4" in
+  P.Builder.set_objective b
+    [ (x1, r (-3) 4); (x2, R.of_int 150); (x3, r (-1) 50); (x4, R.of_int 6) ];
+  P.Builder.add_row b
+    [ (x1, r 1 4); (x2, R.of_int (-60)); (x3, r (-1) 25); (x4, R.of_int 9) ]
+    P.Le R.zero;
+  P.Builder.add_row b
+    [ (x1, r 1 2); (x2, R.of_int (-90)); (x3, r (-1) 50); (x4, R.of_int 3) ]
+    P.Le R.zero;
+  P.Builder.add_row b [ (x3, R.one) ] P.Le R.one;
+  let p = P.Builder.freeze b in
+  let obj, _ = get_optimal (Simplex.solve_pure_exact p) in
+  Alcotest.check rt "beale optimum" (r (-1) 20) obj
+
+(* Fractional vertex: min -(x+y) s.t. 2x + y <= 3, x + 2y <= 3 ->
+   vertex (1,1); and with <= 2 rhs -> (2/3, 2/3). *)
+let test_fractional_vertex () =
+  let p =
+    make_problem 2
+      [ (0, -1); (1, -1) ]
+      [ ([ (0, 2); (1, 1) ], P.Le, 2); ([ (0, 1); (1, 2) ], P.Le, 2) ]
+  in
+  check_all_solvers "fractional" p (r (-4) 3) (Some [ r 2 3; r 2 3 ])
+
+(* Redundant equality rows exercise the artificial-driving path. *)
+let test_redundant_rows () =
+  let p =
+    make_problem 2
+      [ (0, 1); (1, 2) ]
+      [ ([ (0, 1); (1, 1) ], P.Eq, 4);
+        ([ (0, 2); (1, 2) ], P.Eq, 8);  (* same hyperplane *)
+        ([ (0, 1) ], P.Le, 3) ]
+  in
+  check_all_solvers "redundant" p (R.of_int 5) (Some [ R.of_int 3; R.of_int 1 ])
+
+let test_zero_objective () =
+  (* Pure feasibility problem. *)
+  let p = make_problem 2 [] [ ([ (0, 1); (1, 1) ], P.Eq, 5) ] in
+  List.iter
+    (fun (sname, solve) ->
+       match solve p with
+       | P.Optimal { objective_value; values } ->
+         Alcotest.check rt (sname ^ " obj") R.zero objective_value;
+         Alcotest.check rt (sname ^ " sum")
+           (R.of_int 5) (R.add values.(0) values.(1))
+       | _ -> Alcotest.fail (sname ^ ": expected optimal"))
+    solvers
+
+let test_duplicate_coeffs_merged () =
+  (* The builder must merge duplicate variable entries in a row. *)
+  let b = P.Builder.create () in
+  let x = P.Builder.add_var b "x" in
+  P.Builder.set_objective b [ (x, R.one) ];
+  P.Builder.add_row b [ (x, R.one); (x, R.one) ] P.Ge (R.of_int 4);
+  let p = P.Builder.freeze b in
+  let obj, values = get_optimal (Simplex.solve_pure_exact p) in
+  Alcotest.check rt "merged row obj" (R.of_int 2) obj;
+  Alcotest.check rt "merged row x" (R.of_int 2) values.(0)
+
+let test_check_feasible () =
+  let p =
+    make_problem 2 [ (0, 1) ]
+      [ ([ (0, 1); (1, 1) ], P.Le, 3); ([ (0, 1) ], P.Ge, 1) ]
+  in
+  Alcotest.(check bool) "feasible point" true
+    (Result.is_ok (P.check_feasible p [| R.one; R.one |]));
+  Alcotest.(check bool) "violates row" true
+    (Result.is_error (P.check_feasible p [| R.of_int 5; R.zero |]));
+  Alcotest.(check bool) "negative var" true
+    (Result.is_error (P.check_feasible p [| R.of_int 2; R.of_int (-1) |]))
+
+(* ------------------------------------------------------------------ *)
+(* Property tests: random small LPs; hybrid and pure-exact must agree
+   exactly, and optimal solutions must be feasible. *)
+
+let gen_lp =
+  QCheck2.Gen.(
+    let small_coeff = int_range (-5) 5 in
+    let* nvars = int_range 1 5 in
+    let* nrows = int_range 1 6 in
+    let gen_row =
+      let* coeffs = list_size (return nvars) small_coeff in
+      let* rel = oneofl [ P.Le; P.Ge; P.Eq ] in
+      let* rhs = int_range 0 20 in
+      return (coeffs, rel, rhs)
+    in
+    let* rows = list_size (return nrows) gen_row in
+    let* obj = list_size (return nvars) small_coeff in
+    (* Bound the feasible region so the LP cannot be unbounded: add
+       sum x_i <= 50. *)
+    return (nvars, obj, rows))
+
+let build_lp (nvars, obj, rows) =
+  let b = P.Builder.create ~direction:P.Minimize () in
+  let vars = List.init nvars (fun i -> P.Builder.add_var b (Printf.sprintf "x%d" i)) in
+  P.Builder.set_objective b (List.mapi (fun i c -> (i, R.of_int c)) obj);
+  List.iter
+    (fun (coeffs, rel, rhs) ->
+       P.Builder.add_row b (List.mapi (fun i c -> (i, R.of_int c)) coeffs) rel (R.of_int rhs))
+    rows;
+  P.Builder.add_row b (List.map (fun v -> (v, R.one)) vars) P.Le (R.of_int 50);
+  P.Builder.freeze b
+
+let prop_exact_hybrid_agree =
+  QCheck2.Test.make ~count:300 ~name:"hybrid agrees with pure exact" gen_lp
+    (fun spec ->
+       let p = build_lp spec in
+       match (Simplex.solve_pure_exact p, Simplex.solve_exact p) with
+       | P.Optimal o1, P.Optimal o2 -> R.equal o1.objective_value o2.objective_value
+       | P.Infeasible, P.Infeasible -> true
+       | P.Unbounded, P.Unbounded -> true
+       | _ -> false)
+
+let prop_optimal_feasible =
+  QCheck2.Test.make ~count:300 ~name:"optimal solutions are feasible" gen_lp
+    (fun spec ->
+       let p = build_lp spec in
+       match Simplex.solve_exact p with
+       | P.Optimal { objective_value; values } ->
+         Result.is_ok (P.check_feasible p values)
+         && R.equal objective_value (P.objective_value p values)
+       | P.Infeasible | P.Unbounded -> true)
+
+let prop_float_close =
+  QCheck2.Test.make ~count:200 ~name:"float solver close to exact" gen_lp
+    (fun spec ->
+       let p = build_lp spec in
+       match (Simplex.solve_pure_exact p, Simplex.solve_float p) with
+       | P.Optimal o1, P.Optimal o2 ->
+         Float.abs (R.to_float o1.objective_value -. R.to_float o2.objective_value) < 1e-4
+       | P.Infeasible, P.Infeasible -> true
+       | _, _ -> true (* float may legitimately misclassify edge cases *))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_exact_hybrid_agree; prop_optimal_feasible; prop_float_close ]
+
+let () =
+  Alcotest.run "simplex"
+    [ ( "unit",
+        [ Alcotest.test_case "classic max" `Quick test_classic_max;
+          Alcotest.test_case "min with >=" `Quick test_min_ge;
+          Alcotest.test_case "equality rows" `Quick test_equality;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "beale cycling" `Quick test_beale_cycling;
+          Alcotest.test_case "fractional vertex" `Quick test_fractional_vertex;
+          Alcotest.test_case "redundant rows" `Quick test_redundant_rows;
+          Alcotest.test_case "zero objective" `Quick test_zero_objective;
+          Alcotest.test_case "duplicate coeffs" `Quick test_duplicate_coeffs_merged;
+          Alcotest.test_case "check_feasible" `Quick test_check_feasible ] );
+      ("properties", props) ]

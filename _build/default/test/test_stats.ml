@@ -1,0 +1,58 @@
+(* Tests for the summary-statistics helper. *)
+
+let close = Alcotest.(check (float 1e-9))
+
+let test_basic () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  close "mean" 2.5 s.Stats.mean;
+  close "min" 1.0 s.Stats.minimum;
+  close "max" 4.0 s.Stats.maximum;
+  close "median" 2.5 s.Stats.median;
+  close "stddev" (Float.sqrt 1.25) s.Stats.stddev
+
+let test_single () =
+  let s = Stats.summarize [ 7.0 ] in
+  close "mean" 7.0 s.Stats.mean;
+  close "median" 7.0 s.Stats.median;
+  close "p90" 7.0 s.Stats.p90;
+  close "stddev" 0.0 s.Stats.stddev
+
+let test_empty () =
+  Alcotest.(check int) "empty count" 0 (Stats.summarize []).Stats.count
+
+let test_percentile () =
+  close "p0" 1.0 (Stats.percentile [ 3.0; 1.0; 2.0 ] 0.0);
+  close "p100" 3.0 (Stats.percentile [ 3.0; 1.0; 2.0 ] 1.0);
+  close "p50 interp" 1.5 (Stats.percentile [ 1.0; 2.0 ] 0.5);
+  Alcotest.check_raises "bad q" (Invalid_argument "Stats.percentile: q outside [0,1]")
+    (fun () -> ignore (Stats.percentile [ 1.0 ] 1.5))
+
+let gen_sample = QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 100.0))
+
+let prop_bounds =
+  QCheck2.Test.make ~count:300 ~name:"min <= median <= p90 <= max, mean within [min,max]"
+    gen_sample
+    (fun xs ->
+       let s = Stats.summarize xs in
+       s.Stats.minimum <= s.Stats.median +. 1e-9
+       && s.Stats.median <= s.Stats.p90 +. 1e-9
+       && s.Stats.p90 <= s.Stats.maximum +. 1e-9
+       && s.Stats.minimum <= s.Stats.mean +. 1e-9
+       && s.Stats.mean <= s.Stats.maximum +. 1e-9)
+
+let prop_shift_invariance =
+  QCheck2.Test.make ~count:200 ~name:"stddev shift-invariant" gen_sample
+    (fun xs ->
+       let s1 = Stats.summarize xs in
+       let s2 = Stats.summarize (List.map (fun x -> x +. 42.0) xs) in
+       Float.abs (s1.Stats.stddev -. s2.Stats.stddev) < 1e-6)
+
+let () =
+  Alcotest.run "stats"
+    [ ( "unit",
+        [ Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "single" `Quick test_single;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "percentile" `Quick test_percentile ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_bounds; prop_shift_invariance ]) ]
