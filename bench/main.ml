@@ -148,11 +148,35 @@ let run_benchmarks () =
                else Printf.sprintf "%.0f ns" ns
              in
              [ name; pretty; Printf.sprintf "%.3f" r2 ])
-          rows))
+          rows));
+  rows
+
+(* Machine-readable performance snapshot, for regression tracking across
+   revisions (compare two BENCH_*.json files to spot slowdowns). *)
+let write_snapshot path rows =
+  let json =
+    Tjson.Obj
+      [ ("schema", Tjson.String "ipc-bench/1");
+        ("benchmarks",
+         Tjson.List
+           (List.map
+              (fun (name, ns, r2) ->
+                 Tjson.Obj
+                   [ ("name", Tjson.String name);
+                     ("ns_per_call", Tjson.Float ns);
+                     ("r_square", Tjson.Float r2) ])
+              rows)) ]
+  in
+  let oc = open_out path in
+  Tjson.to_channel oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d benchmarks)\n%!" path (List.length rows)
 
 let () =
   Printf.printf "=== Part 1: micro-benchmarks ===\n%!";
-  run_benchmarks ();
+  let rows = run_benchmarks () in
+  write_snapshot "BENCH_1.json" rows;
   Printf.printf "\n=== Part 2: experiment battery (E1-E13) ===\n%!";
   List.iter
     (fun t ->

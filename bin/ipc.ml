@@ -10,9 +10,36 @@
      parallel    reproduce E2/E9/E10/E11 (parallel-disk experiments)
      lp          solve one instance with the synchronized LP and print the
                  fractional optimum and the rounded schedule
-     experiments run the complete E1-E13 battery *)
+     experiments run the complete E1-E13 battery
+     profile     run one algorithm and write a Chrome trace-event timeline
+
+   Every subcommand also accepts --metrics[=PATH]: enable the telemetry
+   registry for the run and dump it as JSONL when the command finishes. *)
 
 open Cmdliner
+
+(* --metrics[=PATH], shared by all subcommands. *)
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "metrics.jsonl") (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Enable the telemetry registry and, when the command finishes, dump every \
+           registered metric as JSON-lines to $(docv) (default $(b,metrics.jsonl)).")
+
+let with_metrics metrics f =
+  (match metrics with Some _ -> Telemetry.set_enabled true | None -> ());
+  Fun.protect f ~finally:(fun () ->
+      match metrics with
+      | None -> ()
+      | Some path ->
+        (try
+           Metrics_export.write_file path (Telemetry.snapshot ());
+           Printf.eprintf "metrics: wrote %s\n%!" path
+         with Sys_error msg ->
+           (* A failed dump should not mask the command's own result. *)
+           Printf.eprintf "metrics: %s\n%!" msg))
 
 let workload_conv =
   let parse s =
@@ -40,32 +67,34 @@ let workload_arg =
 let mk_instance name ~seed ~n ~blocks ~k ~f =
   Workload.single_instance ~k ~fetch_time:f ((family name).Workload.generate ~seed ~n ~num_blocks:blocks)
 
+let alg_arg =
+  Arg.(
+    value
+    & opt (enum [ ("aggressive", `Agg); ("conservative", `Cons); ("combination", `Comb); ("opt", `Opt) ]) `Agg
+    & info [ "a"; "algorithm" ] ~doc:"Algorithm: aggressive|conservative|combination|opt.")
+
+let schedule_of alg inst =
+  match alg with
+  | `Agg -> Aggressive.schedule inst
+  | `Cons -> Conservative.schedule inst
+  | `Comb -> Combination.schedule inst
+  | `Opt -> (Opt_single.solve inst).Opt_single.schedule
+
 (* simulate *)
 let simulate_cmd =
-  let alg_arg =
-    Arg.(
-      value
-      & opt (enum [ ("aggressive", `Agg); ("conservative", `Cons); ("combination", `Comb); ("opt", `Opt) ]) `Agg
-      & info [ "a"; "algorithm" ] ~doc:"Algorithm: aggressive|conservative|combination|opt.")
-  in
   let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full event trace.") in
   let gantt_arg = Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.") in
   let file_arg =
     Arg.(value & opt (some string) None & info [ "file" ] ~doc:"Load the instance from a trace file instead of generating it.")
   in
-  let run wname seed n blocks k f alg trace gantt file =
+  let run metrics wname seed n blocks k f alg trace gantt file =
+    with_metrics metrics @@ fun () ->
     let inst =
       match file with
       | Some path -> Trace_io.load_instance path
       | None -> mk_instance wname ~seed ~n ~blocks ~k ~f
     in
-    let schedule =
-      match alg with
-      | `Agg -> Aggressive.schedule inst
-      | `Cons -> Conservative.schedule inst
-      | `Comb -> Combination.schedule inst
-      | `Opt -> (Opt_single.solve inst).Opt_single.schedule
-    in
+    let schedule = schedule_of alg inst in
     match Simulate.run ~record_events:trace inst schedule with
     | Error e -> Printf.printf "invalid schedule at t=%d: %s\n" e.Simulate.at_time e.Simulate.reason
     | Ok stats ->
@@ -74,19 +103,47 @@ let simulate_cmd =
       if gantt then Gantt.print inst schedule
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run one algorithm on a generated workload.")
-    Term.(const run $ workload_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg $ f_arg $ alg_arg $ trace_arg $ gantt_arg $ file_arg)
+    Term.(const run $ metrics_arg $ workload_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg $ f_arg $ alg_arg $ trace_arg $ gantt_arg $ file_arg)
+
+(* profile: one run, exported as a Chrome trace-event timeline. *)
+let profile_cmd =
+  let out_arg =
+    Arg.(value & opt string "trace.json" & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Trace output file.")
+  in
+  let run metrics wname seed n blocks k f alg out =
+    with_metrics metrics @@ fun () ->
+    let inst = mk_instance wname ~seed ~n ~blocks ~k ~f in
+    let schedule = schedule_of alg inst in
+    match Simulate.run ~record_events:true ~attribution:true inst schedule with
+    | Error e -> Printf.printf "invalid schedule at t=%d: %s\n" e.Simulate.at_time e.Simulate.reason
+    | Ok stats ->
+      Sim_trace.write_file out inst stats;
+      Format.printf "%a@.%a@." Instance.pp inst Simulate.pp_stats stats;
+      let invol = List.fold_left (fun a fs -> a + fs.Simulate.involuntary_stall) 0 stats.Simulate.stall_by_fetch in
+      let vol = List.fold_left (fun a fs -> a + fs.Simulate.voluntary_stall) 0 stats.Simulate.stall_by_fetch in
+      Printf.printf "stall attribution: involuntary=%d voluntary-delay=%d (total %d)\n" invol vol
+        stats.Simulate.stall_time;
+      Printf.printf "wrote %s - open it at https://ui.perfetto.dev or chrome://tracing\n" out
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run one algorithm and write a Chrome trace-event (Perfetto) timeline of the simulation.")
+    Term.(const run $ metrics_arg $ workload_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg $ f_arg $ alg_arg $ out_arg)
 
 (* compare *)
 let compare_cmd =
-  let run wname seed n blocks k f =
+  let run metrics wname seed n blocks k f =
+    with_metrics metrics @@ fun () ->
     let inst = mk_instance wname ~seed ~n ~blocks ~k ~f in
     let opt = Opt_single.stall_time inst in
     let rows =
       List.map
         (fun (alg : Measure.algorithm) ->
-           let s = Measure.stall inst alg in
+           (* One simulation per algorithm serves both columns. *)
+           let stats = Measure.run_stats inst alg in
+           let s = stats.Simulate.stall_time in
            [ alg.Measure.name; string_of_int s;
-             Printf.sprintf "%.3f" (float_of_int (n + s) /. float_of_int (n + opt)) ])
+             Printf.sprintf "%.3f" (float_of_int stats.Simulate.elapsed_time /. float_of_int (n + opt)) ])
         (Measure.all_single_disk_algorithms
          @ [ Measure.delay_algorithm (Bounds.delay_opt_d ~f) ])
       @ [ [ "opt"; string_of_int opt; "1.000" ] ]
@@ -97,11 +154,14 @@ let compare_cmd =
          ~headers:[ "algorithm"; "stall"; "elapsed ratio" ] rows)
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare all single-disk algorithms on one workload.")
-    Term.(const run $ workload_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg $ f_arg)
+    Term.(const run $ metrics_arg $ workload_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg $ f_arg)
 
 (* Experiment wrappers. *)
 let table_cmd name doc mk =
-  Cmd.v (Cmd.info name ~doc) Term.(const (fun () -> List.iter Tablefmt.print (mk ())) $ const ())
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (fun metrics -> with_metrics metrics (fun () -> List.iter Tablefmt.print (mk ())))
+      $ metrics_arg)
 
 let sweep_cmd = table_cmd "sweep" "Reproduce E3/E8: ratio sweeps vs bounds." (fun () -> [ Experiments_single.e3_e8 () ])
 let lower_cmd = table_cmd "lowerbound" "Reproduce E4: the Theorem 2 family." (fun () -> [ Experiments_single.e4 () ])
@@ -120,7 +180,8 @@ let experiments_cmd =
 (* lp *)
 let lp_cmd =
   let d_arg = Arg.(value & opt int 2 & info [ "d"; "disks" ] ~doc:"Number of disks.") in
-  let run wname seed n blocks k f d =
+  let run metrics wname seed n blocks k f d =
+    with_metrics metrics @@ fun () ->
     let seq = (family wname).Workload.generate ~seed ~n ~num_blocks:blocks in
     let inst =
       if d = 1 then Workload.single_instance ~k ~fetch_time:f seq
@@ -140,14 +201,21 @@ let lp_cmd =
     List.iter (fun op -> Format.printf "  %a@." Fetch_op.pp op) r.Rounding.schedule
   in
   Cmd.v (Cmd.info "lp" ~doc:"Solve one instance with the synchronized LP and round it.")
-    Term.(const run $ workload_arg $ seed_arg $ Arg.(value & opt int 16 & info [ "n" ]) $ blocks_arg $ k_arg $ f_arg $ d_arg)
+    Term.(const run $ metrics_arg $ workload_arg $ seed_arg $ Arg.(value & opt int 16 & info [ "n" ]) $ blocks_arg $ k_arg $ f_arg $ d_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
-  exit
-    (Cmd.eval
-       (Cmd.group ~default
-          (Cmd.info "ipc" ~version:"1.0"
-             ~doc:"Integrated prefetching and caching in single and parallel disk systems")
-          [ simulate_cmd; compare_cmd; sweep_cmd; lower_cmd; delay_cmd; parallel_cmd; lp_cmd;
-            experiments_cmd ]))
+  let status =
+    try
+      Cmd.eval ~catch:false
+        (Cmd.group ~default
+           (Cmd.info "ipc" ~version:"1.0"
+              ~doc:"Integrated prefetching and caching in single and parallel disk systems")
+           [ simulate_cmd; compare_cmd; sweep_cmd; lower_cmd; delay_cmd; parallel_cmd; lp_cmd;
+             experiments_cmd; profile_cmd ])
+    with
+    | Sys_error msg | Failure msg ->
+      Printf.eprintf "ipc: %s\n" msg;
+      1
+  in
+  exit status

@@ -30,6 +30,9 @@ module Pq = Set.Make (struct
   let compare = compare
 end)
 
+let m_solves = Telemetry.counter "opt_parallel.solves"
+let m_states = Telemetry.histogram "opt_parallel.states"
+
 let solve_stall ?(extra_slots = 0) (inst : Instance.t) : int =
   let n = Instance.length inst in
   let num_blocks = Instance.num_blocks inst in
@@ -148,4 +151,8 @@ let solve_stall ?(extra_slots = 0) (inst : Instance.t) : int =
         end
       end
   done;
+  if Telemetry.enabled () then begin
+    Telemetry.incr m_solves;
+    Telemetry.observe_int m_states (Tbl.length dist)
+  end;
   Option.get !answer

@@ -23,6 +23,9 @@ type outcome = {
 
 let max_blocks = 62
 
+let m_solves = Telemetry.counter "opt_single.solves"
+let m_states = Telemetry.histogram "opt_single.dp_states"
+
 (* Serve forward while a fetch is in flight: from cursor [c] with cache
    [mask], the fetch completes after [f] time units; returns the cursor
    after those units and the stall incurred.  Purely deterministic. *)
@@ -150,6 +153,10 @@ let solve (inst : Instance.t) : outcome =
     end
   in
   rebuild 0 initial_mask 0;
+  if Telemetry.enabled () then begin
+    Telemetry.incr m_solves;
+    Telemetry.observe_int m_states (Hashtbl.length memo)
+  end;
   { stall = optimal; schedule = List.rev !ops }
 
 let stall_time inst = (solve inst).stall

@@ -793,6 +793,26 @@ type result = {
   extra_slots_allowed : int;
 }
 
+(* Registry handles: the result record's ad-hoc reporting fields
+   ([laminar], [candidates_tried], [used_fallback]) also flow into the
+   global registry so sweeps can aggregate them without threading records
+   around. *)
+let m_solves = Telemetry.counter "rounding.solves"
+let m_non_laminar = Telemetry.counter "rounding.non_laminar"
+let m_fallbacks = Telemetry.counter "rounding.fallbacks"
+let m_candidates = Telemetry.histogram "rounding.candidates_tried"
+let m_stall_hist = Telemetry.histogram "rounding.stall_time"
+
+let report (r : result) : result =
+  if Telemetry.enabled () then begin
+    Telemetry.incr m_solves;
+    if not r.laminar then Telemetry.incr m_non_laminar;
+    if r.used_fallback then Telemetry.incr m_fallbacks;
+    Telemetry.observe_int m_candidates r.candidates_tried;
+    Telemetry.observe_int m_stall_hist r.stats.Simulate.stall_time
+  end;
+  r
+
 let solve ?(solver = Simplex.solve_exact) (inst : Instance.t) : result =
   let { Sync_lp.frac; lp_value } = Sync_lp.solve ~solver inst in
   let norm = of_fractional frac in
@@ -846,14 +866,15 @@ let solve ?(solver = Simplex.solve_exact) (inst : Instance.t) : result =
   in
   match best_of candidates with
   | Some (schedule, stats, nominal) ->
-    { schedule;
-      stats;
-      lp_value;
-      nominal_stall = nominal;
-      laminar = norm.laminar;
-      used_fallback = false;
-      candidates_tried = !tried;
-      extra_slots_allowed = extra }
+    report
+      { schedule;
+        stats;
+        lp_value;
+        nominal_stall = nominal;
+        laminar = norm.laminar;
+        used_fallback = false;
+        candidates_tried = !tried;
+        extra_slots_allowed = extra }
   | None ->
     (* Last resort: greedy baseline (always valid). *)
     let schedule = Parallel_greedy.aggressive_schedule inst in
@@ -862,13 +883,14 @@ let solve ?(solver = Simplex.solve_exact) (inst : Instance.t) : result =
       | Ok s -> s
       | Error e -> failwith ("Rounding fallback invalid: " ^ e.Simulate.reason)
     in
-    { schedule;
-      stats;
-      lp_value;
-      nominal_stall = stats.Simulate.stall_time;
-      laminar = norm.laminar;
-      used_fallback = true;
-      candidates_tried = !tried;
-      extra_slots_allowed = extra }
+    report
+      { schedule;
+        stats;
+        lp_value;
+        nominal_stall = stats.Simulate.stall_time;
+        laminar = norm.laminar;
+        used_fallback = true;
+        candidates_tried = !tried;
+        extra_slots_allowed = extra }
 
 let stall_time ?solver inst = (solve ?solver inst).stats.Simulate.stall_time

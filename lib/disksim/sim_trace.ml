@@ -1,0 +1,110 @@
+(* Chrome trace-event export of a simulation: a machine-readable Gantt
+   chart superseding the ASCII one in {!Gantt}.
+
+   Lane layout (one trace "process", pid 1):
+     tid 0        cpu   - serve runs as duration events, stall units as
+                          instant events;
+     tid 1 + d    disk d - each fetch as a duration event carrying its
+                          operation details and stall charges.
+   The cache-occupancy timeline is emitted as counter events ("C"), which
+   Perfetto renders as a track graph.  One simulator time unit maps to
+   {!Trace_event.us_per_unit} microseconds.
+
+   Requires a run with [record_events]; stall charges and the occupancy
+   track additionally need [attribution] (both are on in `ipc profile`). *)
+
+let us = Trace_event.us_per_unit
+
+let scale t = t * us
+
+(* Consecutive serves form one duration event; a run of n serves from
+   request index i covers [t, t+n). *)
+let rec serve_runs events =
+  match events with
+  | Simulate.Serve { time; index; _ } :: _ ->
+    let rec extend len = function
+      | Simulate.Serve { time = t'; index = i'; _ } :: rest
+        when t' = time + len && i' = index + len ->
+        extend (len + 1) rest
+      | rest -> (len, rest)
+    in
+    let len, rest = extend 0 events in
+    (time, index, len) :: serve_runs rest
+  | _ :: rest -> serve_runs rest
+  | [] -> []
+
+let fetch_args (inst : Instance.t) (stats : Simulate.stats) (f : Fetch_op.t) =
+  let charges =
+    List.find_opt (fun (a : Simulate.fetch_stall) -> a.fetch == f) stats.Simulate.stall_by_fetch
+  in
+  [ ("block", Tjson.Int f.Fetch_op.block);
+    ("disk", Tjson.Int f.Fetch_op.disk);
+    ("at_cursor", Tjson.Int f.Fetch_op.at_cursor);
+    ("delay", Tjson.Int f.Fetch_op.delay);
+    ("evict",
+     match f.Fetch_op.evict with None -> Tjson.Null | Some b -> Tjson.Int b);
+    ("fetch_time", Tjson.Int inst.Instance.fetch_time) ]
+  @
+  match charges with
+  | None -> []
+  | Some a ->
+    [ ("stall_involuntary", Tjson.Int a.Simulate.involuntary_stall);
+      ("stall_voluntary", Tjson.Int a.Simulate.voluntary_stall) ]
+
+let events (inst : Instance.t) (stats : Simulate.stats) : Trace_event.t list =
+  let meta =
+    Trace_event.process_name "ipc simulation"
+    :: Trace_event.thread_name ~tid:0 "cpu"
+    :: Trace_event.thread_sort_index ~tid:0 0
+    :: List.concat
+         (List.init inst.Instance.num_disks (fun d ->
+              [ Trace_event.thread_name ~tid:(d + 1) (Printf.sprintf "disk %d" d);
+                Trace_event.thread_sort_index ~tid:(d + 1) (d + 1) ]))
+  in
+  let serves =
+    List.map
+      (fun (time, index, len) ->
+         Trace_event.duration ~cat:"cpu"
+           ~name:
+             (if len = 1 then Printf.sprintf "serve r%d" (index + 1)
+              else Printf.sprintf "serve r%d-r%d" (index + 1) (index + len))
+           ~args:[ ("first_request", Tjson.Int (index + 1)); ("requests", Tjson.Int len) ]
+           ~ts:(scale time) ~dur:(scale len) ~tid:0 ())
+      (serve_runs stats.Simulate.events)
+  in
+  let stalls_and_fetches =
+    List.filter_map
+      (function
+        | Simulate.Serve _ -> None
+        | Simulate.Stall { time } ->
+          Some (Trace_event.instant ~cat:"stall" ~name:"stall" ~ts:(scale time) ~tid:0 ())
+        | Simulate.Fetch_start { time; fetch } ->
+          (* Completion time is start + F by construction; pairing with the
+             matching Fetch_complete would yield the same duration. *)
+          Some
+            (Trace_event.duration ~cat:"fetch"
+               ~name:(Printf.sprintf "fetch b%d" fetch.Fetch_op.block)
+               ~args:(fetch_args inst stats fetch)
+               ~ts:(scale time)
+               ~dur:(scale inst.Instance.fetch_time)
+               ~tid:(fetch.Fetch_op.disk + 1) ())
+        | Simulate.Fetch_complete _ -> None)
+      stats.Simulate.events
+  in
+  let occupancy =
+    List.map
+      (fun (time, occ) ->
+         Trace_event.counter ~name:"cache occupancy" ~ts:(scale time)
+           ~values:[ ("blocks", float_of_int occ) ]
+           ())
+      stats.Simulate.occupancy
+  in
+  meta @ serves @ stalls_and_fetches @ occupancy
+
+let to_string inst stats = Trace_event.to_string (events inst stats)
+
+let write oc inst stats = Trace_event.write oc (events inst stats)
+
+let write_file path inst stats =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc inst stats)

@@ -1,0 +1,16 @@
+(** Chrome trace-event export of a simulation - the machine-readable
+    Gantt chart ([chrome://tracing] / Perfetto) superseding the ASCII one.
+
+    Lanes: tid 0 is the cpu (serve runs as duration events, stall units
+    as instants), tid [1+d] is disk [d] (fetches as duration events with
+    their stall charges in [args]); the cache-occupancy timeline becomes
+    counter events.  Requires a run with [record_events]; stall charges
+    and the occupancy track additionally need [attribution]. *)
+
+val events : Instance.t -> Simulate.stats -> Trace_event.t list
+
+val to_string : Instance.t -> Simulate.stats -> string
+
+val write : out_channel -> Instance.t -> Simulate.stats -> unit
+
+val write_file : string -> Instance.t -> Simulate.stats -> unit

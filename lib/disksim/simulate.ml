@@ -14,13 +14,35 @@
      [first_time_cursor_reached(c) + d].
 
    Stall benefits all in-flight fetches simultaneously, which is exactly the
-   parallel-disk behaviour described in the paper's two-disk example. *)
+   parallel-disk behaviour described in the paper's two-disk example.
+
+   Beyond validation, the executor is the system's primary telemetry
+   source.  Per-disk busy time is always tracked (charged per fetch start,
+   not per simulated unit, so the hot loop is unchanged).  When
+   [attribution] is requested (or the global telemetry registry is
+   enabled) each stall unit is additionally *charged to the fetch that
+   caused it*: the fetch supplying the block the processor is waiting on.
+   If that fetch is already in flight the unit is an involuntary stall
+   (the disk simply has not finished); if it is still armed - scheduled
+   but deliberately started later - the unit is a voluntary-delay stall,
+   the algorithm's choice.  For every accepted schedule the charges
+   partition the stall: sum over fetches of (involuntary + voluntary)
+   equals [stall_time] exactly; the delayed-hits literature calls this
+   stall-time attribution and it is the lens the ROADMAP's latency work
+   needs. *)
 
 type event =
   | Serve of { time : int; index : int; block : Instance.block }
   | Stall of { time : int }
   | Fetch_start of { time : int; fetch : Fetch_op.t }
   | Fetch_complete of { time : int; fetch : Fetch_op.t }
+
+type fetch_stall = {
+  fetch : Fetch_op.t;
+  fetch_index : int;  (* position in the submitted schedule *)
+  involuntary_stall : int;  (* units stalled while this fetch was in flight *)
+  voluntary_stall : int;  (* units stalled while this fetch was armed but delayed *)
+}
 
 type stats = {
   stall_time : int;
@@ -29,6 +51,10 @@ type stats = {
   fetches_completed : int;
   peak_occupancy : int;  (* max over time of |cache| + #in-flight fetches *)
   events : event list;  (* chronological *)
+  disk_busy : int array;  (* per-disk busy time units (always computed) *)
+  stall_by_fetch : fetch_stall list;  (* schedule order; empty unless [attribution] *)
+  occupancy : (int * int) list;  (* (time, |cache| + in-flight) at change points;
+                                    empty unless [attribution] *)
 }
 
 type error = {
@@ -46,18 +72,38 @@ let pp_stats fmt s =
   Format.fprintf fmt "stall=%d elapsed=%d fetches=%d peak_occupancy=%d" s.stall_time
     s.elapsed_time s.fetches_completed s.peak_occupancy
 
+let pp_fetch_stall fmt a =
+  Format.fprintf fmt "%a: involuntary=%d voluntary=%d" Fetch_op.pp a.fetch a.involuntary_stall
+    a.voluntary_stall
+
 exception Reject of error
 
 let rejectf at_time fmt = Printf.ksprintf (fun reason -> raise (Reject { reason; at_time })) fmt
 
+(* Registry handles (registration is once-per-name and happens eagerly;
+   all mutations below are gated on [Telemetry.enabled]). *)
+let m_runs = Telemetry.counter "simulate.runs"
+let m_rejected = Telemetry.counter "simulate.rejected"
+let m_stall_units = Telemetry.counter "simulate.stall_units"
+let m_stall_involuntary = Telemetry.counter "simulate.stall.involuntary"
+let m_stall_voluntary = Telemetry.counter "simulate.stall.voluntary"
+let m_fetches = Telemetry.counter "simulate.fetches_completed"
+let m_stall_hist = Telemetry.histogram "simulate.stall_time"
+let m_peak_hist = Telemetry.histogram "simulate.peak_occupancy"
+let m_util_hist = Telemetry.histogram "simulate.disk_utilization"
+
 (* [extra_slots] extends capacity beyond k (the paper's parallel algorithm
    is allowed 2(D-1) extra locations).  [record_events] controls whether the
-   full event trace is accumulated (examples want it; sweeps do not). *)
-let run ?(extra_slots = 0) ?(record_events = false) (inst : Instance.t)
+   full event trace is accumulated (examples want it; sweeps do not).
+   [attribution] additionally charges every stall unit to a fetch and
+   samples the occupancy timeline; it is forced on while the telemetry
+   registry is enabled so metrics dumps always carry the attribution. *)
+let run ?(extra_slots = 0) ?(record_events = false) ?(attribution = false) (inst : Instance.t)
     (schedule : Fetch_op.schedule) : (stats, error) Result.t =
   let n = Instance.length inst in
   let capacity = inst.Instance.cache_size + extra_slots in
   let num_blocks = Instance.num_blocks inst in
+  let attribution = attribution || Telemetry.enabled () in
   (* Static validation of fetch operations. *)
   let validate f =
     let open Fetch_op in
@@ -74,121 +120,251 @@ let run ?(extra_slots = 0) ?(record_events = false) (inst : Instance.t)
     | Some b when b < 0 || b >= num_blocks -> rejectf 0 "eviction of unknown block %d" b
     | _ -> ()
   in
-  try
-    List.iter validate schedule;
-    (* State. *)
-    let in_cache = Array.make num_blocks false in
-    List.iter (fun b -> in_cache.(b) <- true) inst.Instance.initial_cache;
-    let cache_count = ref (List.length inst.Instance.initial_cache) in
-    let in_flight = Array.make inst.Instance.num_disks None in
-    (* in_flight.(d) = Some (fetch, end_time) *)
-    let in_flight_count = ref 0 in
-    let block_in_flight = Array.make num_blocks false in
-    (* Pending fetches grouped by anchor cursor. *)
-    let by_cursor = Array.make (n + 1) [] in
-    List.iter (fun f -> by_cursor.(f.Fetch_op.at_cursor) <- f :: by_cursor.(f.Fetch_op.at_cursor)) schedule;
-    for c = 0 to n do
-      by_cursor.(c) <- List.sort Fetch_op.compare_start by_cursor.(c)
-    done;
-    (* Fetches whose absolute start time is known (anchor reached):
-       (start_time, fetch), kept sorted by start time. *)
-    let armed = ref [] in
-    let arm time c =
-      armed :=
-        List.merge
-          (fun (t1, f1) (t2, f2) -> match compare t1 t2 with 0 -> Fetch_op.compare_start f1 f2 | x -> x)
-          !armed
-          (List.map (fun f -> (time + f.Fetch_op.delay, f)) by_cursor.(c));
-      by_cursor.(c) <- []
-    in
-    let events = ref [] in
-    let push e = if record_events then events := e :: !events in
-    let stall = ref 0 in
-    let started = ref 0 in
-    let completed = ref 0 in
-    let peak = ref !cache_count in
-    let cursor = ref 0 in
-    let t = ref 0 in
-    arm 0 0;
-    (* Upper bound on total time: every fetch costs at most F (+delays). *)
-    let horizon =
-      n + List.fold_left (fun acc f -> acc + inst.Instance.fetch_time + f.Fetch_op.delay) 0 schedule + 1
-    in
-    while !cursor < n do
-      if !t > horizon then rejectf !t "simulation exceeded time horizon (deadlock)";
-      (* 1. Completions at instant t. *)
-      for d = 0 to inst.Instance.num_disks - 1 do
-        match in_flight.(d) with
-        | Some (f, end_time) when end_time = !t ->
-          in_flight.(d) <- None;
-          decr in_flight_count;
-          block_in_flight.(f.Fetch_op.block) <- false;
-          in_cache.(f.Fetch_op.block) <- true;
-          incr cache_count;
-          incr completed;
-          push (Fetch_complete { time = !t; fetch = f })
-        | _ -> ()
-      done;
-      (* 2. Starts at instant t. *)
-      let rec start_due () =
-        match !armed with
-        | (start_time, f) :: rest when start_time = !t ->
-          armed := rest;
-          let open Fetch_op in
-          (match in_flight.(f.disk) with
-           | Some _ -> rejectf !t "disk %d already busy when fetch of b%d starts" f.disk f.block
-           | None -> ());
-          if in_cache.(f.block) then rejectf !t "fetch of b%d but it is already in cache" f.block;
-          if block_in_flight.(f.block) then rejectf !t "fetch of b%d already in flight" f.block;
-          (match f.evict with
-           | Some b ->
-             if not in_cache.(b) then rejectf !t "eviction of b%d which is not in cache" b;
-             in_cache.(b) <- false;
-             decr cache_count
-           | None -> ());
-          (* The started fetch reserves a slot for the incoming block. *)
-          if !cache_count + !in_flight_count + 1 > capacity then
-            rejectf !t "cache capacity %d exceeded" capacity;
-          in_flight.(f.disk) <- Some (f, !t + inst.Instance.fetch_time);
-          incr in_flight_count;
-          block_in_flight.(f.block) <- true;
-          incr started;
-          push (Fetch_start { time = !t; fetch = f });
-          start_due ()
-        | (start_time, _) :: _ when start_time < !t -> assert false
-        | _ -> ()
+  let result =
+    try
+      List.iter validate schedule;
+      (* Fetch operations are tracked by their index in the submitted
+         schedule so stall charges can name the exact operation. *)
+      let ops = Array.of_list schedule in
+      let nops = Array.length ops in
+      (* State. *)
+      let in_cache = Array.make num_blocks false in
+      List.iter (fun b -> in_cache.(b) <- true) inst.Instance.initial_cache;
+      let cache_count = ref (List.length inst.Instance.initial_cache) in
+      let in_flight = Array.make inst.Instance.num_disks None in
+      (* in_flight.(d) = Some (op_index, end_time) *)
+      let in_flight_count = ref 0 in
+      let block_in_flight = Array.make num_blocks false in
+      let disk_busy = Array.make inst.Instance.num_disks 0 in
+      (* Stall charges, indexed like [ops]. *)
+      let involuntary = Array.make (if attribution then nops else 0) 0 in
+      let voluntary = Array.make (if attribution then nops else 0) 0 in
+      (* Pending fetches grouped by anchor cursor, held as bare op indexes
+         (immediate ints) so the bookkeeping allocates exactly what the
+         un-instrumented executor did; [ops.(i)] recovers the fetch. *)
+      let by_cursor = Array.make (n + 1) [] in
+      Array.iteri
+        (fun i f -> by_cursor.(f.Fetch_op.at_cursor) <- i :: by_cursor.(f.Fetch_op.at_cursor))
+        ops;
+      let compare_pending i1 i2 =
+        match Fetch_op.compare_start ops.(i1) ops.(i2) with 0 -> Int.compare i1 i2 | c -> c
       in
-      start_due ();
-      if !cache_count + !in_flight_count > !peak then peak := !cache_count + !in_flight_count;
-      (* 3. Serve or stall during [t, t+1). *)
-      let b = inst.Instance.seq.(!cursor) in
-      if in_cache.(b) then begin
-        push (Serve { time = !t; index = !cursor; block = b });
-        incr cursor;
-        incr t;
-        arm !t !cursor
-      end
-      else begin
-        (* Stall is legal while a fetch is in flight or an armed fetch will
-           start later (a delayed start is a voluntary stall).  With neither,
-           the missing block can never arrive: reject as a deadlock. *)
-        if !in_flight_count = 0 && !armed = [] then
-          rejectf !t "request r%d (b%d) missing with no fetch in flight or scheduled" (!cursor + 1) b;
-        push (Stall { time = !t });
-        incr stall;
-        incr t
-      end
-    done;
-    (* Drain: any still-armed fetches after the last request are ignored for
-       timing (they cannot add stall) but still counted as unstarted. *)
-    Ok
-      { stall_time = !stall;
-        elapsed_time = !t;
-        fetches_started = !started;
-        fetches_completed = !completed;
-        peak_occupancy = !peak;
-        events = List.rev !events }
-  with Reject e -> Error e
+      for c = 0 to n do
+        by_cursor.(c) <- List.sort compare_pending by_cursor.(c)
+      done;
+      (* Fetches whose absolute start time is known (anchor reached):
+         (start_time, op_index), kept sorted by start time.  The merge and
+         the start-time listing are named functions so [arm] - called once
+         per serve - allocates no fresh closures. *)
+      let armed = ref [] in
+      let rec merge_armed l1 l2 =
+        match (l1, l2) with
+        | [], l | l, [] -> l
+        | (((t1, i1) as h1) :: r1), (((t2, i2) as h2) :: r2) ->
+          let c = match Int.compare t1 t2 with 0 -> compare_pending i1 i2 | x -> x in
+          if c <= 0 then h1 :: merge_armed r1 l2 else h2 :: merge_armed l1 r2
+      in
+      let rec start_times time = function
+        | [] -> []
+        | i :: tl -> (time + ops.(i).Fetch_op.delay, i) :: start_times time tl
+      in
+      let arm time c =
+        match by_cursor.(c) with
+        | [] -> ()
+        | pending ->
+          armed := merge_armed !armed (start_times time pending);
+          by_cursor.(c) <- []
+      in
+      let events = ref [] in
+      let push e = if record_events then events := e :: !events in
+      let occupancy = ref [] in
+      let last_occ = ref (-1) in
+      let sample_occ t =
+        if attribution then begin
+          let occ = !cache_count + !in_flight_count in
+          if occ <> !last_occ then begin
+            occupancy := (t, occ) :: !occupancy;
+            last_occ := occ
+          end
+        end
+      in
+      let stall = ref 0 in
+      let started = ref 0 in
+      let completed = ref 0 in
+      let peak = ref !cache_count in
+      let cursor = ref 0 in
+      let t = ref 0 in
+      arm 0 0;
+      sample_occ 0;
+      (* Upper bound on total time: every fetch costs at most F (+delays). *)
+      let horizon =
+        n + List.fold_left (fun acc f -> acc + inst.Instance.fetch_time + f.Fetch_op.delay) 0 schedule + 1
+      in
+      while !cursor < n do
+        if !t > horizon then rejectf !t "simulation exceeded time horizon (deadlock)";
+        (* 1. Completions at instant t. *)
+        for d = 0 to inst.Instance.num_disks - 1 do
+          match in_flight.(d) with
+          | Some (i, end_time) when end_time = !t ->
+            let f = ops.(i) in
+            in_flight.(d) <- None;
+            decr in_flight_count;
+            block_in_flight.(f.Fetch_op.block) <- false;
+            in_cache.(f.Fetch_op.block) <- true;
+            incr cache_count;
+            incr completed;
+            push (Fetch_complete { time = !t; fetch = f })
+          | _ -> ()
+        done;
+        (* 2. Starts at instant t. *)
+        let rec start_due () =
+          match !armed with
+          | (start_time, i) :: rest when start_time = !t ->
+            armed := rest;
+            let f = ops.(i) in
+            let open Fetch_op in
+            (match in_flight.(f.disk) with
+             | Some _ -> rejectf !t "disk %d already busy when fetch of b%d starts" f.disk f.block
+             | None -> ());
+            if in_cache.(f.block) then rejectf !t "fetch of b%d but it is already in cache" f.block;
+            if block_in_flight.(f.block) then rejectf !t "fetch of b%d already in flight" f.block;
+            (match f.evict with
+             | Some b ->
+               if not in_cache.(b) then rejectf !t "eviction of b%d which is not in cache" b;
+               in_cache.(b) <- false;
+               decr cache_count
+             | None -> ());
+            (* The started fetch reserves a slot for the incoming block. *)
+            if !cache_count + !in_flight_count + 1 > capacity then
+              rejectf !t "cache capacity %d exceeded" capacity;
+            in_flight.(f.disk) <- Some (i, !t + inst.Instance.fetch_time);
+            incr in_flight_count;
+            block_in_flight.(f.block) <- true;
+            (* Disks never pause: the fetch occupies the disk for exactly
+               [fetch_time] units, so busy time is charged up front and the
+               unfinished tail is refunded after the loop - no per-unit
+               bookkeeping. *)
+            disk_busy.(f.disk) <- disk_busy.(f.disk) + inst.Instance.fetch_time;
+            incr started;
+            push (Fetch_start { time = !t; fetch = f });
+            start_due ()
+          | (start_time, _) :: _ when start_time < !t -> assert false
+          | _ -> ()
+        in
+        start_due ();
+        if !cache_count + !in_flight_count > !peak then peak := !cache_count + !in_flight_count;
+        if attribution then sample_occ !t;
+        (* 3. Serve or stall during [t, t+1). *)
+        let b = inst.Instance.seq.(!cursor) in
+        if in_cache.(b) then begin
+          push (Serve { time = !t; index = !cursor; block = b });
+          incr cursor;
+          incr t;
+          arm !t !cursor
+        end
+        else begin
+          (* Stall is legal while a fetch is in flight or an armed fetch will
+             start later (a delayed start is a voluntary stall).  With neither,
+             the missing block can never arrive: reject as a deadlock. *)
+          if !in_flight_count = 0 && !armed = [] then
+            rejectf !t "request r%d (b%d) missing with no fetch in flight or scheduled" (!cursor + 1) b;
+          if attribution then begin
+            (* Charge the unit to the fetch supplying the needed block: in
+               flight -> involuntary, armed-but-delayed -> voluntary.  For
+               accepted schedules one of the two always exists (otherwise
+               the run deadlocks and is rejected); the fallbacks keep the
+               partition total even on paths that will reject later. *)
+            let charged = ref false in
+            for d = 0 to inst.Instance.num_disks - 1 do
+              match in_flight.(d) with
+              | Some (i, _) when (not !charged) && ops.(i).Fetch_op.block = b ->
+                involuntary.(i) <- involuntary.(i) + 1;
+                charged := true
+              | _ -> ()
+            done;
+            if not !charged then (
+              match List.find_opt (fun (_, i) -> ops.(i).Fetch_op.block = b) !armed with
+              | Some (_, i) ->
+                voluntary.(i) <- voluntary.(i) + 1;
+                charged := true
+              | None -> ());
+            if not !charged then begin
+              (* Doomed-to-reject path: no fetch of the needed block exists.
+                 Charge the earliest-completing in-flight fetch, else the
+                 earliest armed one, so the charge total stays exact. *)
+              let best = ref None in
+              for d = 0 to inst.Instance.num_disks - 1 do
+                match (in_flight.(d), !best) with
+                | Some (i, e), Some (_, e') when e < e' -> best := Some (i, e)
+                | Some (i, e), None -> best := Some (i, e)
+                | _ -> ()
+              done;
+              match (!best, !armed) with
+              | Some (i, _), _ -> involuntary.(i) <- involuntary.(i) + 1
+              | None, (_, i) :: _ -> voluntary.(i) <- voluntary.(i) + 1
+              | None, [] -> assert false (* rejected above *)
+            end
+          end;
+          push (Stall { time = !t });
+          incr stall;
+          incr t
+        end
+      done;
+      if attribution then sample_occ !t;
+      (* Refund busy time the in-flight fetches would spend past the end of
+         the run (the clock stops when the last request is served). *)
+      Array.iteri
+        (fun d fl ->
+           match fl with
+           | Some (_, end_time) when end_time > !t -> disk_busy.(d) <- disk_busy.(d) - (end_time - !t)
+           | _ -> ())
+        in_flight;
+      (* Drain: any still-armed fetches after the last request are ignored for
+         timing (they cannot add stall) but still counted as unstarted. *)
+      let stall_by_fetch =
+        if attribution then
+          Array.to_list
+            (Array.mapi
+               (fun i f ->
+                  { fetch = f;
+                    fetch_index = i;
+                    involuntary_stall = involuntary.(i);
+                    voluntary_stall = voluntary.(i) })
+               ops)
+        else []
+      in
+      Ok
+        { stall_time = !stall;
+          elapsed_time = !t;
+          fetches_started = !started;
+          fetches_completed = !completed;
+          peak_occupancy = !peak;
+          events = List.rev !events;
+          disk_busy;
+          stall_by_fetch;
+          occupancy = List.rev !occupancy }
+    with Reject e -> Error e
+  in
+  if Telemetry.enabled () then begin
+    (match result with
+     | Ok s ->
+       Telemetry.incr m_runs;
+       Telemetry.add m_stall_units s.stall_time;
+       Telemetry.add m_fetches s.fetches_completed;
+       List.iter
+         (fun a ->
+            Telemetry.add m_stall_involuntary a.involuntary_stall;
+            Telemetry.add m_stall_voluntary a.voluntary_stall)
+         s.stall_by_fetch;
+       Telemetry.observe_int m_stall_hist s.stall_time;
+       Telemetry.observe_int m_peak_hist s.peak_occupancy;
+       if s.elapsed_time > 0 then
+         Array.iter
+           (fun busy -> Telemetry.observe m_util_hist (float_of_int busy /. float_of_int s.elapsed_time))
+           s.disk_busy
+     | Error _ -> Telemetry.incr m_rejected)
+  end;
+  result
 
 (* Convenience wrappers. *)
 

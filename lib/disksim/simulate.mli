@@ -19,6 +19,16 @@ type event =
   | Fetch_start of { time : int; fetch : Fetch_op.t }
   | Fetch_complete of { time : int; fetch : Fetch_op.t }
 
+type fetch_stall = {
+  fetch : Fetch_op.t;
+  fetch_index : int;  (** position in the submitted schedule *)
+  involuntary_stall : int;
+      (** units stalled waiting on this fetch while it was in flight *)
+  voluntary_stall : int;
+      (** units stalled waiting on this fetch while it was armed but its
+          start deliberately delayed *)
+}
+
 type stats = {
   stall_time : int;
   elapsed_time : int;  (** always [length + stall_time] *)
@@ -26,19 +36,32 @@ type stats = {
   fetches_completed : int;
   peak_occupancy : int;  (** max over time of resident blocks + in-flight fetches *)
   events : event list;  (** chronological; empty unless [record_events] *)
+  disk_busy : int array;  (** per-disk busy time units; always computed *)
+  stall_by_fetch : fetch_stall list;
+      (** schedule order; empty unless [attribution].  For every accepted
+          schedule the charges partition the stall exactly:
+          sum (involuntary + voluntary) = [stall_time]. *)
+  occupancy : (int * int) list;
+      (** [(time, resident + in-flight)] samples at change points; empty
+          unless [attribution] *)
 }
 
 type error = { reason : string; at_time : int }
 
 val pp_event : Format.formatter -> event -> unit
 val pp_stats : Format.formatter -> stats -> unit
+val pp_fetch_stall : Format.formatter -> fetch_stall -> unit
 
 val run :
-  ?extra_slots:int -> ?record_events:bool -> Instance.t -> Fetch_op.schedule ->
-  (stats, error) Result.t
+  ?extra_slots:int -> ?record_events:bool -> ?attribution:bool -> Instance.t ->
+  Fetch_op.schedule -> (stats, error) Result.t
 (** [extra_slots] extends capacity beyond [k] (the paper's parallel
     algorithm may use [2(D-1)] extra locations); [record_events] keeps the
-    full trace.  Rejections include: fetches on busy disks, fetching
+    full trace; [attribution] (forced on while {!Telemetry.enabled})
+    charges each stall unit to the fetch supplying the block the processor
+    is waiting on - involuntary if that fetch is in flight, voluntary if
+    it is armed but deliberately delayed - and samples the occupancy
+    timeline.  Rejections include: fetches on busy disks, fetching
     resident or in-flight blocks, evicting absent blocks, capacity
     violations, wrong home disks, and deadlocks (a missing block that no
     in-flight or scheduled fetch can supply). *)

@@ -16,19 +16,19 @@ let all_single_disk_algorithms : algorithm list =
 
 let delay_algorithm d = { name = Printf.sprintf "delay(%d)" d; schedule = Delay.schedule ~d }
 
-let elapsed (inst : Instance.t) (alg : algorithm) : int =
+(* One simulation serves every derived measure: callers that need both
+   stall and elapsed time (or the full stats) must not pay for - or risk
+   diverging between - two executor runs of the same (instance, schedule)
+   pair. *)
+let run_stats (inst : Instance.t) (alg : algorithm) : Simulate.stats =
   match Simulate.run inst (alg.schedule inst) with
-  | Ok s -> s.Simulate.elapsed_time
+  | Ok s -> s
   | Error e ->
     failwith (Printf.sprintf "%s: invalid schedule at t=%d: %s" alg.name e.Simulate.at_time
                 e.Simulate.reason)
 
-let stall (inst : Instance.t) (alg : algorithm) : int =
-  match Simulate.run inst (alg.schedule inst) with
-  | Ok s -> s.Simulate.stall_time
-  | Error e ->
-    failwith (Printf.sprintf "%s: invalid schedule at t=%d: %s" alg.name e.Simulate.at_time
-                e.Simulate.reason)
+let elapsed (inst : Instance.t) (alg : algorithm) : int = (run_stats inst alg).Simulate.elapsed_time
+let stall (inst : Instance.t) (alg : algorithm) : int = (run_stats inst alg).Simulate.stall_time
 
 type ratio_stats = {
   max_ratio : float;

@@ -14,6 +14,13 @@ val all_single_disk_algorithms : algorithm list
 
 val delay_algorithm : int -> algorithm
 
+val run_stats : Instance.t -> algorithm -> Simulate.stats
+(** Schedule the instance with the algorithm and replay it once through the
+    simulator.  Callers that need several derived measures (stall time,
+    elapsed time, utilization...) should call this once rather than
+    {!elapsed} and {!stall} separately, which each pay a full run.
+    @raise Failure if the algorithm emits an invalid schedule. *)
+
 val elapsed : Instance.t -> algorithm -> int
 (** @raise Failure if the algorithm emits an invalid schedule. *)
 

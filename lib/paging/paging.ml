@@ -20,6 +20,20 @@ type result = {
   final_cache : Instance.block list;
 }
 
+(* Per-policy hit/miss/eviction counters, reported once per run (the
+   counter lookup is inside the enabled-gate, so disabled runs pay one
+   branch). *)
+let report policy ~n (r : result) : result =
+  if Telemetry.enabled () then begin
+    let c suffix = Telemetry.counter (Printf.sprintf "paging.%s.%s" policy suffix) in
+    Telemetry.add (c "requests") n;
+    Telemetry.add (c "misses") r.misses;
+    Telemetry.add (c "hits") (n - r.misses);
+    Telemetry.add (c "evictions")
+      (List.length (List.filter (fun rep -> rep.evicted <> None) r.replacements))
+  end;
+  r
+
 let run_generic ~choose_victim (inst : Instance.t) : result =
   let n = Instance.length inst in
   let num_blocks = Instance.num_blocks inst in
@@ -69,7 +83,7 @@ let min_offline (inst : Instance.t) : result =
          if sb > sbest || (sb = sbest && b < best) then b else best)
       (List.hd cache) (List.tl cache)
   in
-  run_generic ~choose_victim inst
+  report "min" ~n:(Instance.length inst) (run_generic ~choose_victim inst)
 
 (* LRU needs access recency, so it does not fit [run_generic]'s stateless
    victim choice; implement directly. *)
@@ -114,7 +128,8 @@ let lru (inst : Instance.t) : result =
     end;
     last_use.(b) <- i
   done;
-  { replacements = List.rev !replacements; misses = !misses; final_cache = List.sort compare !cache }
+  report "lru" ~n
+    { replacements = List.rev !replacements; misses = !misses; final_cache = List.sort compare !cache }
 
 let fifo (inst : Instance.t) : result =
   let num_blocks = Instance.num_blocks inst in
@@ -165,7 +180,8 @@ let fifo (inst : Instance.t) : result =
       replacements := { position = i; fetched = b; evicted } :: !replacements
     end
   done;
-  { replacements = List.rev !replacements; misses = !misses; final_cache = List.sort compare !cache }
+  report "fifo" ~n
+    { replacements = List.rev !replacements; misses = !misses; final_cache = List.sort compare !cache }
 
 (* CLOCK (second-chance): the classic practical LRU approximation.  Each
    resident block has a reference bit; the hand sweeps circularly, clearing
@@ -223,7 +239,8 @@ let clock (inst : Instance.t) : result =
     end
   done;
   let final = Array.to_list (Array.sub frames 0 !used) |> List.filter (fun b -> b >= 0) in
-  { replacements = List.rev !replacements; misses = !misses; final_cache = List.sort compare final }
+  report "clock" ~n
+    { replacements = List.rev !replacements; misses = !misses; final_cache = List.sort compare final }
 
 (* The randomized MARKING algorithm (Fiat et al.): O(log k)-competitive.
    Blocks are marked on access; on a miss with a full cache, a uniformly
@@ -272,7 +289,8 @@ let marking ?(seed = 1) (inst : Instance.t) : result =
     end;
     marked.(b) <- true
   done;
-  { replacements = List.rev !replacements; misses = !misses; final_cache = List.sort compare !cache }
+  report "marking" ~n
+    { replacements = List.rev !replacements; misses = !misses; final_cache = List.sort compare !cache }
 
 let pp_replacement fmt r =
   Format.fprintf fmt "@@r%d fetch b%d evict %s" (r.position + 1) r.fetched

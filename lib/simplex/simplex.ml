@@ -68,6 +68,25 @@ let standardize (p : Lp_problem.t) : standard =
   { nrows; nstruct; ncols; matrix; srhs; scost; slack_basis; flip_objective }
 
 (* ------------------------------------------------------------------ *)
+(* Solver statistics.  The int increments live inside the pivot loop but
+   are noise next to an O(rows x cols) pivot; they are always on, and the
+   hybrid driver forwards them to the telemetry registry when metrics are
+   enabled. *)
+
+type stats = {
+  mutable float_solves : int;
+  mutable certified : int;
+  mutable fallbacks : int;
+  mutable pivots : int;  (* total pivots, both fields, both phases *)
+  mutable degenerate_pivots : int;  (* pivots with no objective change *)
+  mutable bland_switches : int;  (* Dantzig -> Bland anti-stalling transitions *)
+}
+
+let stats =
+  { float_solves = 0; certified = 0; fallbacks = 0; pivots = 0; degenerate_pivots = 0;
+    bland_switches = 0 }
+
+(* ------------------------------------------------------------------ *)
 
 module Make (F : Lp_field.FIELD) = struct
   type outcome =
@@ -170,11 +189,15 @@ module Make (F : Lp_field.FIELD) = struct
         else begin
           let obj_before = cost.(rhs_ix) in
           pivot tableau cost basis !leave j width;
+          stats.pivots <- stats.pivots + 1;
           let improved = F.compare cost.(rhs_ix) obj_before <> 0 in
           if improved then loop (iters + 1) 0 false
           else begin
+            stats.degenerate_pivots <- stats.degenerate_pivots + 1;
             let stalled = stalled + 1 in
-            loop (iters + 1) stalled (bland || stalled > stall_threshold)
+            let bland' = bland || stalled > stall_threshold in
+            if bland' && not bland then stats.bland_switches <- stats.bland_switches + 1;
+            loop (iters + 1) stalled bland'
           end
         end
       end
@@ -366,28 +389,55 @@ let certify_basis (p : Lp_problem.t) (basis : int array) : Lp_problem.result opt
       end
   end
 
-type stats = { mutable float_solves : int; mutable certified : int; mutable fallbacks : int }
-
-let stats = { float_solves = 0; certified = 0; fallbacks = 0 }
+(* Registry handles; mutations are gated on [Telemetry.enabled]. *)
+let m_float_solves = Telemetry.counter "simplex.float_solves"
+let m_certified = Telemetry.counter "simplex.certified"
+let m_fallbacks = Telemetry.counter "simplex.fallbacks"
+let m_pivots = Telemetry.counter "simplex.pivots"
+let m_degenerate = Telemetry.counter "simplex.degenerate_pivots"
+let m_bland = Telemetry.counter "simplex.bland_switches"
 
 (* Hybrid exact solver: float simplex for speed, rational certification for
    exactness, full exact simplex as a fallback. *)
 let solve_exact (p : Lp_problem.t) : Lp_problem.result =
+  let pivots0 = stats.pivots in
+  let degenerate0 = stats.degenerate_pivots in
+  let bland0 = stats.bland_switches in
   stats.float_solves <- stats.float_solves + 1;
-  match Float_solver.solve p with
-  | exception Float_solver.Iteration_limit ->
-    (* Float pivoting failed to terminate (extreme degeneracy): the exact
-       solver's Bland phases are guaranteed to. *)
-    stats.fallbacks <- stats.fallbacks + 1;
-    solve_pure_exact p
-  | Float_solver.Solved { basis; _ } ->
-    (match certify_basis p basis with
-     | Some r ->
-       stats.certified <- stats.certified + 1;
-       r
-     | None ->
-       stats.fallbacks <- stats.fallbacks + 1;
-       solve_pure_exact p)
-  | Float_solver.Infeasible | Float_solver.Unbounded ->
-    stats.fallbacks <- stats.fallbacks + 1;
-    solve_pure_exact p
+  let certified = ref false in
+  let fell_back = ref false in
+  let result =
+    match Float_solver.solve p with
+    | exception Float_solver.Iteration_limit ->
+      (* Float pivoting failed to terminate (extreme degeneracy): the exact
+         solver's Bland phases are guaranteed to. *)
+      stats.fallbacks <- stats.fallbacks + 1;
+      fell_back := true;
+      solve_pure_exact p
+    | Float_solver.Solved { basis; _ } ->
+      (match certify_basis p basis with
+       | Some r ->
+         stats.certified <- stats.certified + 1;
+         certified := true;
+         r
+       | None ->
+         stats.fallbacks <- stats.fallbacks + 1;
+         fell_back := true;
+         solve_pure_exact p)
+    | Float_solver.Infeasible | Float_solver.Unbounded ->
+      stats.fallbacks <- stats.fallbacks + 1;
+      fell_back := true;
+      solve_pure_exact p
+  in
+  if Telemetry.enabled () then begin
+    (* Report the float/exact/hybrid transition and this solve's share of
+       the pivot work (deltas, so nested sub-LP solves are not double
+       counted at this layer). *)
+    Telemetry.incr m_float_solves;
+    if !certified then Telemetry.incr m_certified;
+    if !fell_back then Telemetry.incr m_fallbacks;
+    Telemetry.add m_pivots (stats.pivots - pivots0);
+    Telemetry.add m_degenerate (stats.degenerate_pivots - degenerate0);
+    Telemetry.add m_bland (stats.bland_switches - bland0)
+  end;
+  result

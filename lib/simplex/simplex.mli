@@ -59,10 +59,16 @@ type stats = {
   mutable float_solves : int;
   mutable certified : int;
   mutable fallbacks : int;
+  mutable pivots : int;  (** total pivots, both fields, both phases *)
+  mutable degenerate_pivots : int;  (** pivots with no objective change *)
+  mutable bland_switches : int;
+      (** Dantzig [->] Bland anti-stalling transitions *)
 }
 
 val stats : stats
-(** Global counters for the hybrid driver (reported by benches). *)
+(** Global counters for the solvers (reported by benches, and forwarded
+    to the telemetry registry as [simplex.*] metrics by {!solve_exact}
+    when metrics are enabled). *)
 
 val solve_exact : Lp_problem.t -> Lp_problem.result
 (** The hybrid driver: float solve, exact certification, exact fallback. *)

@@ -1,0 +1,33 @@
+(* JSONL export of a registry snapshot: one JSON object per line, one
+   line per metric, metrics in name order.  Machine-friendly (stream one
+   line at a time, grep a metric by name) and deterministic, so dumps
+   from fixed seeds can be diffed across commits. *)
+
+let json_of_metric (name, value) : Tjson.t =
+  match (value : Telemetry.value) with
+  | Telemetry.Counter n ->
+    Tjson.Obj
+      [ ("metric", Tjson.String name); ("type", Tjson.String "counter"); ("value", Tjson.Int n) ]
+  | Telemetry.Gauge v ->
+    Tjson.Obj
+      [ ("metric", Tjson.String name); ("type", Tjson.String "gauge"); ("value", Tjson.Float v) ]
+  | Telemetry.Histogram s ->
+    Tjson.Obj
+      [ ("metric", Tjson.String name);
+        ("type", Tjson.String "histogram");
+        ("count", Tjson.Int s.Stats.count);
+        ("mean", Tjson.Float s.Stats.mean);
+        ("stddev", Tjson.Float s.Stats.stddev);
+        ("min", Tjson.Float s.Stats.minimum);
+        ("median", Tjson.Float s.Stats.median);
+        ("p90", Tjson.Float s.Stats.p90);
+        ("max", Tjson.Float s.Stats.maximum) ]
+
+let to_jsonl snapshot =
+  String.concat "" (List.map (fun m -> Tjson.to_string (json_of_metric m) ^ "\n") snapshot)
+
+let write_jsonl oc snapshot = output_string oc (to_jsonl snapshot)
+
+let write_file path snapshot =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_jsonl oc snapshot)

@@ -1,0 +1,10 @@
+(** JSONL export of a {!Telemetry.snapshot}: one JSON object per line,
+    one line per metric, in name order - deterministic and diffable. *)
+
+val json_of_metric : string * Telemetry.value -> Tjson.t
+
+val to_jsonl : (string * Telemetry.value) list -> string
+
+val write_jsonl : out_channel -> (string * Telemetry.value) list -> unit
+
+val write_file : string -> (string * Telemetry.value) list -> unit

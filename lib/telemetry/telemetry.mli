@@ -1,0 +1,71 @@
+(** Global metrics registry: counters, gauges, histograms and
+    monotonic-clock spans, zero-cost when disabled.
+
+    The registry sits behind one {!enabled} flag: every mutation is a
+    single ref read + branch when telemetry is off, and instrumented hot
+    paths check {!enabled} once and aggregate locally before reporting.
+    Handles may be created eagerly (registration happens once per name);
+    {!snapshot} returns metrics sorted by name with histograms summarized
+    into the {!Stats.summary} shape the experiment tables already use.
+
+    Process-global and single-threaded, like the rest of the
+    reproduction. *)
+
+type counter
+type gauge
+type histogram
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Stats.summary
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every registered metric, keeping registrations. *)
+
+val clear : unit -> unit
+(** Drop all registrations (tests). *)
+
+val counter : string -> counter
+(** Find-or-create.  @raise Invalid_argument if the name is already
+    registered as a different kind (same for {!gauge} and
+    {!histogram}). *)
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+val observe_int : histogram -> int -> unit
+
+(** {1 Spans} *)
+
+val now_ns : unit -> int64
+(** Monotonic clock (CLOCK_MONOTONIC), nanoseconds. *)
+
+type span
+
+val start_span : string -> span
+(** When enabled, starts a monotonic-clock span that {!finish_span}
+    records into the histogram of the same name, in milliseconds; when
+    disabled both are no-ops. *)
+
+val finish_span : span -> unit
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Runs the function inside a span; the span is finished even on
+    exceptions. *)
+
+(** {1 Snapshots} *)
+
+val snapshot : unit -> (string * value) list
+(** All registered metrics, sorted by name. *)
+
+val find : string -> value option
+
+val pp_value : Format.formatter -> value -> unit

@@ -1,0 +1,27 @@
+(** Minimal JSON values for the telemetry exporters (metrics JSONL,
+    Chrome trace events, bench snapshots) - no external JSON dependency.
+
+    Printing is deterministic (object fields in the order given, floats
+    via [%.12g]), so exporter output can be golden-tested byte-for-byte.
+    The parser accepts strict JSON and exists for tests and CI to check
+    that emitted files parse. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+val to_channel : out_channel -> t -> unit
+
+val of_string : string -> (t, string) Result.t
+(** Strict JSON parse of a complete string. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the first binding of [key]; [None] on
+    non-objects or missing keys. *)

@@ -1,0 +1,65 @@
+(* Chrome trace-event JSON timelines (the "Trace Event Format" consumed
+   by chrome://tracing and Perfetto).
+
+   Only the event phases the reproduction needs are modelled:
+   - "X" complete/duration events (fetches, serve runs, spans),
+   - "i" instant events (stall units),
+   - "C" counter events (cache occupancy over time),
+   - "M" metadata (process/thread names, so disks appear as labelled
+     tracks).
+
+   Timestamps and durations are microseconds per the format.  Simulator
+   time is unitless, so exporters choose a scale (see {!us_per_unit} for
+   the convention used by [Sim_trace]). *)
+
+type t = Tjson.t
+
+let us_per_unit = 1000
+
+let base ~name ~ph ~ts ~tid extra =
+  Tjson.Obj
+    ([ ("name", Tjson.String name);
+       ("ph", Tjson.String ph);
+       ("ts", Tjson.Int ts);
+       ("pid", Tjson.Int 1);
+       ("tid", Tjson.Int tid) ]
+     @ extra)
+
+let with_opt key v extra = match v with None -> extra | Some x -> (key, x) :: extra
+
+let cat_field cat extra =
+  with_opt "cat" (Option.map (fun c -> Tjson.String c) cat) extra
+
+let args_field args extra =
+  match args with [] -> extra | fields -> ("args", Tjson.Obj fields) :: extra
+
+let duration ?cat ?(args = []) ~name ~ts ~dur ~tid () =
+  base ~name ~ph:"X" ~ts ~tid (("dur", Tjson.Int dur) :: cat_field cat (args_field args []))
+
+let instant ?cat ?(args = []) ~name ~ts ~tid () =
+  (* Scope "t": the instant belongs to its thread lane. *)
+  base ~name ~ph:"i" ~ts ~tid (("s", Tjson.String "t") :: cat_field cat (args_field args []))
+
+let counter ~name ~ts ~values () =
+  base ~name ~ph:"C" ~ts ~tid:0
+    [ ("args", Tjson.Obj (List.map (fun (k, v) -> (k, Tjson.Float v)) values)) ]
+
+let process_name name =
+  base ~name:"process_name" ~ph:"M" ~ts:0 ~tid:0 [ ("args", Tjson.Obj [ ("name", Tjson.String name) ]) ]
+
+let thread_name ~tid name =
+  base ~name:"thread_name" ~ph:"M" ~ts:0 ~tid [ ("args", Tjson.Obj [ ("name", Tjson.String name) ]) ]
+
+let thread_sort_index ~tid index =
+  base ~name:"thread_sort_index" ~ph:"M" ~ts:0 ~tid
+    [ ("args", Tjson.Obj [ ("sort_index", Tjson.Int index) ]) ]
+
+let to_json events =
+  Tjson.Obj
+    [ ("traceEvents", Tjson.List events); ("displayTimeUnit", Tjson.String "ms") ]
+
+let to_string events = Tjson.to_string (to_json events)
+
+let write oc events =
+  Tjson.to_channel oc (to_json events);
+  output_char oc '\n'

@@ -1,0 +1,32 @@
+(** Chrome trace-event JSON timelines ([chrome://tracing] / Perfetto).
+
+    Builders for the event phases the reproduction uses: "X" duration
+    events, "i" instants, "C" counters and "M" metadata.  Timestamps and
+    durations are microseconds; {!us_per_unit} is the convention for
+    scaling unitless simulator time. *)
+
+type t = Tjson.t
+
+val us_per_unit : int
+(** Microseconds per simulator time unit (1000: one unit renders as
+    1ms). *)
+
+val duration :
+  ?cat:string -> ?args:(string * Tjson.t) list -> name:string -> ts:int -> dur:int ->
+  tid:int -> unit -> t
+
+val instant :
+  ?cat:string -> ?args:(string * Tjson.t) list -> name:string -> ts:int -> tid:int ->
+  unit -> t
+
+val counter : name:string -> ts:int -> values:(string * float) list -> unit -> t
+
+val process_name : string -> t
+val thread_name : tid:int -> string -> t
+val thread_sort_index : tid:int -> int -> t
+
+val to_json : t list -> Tjson.t
+(** The [{"traceEvents": [...]}] wrapper object. *)
+
+val to_string : t list -> string
+val write : out_channel -> t list -> unit

@@ -1,0 +1,278 @@
+(* Telemetry subsystem tests: registry semantics (zero-cost when
+   disabled), the Tjson printer/parser, byte-stable Chrome trace export,
+   and the exactness of the simulator's stall attribution. *)
+
+let fresh () =
+  Telemetry.clear ();
+  Telemetry.set_enabled false
+
+(* ------------------------------------------------------------------ *)
+(* Registry. *)
+
+let test_counter_disabled () =
+  fresh ();
+  let c = Telemetry.counter "t.counter" in
+  Telemetry.incr c;
+  Telemetry.add c 41;
+  match Telemetry.find "t.counter" with
+  | Some (Telemetry.Counter n) -> Alcotest.(check int) "mutations are no-ops while disabled" 0 n
+  | _ -> Alcotest.fail "counter not registered"
+
+let test_counter_enabled () =
+  fresh ();
+  Telemetry.set_enabled true;
+  let c = Telemetry.counter "t.counter" in
+  Telemetry.incr c;
+  Telemetry.add c 41;
+  (match Telemetry.find "t.counter" with
+   | Some (Telemetry.Counter n) -> Alcotest.(check int) "count" 42 n
+   | _ -> Alcotest.fail "counter not found");
+  (* find-or-create returns the same underlying cell *)
+  Telemetry.incr (Telemetry.counter "t.counter");
+  (match Telemetry.find "t.counter" with
+   | Some (Telemetry.Counter n) -> Alcotest.(check int) "shared cell" 43 n
+   | _ -> Alcotest.fail "counter not found")
+
+let test_reset_and_clear () =
+  fresh ();
+  Telemetry.set_enabled true;
+  let c = Telemetry.counter "t.c" in
+  let g = Telemetry.gauge "t.g" in
+  let h = Telemetry.histogram "t.h" in
+  Telemetry.add c 7;
+  Telemetry.set g 2.5;
+  Telemetry.observe h 1.0;
+  Telemetry.reset ();
+  (match Telemetry.find "t.c" with
+   | Some (Telemetry.Counter n) -> Alcotest.(check int) "counter zeroed" 0 n
+   | _ -> Alcotest.fail "counter dropped by reset");
+  (match Telemetry.find "t.h" with
+   | Some (Telemetry.Histogram s) -> Alcotest.(check int) "histogram emptied" 0 s.Stats.count
+   | _ -> Alcotest.fail "histogram dropped by reset");
+  Telemetry.clear ();
+  Alcotest.(check bool) "clear drops registrations" true (Telemetry.find "t.c" = None)
+
+let test_kind_mismatch () =
+  fresh ();
+  let (_ : Telemetry.counter) = Telemetry.counter "t.kind" in
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Telemetry: metric t.kind already registered with another kind")
+    (fun () -> ignore (Telemetry.gauge "t.kind"))
+
+let test_histogram_summary () =
+  fresh ();
+  Telemetry.set_enabled true;
+  let h = Telemetry.histogram "t.hist" in
+  List.iter (Telemetry.observe_int h) [ 1; 2; 3; 4; 5 ];
+  match Telemetry.find "t.hist" with
+  | Some (Telemetry.Histogram s) ->
+    Alcotest.(check int) "count" 5 s.Stats.count;
+    Alcotest.(check (float 1e-9)) "mean" 3.0 s.Stats.mean;
+    Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.minimum;
+    Alcotest.(check (float 1e-9)) "max" 5.0 s.Stats.maximum
+  | _ -> Alcotest.fail "histogram not found"
+
+let test_snapshot_sorted () =
+  fresh ();
+  Telemetry.set_enabled true;
+  ignore (Telemetry.counter "z.last");
+  ignore (Telemetry.counter "a.first");
+  ignore (Telemetry.gauge "m.middle");
+  let names = List.map fst (Telemetry.snapshot ()) in
+  Alcotest.(check (list string)) "sorted by name" [ "a.first"; "m.middle"; "z.last" ] names
+
+let test_span () =
+  fresh ();
+  Telemetry.set_enabled true;
+  let v = Telemetry.with_span "t.span" (fun () -> 42) in
+  Alcotest.(check int) "with_span passes the result through" 42 v;
+  match Telemetry.find "t.span" with
+  | Some (Telemetry.Histogram s) ->
+    Alcotest.(check int) "one sample" 1 s.Stats.count;
+    Alcotest.(check bool) "non-negative duration" true (s.Stats.minimum >= 0.0)
+  | _ -> Alcotest.fail "span histogram not found"
+
+(* ------------------------------------------------------------------ *)
+(* Tjson. *)
+
+let sample_json =
+  Tjson.Obj
+    [ ("s", Tjson.String "a\"b\n");
+      ("i", Tjson.Int (-3));
+      ("f", Tjson.Float 1.5);
+      ("whole", Tjson.Float 2.0);
+      ("t", Tjson.Bool true);
+      ("nul", Tjson.Null);
+      ("l", Tjson.List [ Tjson.Int 1; Tjson.Float 0.25 ]) ]
+
+let test_tjson_print () =
+  Alcotest.(check string) "deterministic printing"
+    "{\"s\":\"a\\\"b\\n\",\"i\":-3,\"f\":1.5,\"whole\":2,\"t\":true,\"nul\":null,\"l\":[1,0.25]}"
+    (Tjson.to_string sample_json);
+  Alcotest.(check string) "nan prints as null" "null" (Tjson.to_string (Tjson.Float Float.nan))
+
+let test_tjson_roundtrip () =
+  let s = Tjson.to_string sample_json in
+  match Tjson.of_string s with
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+  | Ok v ->
+    Alcotest.(check string) "print . parse . print is stable" s (Tjson.to_string v);
+    (match Tjson.member "i" v with
+     | Some (Tjson.Int n) -> Alcotest.(check int) "member" (-3) n
+     | _ -> Alcotest.fail "member i missing")
+
+let test_tjson_errors () =
+  let bad = [ "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ] in
+  List.iter
+    (fun s ->
+       match Tjson.of_string s with
+       | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed input %S" s)
+       | Error _ -> ())
+    bad
+
+let test_metrics_jsonl () =
+  fresh ();
+  Telemetry.set_enabled true;
+  Telemetry.add (Telemetry.counter "j.count") 3;
+  Telemetry.observe (Telemetry.histogram "j.hist") 2.0;
+  let lines = String.split_on_char '\n' (String.trim (Metrics_export.to_jsonl (Telemetry.snapshot ()))) in
+  Alcotest.(check int) "one line per metric" 2 (List.length lines);
+  List.iter
+    (fun line ->
+       match Tjson.of_string line with
+       | Error e -> Alcotest.fail (Printf.sprintf "line %S does not parse: %s" line e)
+       | Ok v ->
+         (match Tjson.member "metric" v with
+          | Some (Tjson.String _) -> ()
+          | _ -> Alcotest.fail "metric field missing"))
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export: byte-stable golden output for a fixed tiny
+   instance whose schedule exercises both stall kinds. *)
+
+let golden_instance =
+  Instance.single_disk ~k:2 ~fetch_time:2 ~initial_cache:[ 0; 1 ] [| 0; 1; 2; 0; 2 |]
+
+let golden_schedule =
+  (* Eligible at cursor 2 (t=2), delayed one unit: the unit [2,3) is a
+     voluntary-delay stall, the in-flight units [3,5) are involuntary. *)
+  [ Fetch_op.make ~at_cursor:2 ~delay:1 ~block:2 ~evict:(Some 1) () ]
+
+let golden_trace = "{\"traceEvents\":[{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{\"name\":\"ipc simulation\"}},{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{\"name\":\"cpu\"}},{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{\"sort_index\":0}},{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":1,\"args\":{\"name\":\"disk 0\"}},{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":1,\"args\":{\"sort_index\":1}},{\"name\":\"serve r1-r2\",\"ph\":\"X\",\"ts\":0,\"pid\":1,\"tid\":0,\"dur\":2000,\"cat\":\"cpu\",\"args\":{\"first_request\":1,\"requests\":2}},{\"name\":\"serve r3-r5\",\"ph\":\"X\",\"ts\":5000,\"pid\":1,\"tid\":0,\"dur\":3000,\"cat\":\"cpu\",\"args\":{\"first_request\":3,\"requests\":3}},{\"name\":\"stall\",\"ph\":\"i\",\"ts\":2000,\"pid\":1,\"tid\":0,\"s\":\"t\",\"cat\":\"stall\"},{\"name\":\"fetch b2\",\"ph\":\"X\",\"ts\":3000,\"pid\":1,\"tid\":1,\"dur\":2000,\"cat\":\"fetch\",\"args\":{\"block\":2,\"disk\":0,\"at_cursor\":2,\"delay\":1,\"evict\":1,\"fetch_time\":2,\"stall_involuntary\":2,\"stall_voluntary\":1}},{\"name\":\"stall\",\"ph\":\"i\",\"ts\":3000,\"pid\":1,\"tid\":0,\"s\":\"t\",\"cat\":\"stall\"},{\"name\":\"stall\",\"ph\":\"i\",\"ts\":4000,\"pid\":1,\"tid\":0,\"s\":\"t\",\"cat\":\"stall\"},{\"name\":\"cache occupancy\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{\"blocks\":2}}],\"displayTimeUnit\":\"ms\"}"
+
+let test_golden_trace () =
+  fresh ();
+  match Simulate.run ~record_events:true ~attribution:true golden_instance golden_schedule with
+  | Error e -> Alcotest.fail (Printf.sprintf "golden schedule rejected at t=%d: %s" e.Simulate.at_time e.Simulate.reason)
+  | Ok stats ->
+    Alcotest.(check int) "stall" 3 stats.Simulate.stall_time;
+    let actual = Sim_trace.to_string golden_instance stats in
+    if actual <> golden_trace then begin
+      let path = Filename.temp_file "ipc_trace_actual" ".json" in
+      let oc = open_out path in
+      output_string oc actual;
+      close_out oc;
+      Alcotest.fail (Printf.sprintf "trace differs from golden (actual written to %s)" path)
+    end;
+    (* The golden string is also valid JSON as far as our parser goes. *)
+    (match Tjson.of_string actual with
+     | Ok _ -> ()
+     | Error e -> Alcotest.fail ("trace does not parse: " ^ e))
+
+let test_golden_attribution () =
+  fresh ();
+  match Simulate.run ~record_events:true ~attribution:true golden_instance golden_schedule with
+  | Error _ -> Alcotest.fail "golden schedule rejected"
+  | Ok stats ->
+    (match stats.Simulate.stall_by_fetch with
+     | [ fs ] ->
+       Alcotest.(check int) "involuntary" 2 fs.Simulate.involuntary_stall;
+       Alcotest.(check int) "voluntary-delay" 1 fs.Simulate.voluntary_stall
+     | l -> Alcotest.fail (Printf.sprintf "expected 1 attributed fetch, got %d" (List.length l)))
+
+(* ------------------------------------------------------------------ *)
+(* Stall attribution sums exactly to the simulator's stall time, across
+   every workload family, several seeds, and all the single-disk
+   algorithms. *)
+
+let test_attribution_sums () =
+  fresh ();
+  List.iter
+    (fun (fam : Workload.family) ->
+       List.iter
+         (fun seed ->
+            let inst =
+              Workload.single_instance ~k:6 ~fetch_time:5
+                (fam.Workload.generate ~seed ~n:80 ~num_blocks:10)
+            in
+            List.iter
+              (fun (alg : Measure.algorithm) ->
+                 let sched = alg.Measure.schedule inst in
+                 match Simulate.run ~attribution:true inst sched with
+                 | Error e ->
+                   Alcotest.fail
+                     (Printf.sprintf "%s/%s/%d rejected: %s" fam.Workload.name alg.Measure.name seed
+                        e.Simulate.reason)
+                 | Ok stats ->
+                   let attributed =
+                     List.fold_left
+                       (fun a fs -> a + fs.Simulate.involuntary_stall + fs.Simulate.voluntary_stall)
+                       0 stats.Simulate.stall_by_fetch
+                   in
+                   Alcotest.(check int)
+                     (Printf.sprintf "%s/%s/seed=%d attribution total" fam.Workload.name
+                        alg.Measure.name seed)
+                     stats.Simulate.stall_time attributed;
+                   List.iter
+                     (fun fs ->
+                        Alcotest.(check bool) "charges are non-negative" true
+                          (fs.Simulate.involuntary_stall >= 0 && fs.Simulate.voluntary_stall >= 0))
+                     stats.Simulate.stall_by_fetch;
+                   Alcotest.(check int) "one busy track per disk" inst.Instance.num_disks
+                     (Array.length stats.Simulate.disk_busy);
+                   Array.iter
+                     (fun busy ->
+                        Alcotest.(check bool) "disk busy within elapsed" true
+                          (busy >= 0 && busy <= stats.Simulate.elapsed_time))
+                     stats.Simulate.disk_busy)
+              Measure.single_disk_algorithms)
+         [ 1; 2 ])
+    Workload.families
+
+(* Disabled telemetry leaves the registry untouched even when the
+   instrumented paths run. *)
+let test_disabled_is_silent () =
+  fresh ();
+  let inst =
+    Workload.single_instance ~k:6 ~fetch_time:4 (Workload.zipf ~seed:1 ~alpha:0.9 ~n:50 ~num_blocks:10)
+  in
+  (match Simulate.run inst (Aggressive.schedule inst) with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "schedule rejected");
+  match Telemetry.find "simulate.runs" with
+  | Some (Telemetry.Counter n) -> Alcotest.(check int) "no counts while disabled" 0 n
+  | None -> ()  (* cleared registry: also fine *)
+  | Some _ -> Alcotest.fail "unexpected kind"
+
+let () =
+  Alcotest.run "telemetry"
+    [ ("registry",
+       [ Alcotest.test_case "counter disabled" `Quick test_counter_disabled;
+         Alcotest.test_case "counter enabled" `Quick test_counter_enabled;
+         Alcotest.test_case "reset and clear" `Quick test_reset_and_clear;
+         Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+         Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
+         Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
+         Alcotest.test_case "span" `Quick test_span ]);
+      ("tjson",
+       [ Alcotest.test_case "printing" `Quick test_tjson_print;
+         Alcotest.test_case "roundtrip" `Quick test_tjson_roundtrip;
+         Alcotest.test_case "errors" `Quick test_tjson_errors;
+         Alcotest.test_case "metrics jsonl" `Quick test_metrics_jsonl ]);
+      ("trace",
+       [ Alcotest.test_case "golden chrome trace" `Quick test_golden_trace;
+         Alcotest.test_case "golden attribution" `Quick test_golden_attribution ]);
+      ("attribution",
+       [ Alcotest.test_case "sums to stall time" `Quick test_attribution_sums;
+         Alcotest.test_case "disabled is silent" `Quick test_disabled_is_silent ]) ]
