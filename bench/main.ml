@@ -6,7 +6,7 @@
       pipeline, the simplex solver, the paging substrate) plus the ablation
       pairs called out in DESIGN.md (exact vs float LP, restricted DP vs
       exhaustive search).
-   2. The experiment battery E1-E13: every table the reproduction reports
+   2. The experiment battery E1-E15: every table the reproduction reports
       (the paper has no empirical tables of its own, so these validate the
       theorems' shapes; see EXPERIMENTS.md).  `dune exec bench/main.exe`
       therefore regenerates every figure of the reproduction in one run. *)
@@ -66,6 +66,14 @@ let tests =
          (let inst = Lazy.force single_workload in
           let sched = Aggressive.schedule inst in
           fun () -> Simulate.run inst sched));
+    (* Paired with simulate_replay: the fault-aware entry point under the
+       empty plan.  CI compares the two to keep the zero-fault hot path
+       within noise of the plain executor. *)
+    Test.make ~name:"simulate_replay_faulty_none"
+      (stage
+         (let inst = Lazy.force single_workload in
+          let sched = Aggressive.schedule inst in
+          fun () -> Simulate.run_faulty ~faults:Faults.none inst sched));
     Test.make ~name:"paging_min" (stage (fun () -> Paging.min_offline (Lazy.force paging_workload)));
     Test.make ~name:"paging_clock" (stage (fun () -> Paging.clock (Lazy.force paging_workload)));
     Test.make ~name:"bigint_mul_4kbit"
@@ -174,13 +182,22 @@ let write_snapshot path rows =
   Printf.printf "wrote %s (%d benchmarks)\n%!" path (List.length rows)
 
 let () =
+  let out = ref "BENCH_1.json" in
+  let micro_only = ref false in
+  Arg.parse
+    [ ("--out", Arg.Set_string out, "PATH write the JSON snapshot to PATH (default BENCH_1.json)");
+      ("--micro-only", Arg.Set micro_only, " run only the micro-benchmarks, skip the battery") ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "main.exe [--out PATH] [--micro-only]";
   Printf.printf "=== Part 1: micro-benchmarks ===\n%!";
   let rows = run_benchmarks () in
-  write_snapshot "BENCH_1.json" rows;
-  Printf.printf "\n=== Part 2: experiment battery (E1-E13) ===\n%!";
-  List.iter
-    (fun t ->
-       Tablefmt.print t;
-       print_newline ())
-    (Experiments_single.all () @ Experiments_parallel.all ());
-  Printf.printf "done.\n"
+  write_snapshot !out rows;
+  if not !micro_only then begin
+    Printf.printf "\n=== Part 2: experiment battery (E1-E15) ===\n%!";
+    List.iter
+      (fun t ->
+         Tablefmt.print t;
+         print_newline ())
+      (Experiments_single.all () @ Experiments_parallel.all () @ Experiments_faults.all ());
+    Printf.printf "done.\n"
+  end

@@ -10,8 +10,10 @@
      parallel    reproduce E2/E9/E10/E11 (parallel-disk experiments)
      lp          solve one instance with the synchronized LP and print the
                  fractional optimum and the rounded schedule
-     experiments run the complete E1-E13 battery
+     experiments run the complete E1-E15 battery
      profile     run one algorithm and write a Chrome trace-event timeline
+     faults      run one workload under an injected fault plan and print
+                 the clean / faulty / re-planned degradation table
 
    Every subcommand also accepts --metrics[=PATH]: enable the telemetry
    registry for the run and dump it as JSONL when the command finishes. *)
@@ -174,8 +176,132 @@ let parallel_cmd =
          Experiments_parallel.e11 () ])
 
 let experiments_cmd =
-  table_cmd "experiments" "Run the complete E1-E13 battery."
-    (fun () -> Experiments_single.all () @ Experiments_parallel.all ())
+  table_cmd "experiments" "Run the complete E1-E15 battery."
+    (fun () -> Experiments_single.all () @ Experiments_parallel.all () @ Experiments_faults.all ())
+
+(* faults: one workload under an injected fault plan, per-algorithm
+   degradation table (clean plan / plan under faults / re-planned). *)
+let faults_cmd =
+  let fault_seed_arg =
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~doc:"Fault plan seed (independent of the workload seed).")
+  in
+  let jitter_prob_arg =
+    Arg.(value & opt float 0. & info [ "jitter-prob" ] ~doc:"Per-fetch probability of latency jitter.")
+  in
+  let jitter_arg =
+    Arg.(value & opt int 0 & info [ "jitter" ] ~docv:"UNITS" ~doc:"Maximum extra fetch latency (makes the fetch take F+delta).")
+  in
+  let fail_prob_arg =
+    Arg.(value & opt float 0. & info [ "fail-prob" ] ~doc:"Per-attempt probability of transient fetch failure (must be < 1).")
+  in
+  let retry_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ "immediate" ] -> Ok Faults.Immediate
+      | [ "fixed"; d ] ->
+        (match int_of_string_opt d with
+         | Some d when d >= 0 -> Ok (Faults.Fixed d)
+         | _ -> Error (`Msg (Printf.sprintf "bad fixed backoff: %s" s)))
+      | [ "exp"; b; f; m ] ->
+        (match (int_of_string_opt b, int_of_string_opt f, int_of_string_opt m) with
+         | Some base, Some factor, Some max_delay when base >= 0 && factor >= 1 && max_delay >= 0 ->
+           Ok (Faults.Exponential { base; factor; max_delay })
+         | _ -> Error (`Msg (Printf.sprintf "bad exponential backoff: %s" s)))
+      | _ -> Error (`Msg (Printf.sprintf "bad retry policy %s (immediate | fixed:D | exp:BASE:FACTOR:MAX)" s))
+    in
+    let print fmt (b : Faults.backoff) =
+      match b with
+      | Faults.Immediate -> Format.fprintf fmt "immediate"
+      | Faults.Fixed d -> Format.fprintf fmt "fixed:%d" d
+      | Faults.Exponential { base; factor; max_delay } ->
+        Format.fprintf fmt "exp:%d:%d:%d" base factor max_delay
+    in
+    Arg.conv (parse, print)
+  in
+  let retry_arg =
+    Arg.(
+      value
+      & opt retry_conv Faults.default_retry.Faults.backoff
+      & info [ "retry" ] ~docv:"POLICY"
+          ~doc:"Retry backoff: $(b,immediate), $(b,fixed:D) or $(b,exp:BASE:FACTOR:MAX).")
+  in
+  let attempts_arg =
+    Arg.(value & opt int Faults.default_retry.Faults.max_attempts
+         & info [ "max-attempts" ] ~doc:"Attempts per fetch before it is abandoned.")
+  in
+  let outage_conv =
+    let parse s =
+      match String.split_on_char ':' s |> List.map int_of_string_opt with
+      | [ Some disk; Some from_time; Some until_time ] when until_time > from_time && from_time >= 0 && disk >= 0 ->
+        Ok { Faults.disk; from_time; until_time }
+      | _ -> Error (`Msg (Printf.sprintf "bad outage %s (expected DISK:START:END with END > START)" s))
+    in
+    let print fmt (o : Faults.outage) =
+      Format.fprintf fmt "%d:%d:%d" o.Faults.disk o.Faults.from_time o.Faults.until_time
+    in
+    Arg.conv (parse, print)
+  in
+  let outage_arg =
+    Arg.(value & opt_all outage_conv [] & info [ "outage" ] ~docv:"DISK:START:END"
+         ~doc:"Whole-disk outage window (repeatable).")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+         ~doc:"Also write a Chrome trace of the re-planned run (with a fault lane) to $(docv).")
+  in
+  let run metrics wname seed n blocks k f fault_seed jitter_prob jitter fail_prob backoff attempts
+      outages trace_out =
+    with_metrics metrics @@ fun () ->
+    let inst = mk_instance wname ~seed ~n ~blocks ~k ~f in
+    let faults =
+      Faults.make ~seed:fault_seed ~jitter_prob ~max_jitter:jitter ~fail_prob
+        ~retry:{ Faults.backoff; max_attempts = attempts } ~outages ()
+    in
+    Format.printf "%a@.faults: %a@." Instance.pp inst Faults.pp faults;
+    let algorithms =
+      [ ("aggressive", Aggressive.schedule inst); ("conservative", Conservative.schedule inst);
+        ("combination", Combination.schedule inst) ]
+    in
+    let rows =
+      List.map
+        (fun (name, sched) ->
+           let clean = (Driver.validate ~name inst sched).Simulate.stall_time in
+           let faulty =
+             match Simulate.run_faulty ~faults inst sched with
+             | Ok (s, r) ->
+               Printf.sprintf "%d (+%d fault)" s.Simulate.stall_time r.Faults.fault_stall
+             | Error e -> Printf.sprintf "deadlock at t=%d" e.Simulate.at_time
+           in
+           let o = Resilient.execute ~faults inst sched in
+           [ name; string_of_int clean; faulty;
+             string_of_int o.Resilient.stats.Simulate.stall_time;
+             string_of_int o.Resilient.report.Faults.retries;
+             string_of_int o.Resilient.report.Faults.abandoned;
+             string_of_int o.Resilient.report.Faults.replans;
+             (match o.Resilient.replanned_at with None -> "-" | Some c -> Printf.sprintf "r%d" (c + 1)) ])
+        algorithms
+    in
+    Tablefmt.print
+      (Tablefmt.make
+         ~title:(Printf.sprintf "fault degradation: %s n=%d k=%d F=%d" wname n k f)
+         ~headers:[ "algorithm"; "clean"; "faulty plan"; "re-planned"; "retries"; "abandoned";
+                    "replans"; "replan at" ]
+         rows);
+    match trace_out with
+    | None -> ()
+    | Some path ->
+      let sched = Aggressive.schedule inst in
+      let o = Resilient.execute ~record_events:true ~faults inst sched in
+      Sim_trace.write_file ~faults:o.Resilient.report path inst o.Resilient.stats;
+      Printf.printf "wrote %s - open it at https://ui.perfetto.dev or chrome://tracing\n" path
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run one workload under an injected fault plan and print the degradation table.")
+    Term.(
+      const run $ metrics_arg $ workload_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg $ f_arg
+      $ fault_seed_arg $ jitter_prob_arg $ jitter_arg $ fail_prob_arg $ retry_arg $ attempts_arg
+      $ outage_arg $ trace_out_arg)
 
 (* lp *)
 let lp_cmd =
@@ -212,10 +338,19 @@ let () =
            (Cmd.info "ipc" ~version:"1.0"
               ~doc:"Integrated prefetching and caching in single and parallel disk systems")
            [ simulate_cmd; compare_cmd; sweep_cmd; lower_cmd; delay_cmd; parallel_cmd; lp_cmd;
-             experiments_cmd; profile_cmd ])
+             experiments_cmd; profile_cmd; faults_cmd ])
     with
     | Sys_error msg | Failure msg ->
       Printf.eprintf "ipc: %s\n" msg;
+      1
+    | Trace_io.Parse_error { file; line; message } ->
+      Printf.eprintf "ipc: %s:%d: %s\n" file line message;
+      1
+    | Instance.Invalid msg ->
+      Printf.eprintf "ipc: invalid instance: %s\n" msg;
+      1
+    | Driver.Invalid_schedule { algorithm; at_time; reason } ->
+      Printf.eprintf "ipc: %s produced an invalid schedule at t=%d: %s\n" algorithm at_time reason;
       1
   in
   exit status

@@ -27,12 +27,7 @@ let decide d =
 let schedule (inst : Instance.t) : Fetch_op.schedule =
   Driver.schedule (Driver.run inst ~decide)
 
-let stats inst =
-  match Simulate.run inst (schedule inst) with
-  | Ok s -> s
-  | Error e ->
-    failwith (Printf.sprintf "Aggressive produced an invalid schedule at t=%d: %s"
-                e.Simulate.at_time e.Simulate.reason)
+let stats inst = Driver.validate ~name:"Aggressive" inst (schedule inst)
 
 let elapsed_time inst = (stats inst).Simulate.elapsed_time
 let stall_time inst = (stats inst).Simulate.stall_time

@@ -18,12 +18,7 @@ let schedule (inst : Instance.t) : Fetch_op.schedule =
   | Use_aggressive -> Aggressive.schedule inst
   | Use_delay d -> Delay.schedule ~d inst
 
-let stats inst =
-  match Simulate.run inst (schedule inst) with
-  | Ok s -> s
-  | Error e ->
-    failwith (Printf.sprintf "Combination produced an invalid schedule at t=%d: %s"
-                e.Simulate.at_time e.Simulate.reason)
+let stats inst = Driver.validate ~name:"Combination" inst (schedule inst)
 
 let elapsed_time inst = (stats inst).Simulate.elapsed_time
 let stall_time inst = (stats inst).Simulate.stall_time

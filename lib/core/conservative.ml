@@ -56,12 +56,7 @@ let schedule (inst : Instance.t) : Fetch_op.schedule =
   in
   Driver.schedule (Driver.run inst ~decide)
 
-let stats inst =
-  match Simulate.run inst (schedule inst) with
-  | Ok s -> s
-  | Error e ->
-    failwith (Printf.sprintf "Conservative produced an invalid schedule at t=%d: %s"
-                e.Simulate.at_time e.Simulate.reason)
+let stats inst = Driver.validate ~name:"Conservative" inst (schedule inst)
 
 let elapsed_time inst = (stats inst).Simulate.elapsed_time
 let stall_time inst = (stats inst).Simulate.stall_time

@@ -73,11 +73,7 @@ let schedule ~d (inst : Instance.t) : Fetch_op.schedule =
   Driver.schedule (Driver.run inst ~decide)
 
 let stats ~d inst =
-  match Simulate.run inst (schedule ~d inst) with
-  | Ok s -> s
-  | Error e ->
-    failwith (Printf.sprintf "Delay(%d) produced an invalid schedule at t=%d: %s" d
-                e.Simulate.at_time e.Simulate.reason)
+  Driver.validate ~name:(Printf.sprintf "Delay(%d)" d) inst (schedule ~d inst)
 
 let elapsed_time ~d inst = (stats ~d inst).Simulate.elapsed_time
 let stall_time ~d inst = (stats ~d inst).Simulate.stall_time

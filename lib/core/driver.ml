@@ -176,3 +176,26 @@ let run inst ~decide =
     advance d
   done;
   d
+
+(* ------------------------------------------------------------------ *)
+(* Typed error channel for "the algorithm emitted a schedule the
+   simulator rejects" - an internal invariant violation, not a user
+   error.  One exception instead of nine per-algorithm [failwith]s, so
+   Measure and the CLI can catch it uniformly. *)
+
+exception Invalid_schedule of { algorithm : string; at_time : int; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_schedule { algorithm; at_time; reason } ->
+      Some
+        (Printf.sprintf "%s produced an invalid schedule at t=%d: %s" algorithm at_time reason)
+    | _ -> None)
+
+let validate ~name ?extra_slots inst sched =
+  match Simulate.run ?extra_slots inst sched with
+  | Ok s -> s
+  | Error e ->
+    raise
+      (Invalid_schedule
+         { algorithm = name; at_time = e.Simulate.at_time; reason = e.Simulate.reason })

@@ -69,3 +69,14 @@ val stall_time : t -> int
 
 val tick_completions : t -> unit
 val advance : t -> unit
+
+(** {1 Schedule validation} *)
+
+exception Invalid_schedule of { algorithm : string; at_time : int; reason : string }
+(** An algorithm emitted a schedule the simulator rejects - an internal
+    invariant violation.  A printer is registered, so an uncaught raise
+    still renders as ["%s produced an invalid schedule at t=%d: %s"]. *)
+
+val validate : name:string -> ?extra_slots:int -> Instance.t -> Fetch_op.schedule -> Simulate.stats
+(** Replay [sched] through {!Simulate.run} and return its stats.
+    @raise Invalid_schedule on rejection, tagged with [name]. *)

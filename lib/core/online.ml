@@ -81,12 +81,7 @@ let schedule (cfg : config) (inst : Instance.t) : Fetch_op.schedule =
   in
   Driver.schedule (Driver.run inst ~decide)
 
-let stats cfg inst =
-  match Simulate.run inst (schedule cfg inst) with
-  | Ok s -> s
-  | Error e ->
-    failwith (Printf.sprintf "Online produced an invalid schedule at t=%d: %s" e.Simulate.at_time
-                e.Simulate.reason)
+let stats cfg inst = Driver.validate ~name:"Online" inst (schedule cfg inst)
 
 let stall_time cfg inst = (stats cfg inst).Simulate.stall_time
 let elapsed_time cfg inst = (stats cfg inst).Simulate.elapsed_time

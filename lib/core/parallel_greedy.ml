@@ -30,12 +30,7 @@ let aggressive_decide d =
 let aggressive_schedule (inst : Instance.t) : Fetch_op.schedule =
   Driver.schedule (Driver.run inst ~decide:aggressive_decide)
 
-let aggressive_stats inst =
-  match Simulate.run inst (aggressive_schedule inst) with
-  | Ok s -> s
-  | Error e ->
-    failwith (Printf.sprintf "Aggressive-D produced an invalid schedule at t=%d: %s"
-                e.Simulate.at_time e.Simulate.reason)
+let aggressive_stats inst = Driver.validate ~name:"Aggressive-D" inst (aggressive_schedule inst)
 
 let aggressive_stall inst = (aggressive_stats inst).Simulate.stall_time
 
@@ -64,10 +59,6 @@ let conservative_schedule (inst : Instance.t) : Fetch_op.schedule =
   Driver.schedule (Driver.run inst ~decide)
 
 let conservative_stats inst =
-  match Simulate.run inst (conservative_schedule inst) with
-  | Ok s -> s
-  | Error e ->
-    failwith (Printf.sprintf "Conservative-D produced an invalid schedule at t=%d: %s"
-                e.Simulate.at_time e.Simulate.reason)
+  Driver.validate ~name:"Conservative-D" inst (conservative_schedule inst)
 
 let conservative_stall inst = (conservative_stats inst).Simulate.stall_time

@@ -1,0 +1,533 @@
+(* Resilient executor: follow a planned schedule under a fault plan and
+   re-plan the suffix with Aggressive / Aggressive-D when the plan
+   diverges, instead of aborting.
+
+   The loop mirrors {!Simulate}'s timeline semantics exactly (completions,
+   then starts, then serve-or-stall within the unit), but fetches are
+   tracked as dynamic [active] records rather than plan indexes, because
+   after a re-plan the fetch set no longer corresponds to the submitted
+   schedule.  Two modes:
+
+   - [Following]: planned ops arm at their cursor anchor + delay as in the
+     simulator, waiting FIFO for a busy or down disk.  Benign divergences
+     (fetching a block that already arrived) are skipped; structural ones
+     (victim evicted by nobody, capacity gone, a requested block that
+     nothing pending or planned will supply) trigger the re-plan.
+   - [Greedy]: the plan is gone; each idle, up disk starts a prefetch for
+     the next missing block it owns, evicting the furthest-next-reference
+     cached block - the paper's Aggressive rule, per disk.  Failed
+     fetches are retried under the plan's backoff; an abandoned block is
+     simply re-issued later (fresh attempt draws), so the executor always
+     finishes. *)
+
+type active = {
+  a_block : int;
+  a_disk : int;
+  mutable a_attempts : int;  (* attempts consumed so far *)
+  mutable a_start : int;  (* start of the current attempt *)
+  mutable a_finish : int;
+  mutable a_fail : bool;  (* the current attempt will fail *)
+  mutable a_jitter : bool;  (* the current attempt is slowed *)
+  a_op : Fetch_op.t;  (* original plan op, or the synthesized greedy op *)
+}
+
+type outcome = {
+  stats : Simulate.stats;
+  report : Faults.report;
+  replanned_at : int option;
+  greedy_fetches : int;
+}
+
+let m_runs = Telemetry.counter "resilient.runs"
+let m_replans = Telemetry.counter "resilient.replans"
+let m_retries = Telemetry.counter "resilient.retries"
+let m_abandoned = Telemetry.counter "resilient.abandoned"
+let m_fault_stall = Telemetry.counter "resilient.fault_stall"
+let m_greedy = Telemetry.counter "resilient.greedy_fetches"
+let m_stall = Telemetry.counter "resilient.stall_units"
+
+let execute ?(record_events = false) ?(extra_slots = 0) ~(faults : Faults.t) (inst : Instance.t)
+    (schedule : Fetch_op.schedule) : outcome =
+  let n = Instance.length inst in
+  let num_blocks = Instance.num_blocks inst in
+  let num_disks = inst.Instance.num_disks in
+  let fetch_time = inst.Instance.fetch_time in
+  let capacity = inst.Instance.cache_size + extra_slots in
+  let nr = Next_ref.of_instance inst in
+  (* Static validation: the plan must at least be well-formed. *)
+  List.iter
+    (fun (f : Fetch_op.t) ->
+       if f.Fetch_op.at_cursor < 0 || f.Fetch_op.at_cursor > n || f.Fetch_op.delay < 0 then
+         invalid_arg "Resilient.execute: malformed fetch anchor";
+       if f.Fetch_op.block < 0 || f.Fetch_op.block >= num_blocks then
+         invalid_arg "Resilient.execute: fetch of unknown block";
+       if f.Fetch_op.disk < 0 || f.Fetch_op.disk >= num_disks
+          || inst.Instance.disk_of.(f.Fetch_op.block) <> f.Fetch_op.disk then
+         invalid_arg "Resilient.execute: fetch on the wrong disk";
+       match f.Fetch_op.evict with
+       | Some b when b < 0 || b >= num_blocks -> invalid_arg "Resilient.execute: unknown victim"
+       | _ -> ())
+    schedule;
+  let ops = Array.of_list schedule in
+  let nops = Array.length ops in
+  (* Cache state. *)
+  let in_cache = Array.make num_blocks false in
+  List.iter (fun b -> in_cache.(b) <- true) inst.Instance.initial_cache;
+  let cache_count = ref (List.length inst.Instance.initial_cache) in
+  (* Disk state. *)
+  let in_flight : active option array = Array.make num_disks None in
+  let in_flight_count = ref 0 in
+  let disk_busy = Array.make num_disks 0 in
+  let reserved = ref 0 in
+  (* retryq: failed attempts in backoff, (ready_time, active) sorted. *)
+  let retryq = ref [] in
+  let retryq_add ready a =
+    let rec ins = function
+      | [] -> [ (ready, a) ]
+      | ((r', _) as hd) :: tl -> if r' <= ready then hd :: ins tl else (ready, a) :: hd :: tl
+    in
+    retryq := ins !retryq
+  in
+  let block_pending b =
+    Array.exists (function Some a -> a.a_block = b | None -> false) in_flight
+    || List.exists (fun (_, a) -> a.a_block = b) !retryq
+  in
+  (* Plan-following state. *)
+  let by_cursor = Array.make (n + 1) [] in
+  Array.iteri
+    (fun i f -> by_cursor.(f.Fetch_op.at_cursor) <- i :: by_cursor.(f.Fetch_op.at_cursor))
+    ops;
+  let compare_pending i1 i2 =
+    match Fetch_op.compare_start ops.(i1) ops.(i2) with 0 -> Int.compare i1 i2 | c -> c
+  in
+  for c = 0 to n do
+    by_cursor.(c) <- List.sort compare_pending by_cursor.(c)
+  done;
+  let armed = ref [] in
+  let rec merge_armed l1 l2 =
+    match (l1, l2) with
+    | [], l | l, [] -> l
+    | (((t1, i1) as h1) :: r1), (((t2, i2) as h2) :: r2) ->
+      let c = match Int.compare t1 t2 with 0 -> compare_pending i1 i2 | x -> x in
+      if c <= 0 then h1 :: merge_armed r1 l2 else h2 :: merge_armed l1 r2
+  in
+  let waiting = Array.init num_disks (fun _ -> Queue.create ()) in
+  let waiting_count = ref 0 in
+  let op_deferred = Array.make (max nops 1) false in
+  (* Will the plan still supply block [b] without the cursor advancing?
+     Only ops already armed or waiting qualify: an op still in [by_cursor]
+     is anchored strictly beyond the cursor (every anchor at or before it
+     was armed on arrival) and can never start while we stall here.  A
+     fetch of [b] anchored for a {e later} occurrence does not count -
+     that is exactly the eviction-divergence deadlock to re-plan out of. *)
+  let plan_will_supply b =
+    List.exists (fun (_, i) -> ops.(i).Fetch_op.block = b) !armed
+    || Array.exists
+         (fun q -> Queue.fold (fun acc i -> acc || ops.(i).Fetch_op.block = b) false q)
+         waiting
+  in
+  let following = ref true in
+  let replanned_at = ref None in
+  let greedy_fetches = ref 0 in
+  (* Report accumulators. *)
+  let f_jitter = ref 0 and f_failures = ref 0 and f_retries = ref 0 and f_abandoned = ref 0 in
+  let f_deferred = ref 0 and f_interrupts = ref 0 and f_dropped = ref 0 in
+  let f_skipped_evict = ref 0 and f_stall = ref 0 and f_replans = ref 0 in
+  let fevents = ref [] in
+  let fevent e = fevents := e :: !fevents in
+  (* Stats accumulators. *)
+  let events = ref [] in
+  let push e = if record_events then events := e :: !events in
+  let occupancy = ref [] in
+  let last_occ = ref (-1) in
+  let sample_occ t =
+    if record_events then begin
+      let occ = !cache_count + !in_flight_count in
+      if occ <> !last_occ then begin
+        occupancy := (t, occ) :: !occupancy;
+        last_occ := occ
+      end
+    end
+  in
+  let stall = ref 0 in
+  let started = ref 0 in
+  let completed = ref 0 in
+  let peak = ref !cache_count in
+  let cursor = ref 0 in
+  let t = ref 0 in
+  let reach = Array.make (n + 1) 0 in
+  let arm time c =
+    match by_cursor.(c) with
+    | [] -> ()
+    | pending ->
+      armed :=
+        merge_armed !armed
+          (List.map (fun i -> (time + ops.(i).Fetch_op.delay, i)) pending);
+      by_cursor.(c) <- []
+  in
+  let disk_down d = Faults.disk_down faults ~disk:d ~time:!t in
+  (* Generous but finite deadlock guard: the greedy mode always finishes
+     under a well-formed plan (fail_prob < 1), so tripping this indicates
+     a bug, not bad luck, for any realistic horizon. *)
+  let horizon =
+    let ma = faults.Faults.retry.Faults.max_attempts in
+    let worst_attempt = fetch_time + faults.Faults.max_jitter in
+    let backoff_total = ref 0 in
+    for a = 1 to ma - 1 do
+      backoff_total := !backoff_total + Faults.backoff_delay faults.Faults.retry ~attempt:a
+    done;
+    let outage_total =
+      List.fold_left
+        (fun acc (o : Faults.outage) -> acc + (o.Faults.until_time - o.Faults.from_time))
+        0 faults.Faults.outages
+    in
+    (* Greedy mode re-issues an abandoned block with fresh draws, so a
+       block may consume several full retry cycles: expected count is
+       1 / (1 - fail_prob^ma).  Budget 64x that, which bounds the odds
+       of a healthy run tripping the guard by roughly e^-64 per block. *)
+    let reissue_factor =
+      if faults.Faults.fail_prob <= 0.0 then 1
+      else
+        let cycle_success = 1.0 -. (faults.Faults.fail_prob ** float_of_int ma) in
+        int_of_float (ceil (64.0 /. cycle_success))
+    in
+    let per_fetch = ((ma * worst_attempt) + !backoff_total) * reissue_factor in
+    (4 * (n + ((n + nops + 1) * (per_fetch + fetch_time)))) + (8 * outage_total) + 1024
+  in
+  (* Launch one attempt of [a] at the current instant on its (idle, up)
+     disk. *)
+  let launch a =
+    let attempt = a.a_attempts + 1 in
+    a.a_attempts <- attempt;
+    let d =
+      Faults.draw faults ~fetch_time ~disk:a.a_disk ~block:a.a_block ~attempt ~start:!t
+    in
+    a.a_start <- !t;
+    a.a_finish <- !t + d.Faults.duration;
+    a.a_fail <- d.Faults.failed;
+    a.a_jitter <- d.Faults.duration > fetch_time;
+    if a.a_jitter then begin
+      f_jitter := !f_jitter + (d.Faults.duration - fetch_time);
+      fevent
+        (Faults.Slow
+           { time = !t; disk = a.a_disk; block = a.a_block; extra = d.Faults.duration - fetch_time })
+    end;
+    if attempt > 1 then begin
+      incr f_retries;
+      fevent (Faults.Retry { time = !t; disk = a.a_disk; block = a.a_block; attempt })
+    end;
+    in_flight.(a.a_disk) <- Some a;
+    incr in_flight_count;
+    disk_busy.(a.a_disk) <- disk_busy.(a.a_disk) + d.Faults.duration;
+    push (Simulate.Fetch_start { time = !t; fetch = a.a_op })
+  in
+  (* Start a brand-new fetch (first attempt): evicts, reserves, launches. *)
+  let start_fetch ~op ~evict_now =
+    (match evict_now with
+     | Some b ->
+       in_cache.(b) <- false;
+       decr cache_count
+     | None -> ());
+    let a =
+      { a_block = op.Fetch_op.block; a_disk = op.Fetch_op.disk; a_attempts = 0; a_start = !t;
+        a_finish = !t; a_fail = false; a_jitter = false; a_op = op }
+    in
+    incr reserved;
+    incr started;
+    launch a
+  in
+  let replan () =
+    if !following then begin
+      following := false;
+      replanned_at := Some !cursor;
+      incr f_replans;
+      fevent (Faults.Replan { time = !t; cursor = !cursor });
+      (* Drop every unstarted plan op; in-flight and retrying fetches are
+         real disk operations and carry on. *)
+      armed := [];
+      Array.iter Queue.clear waiting;
+      waiting_count := 0;
+      for c = 0 to n do
+        by_cursor.(c) <- []
+      done
+    end
+  in
+  (* The furthest-next-reference resident block whose next use is after
+     [p]; [None] when every cached block is needed by position [p]. *)
+  let eviction_candidate p =
+    let best = ref (-1) and best_next = ref p in
+    Array.iteri
+      (fun b c ->
+         if c then begin
+           let nx = Next_ref.next_at_or_after nr b !cursor in
+           if nx > !best_next then begin
+             best_next := nx;
+             best := b
+           end
+         end)
+      in_cache;
+    if !best < 0 then None else Some !best
+  in
+  (* Greedy (Aggressive / Aggressive-D) decision rule for the suffix. *)
+  let greedy_decide () =
+    for d = 0 to num_disks - 1 do
+      if in_flight.(d) = None && not (disk_down d) then begin
+        (* Next missing block living on disk [d]. *)
+        let rec scan i =
+          if i >= n then None
+          else begin
+            let b = inst.Instance.seq.(i) in
+            if (not in_cache.(b)) && (not (block_pending b)) && inst.Instance.disk_of.(b) = d
+            then Some i
+            else scan (i + 1)
+          end
+        in
+        match scan !cursor with
+        | None -> ()
+        | Some p ->
+          let block = inst.Instance.seq.(p) in
+          let op =
+            Fetch_op.make ~at_cursor:!cursor ~delay:(!t - reach.(!cursor)) ~disk:d ~block
+              ~evict:None ()
+          in
+          if !cache_count + !reserved < capacity then begin
+            incr greedy_fetches;
+            start_fetch ~op ~evict_now:None
+          end
+          else begin
+            match eviction_candidate p with
+            | Some e ->
+              incr greedy_fetches;
+              start_fetch ~op:{ op with Fetch_op.evict = Some e } ~evict_now:(Some e)
+            | None -> ()  (* every cached block is requested before p *)
+          end
+      end
+    done
+  in
+  (* Plan-mode start of op [i] whose turn has come on an idle, up disk.
+     Returns [true] if the disk is now busy. *)
+  let plan_start i =
+    let f = ops.(i) in
+    if in_cache.(f.Fetch_op.block) || block_pending f.Fetch_op.block then begin
+      (* Benign: the block already arrived (or is on its way) some other
+         way; skip the op. *)
+      incr f_dropped;
+      false
+    end
+    else begin
+      let evict_resident =
+        match f.Fetch_op.evict with Some b when in_cache.(b) -> true | _ -> false
+      in
+      if (not evict_resident) && !cache_count + !reserved + 1 > capacity then begin
+        (* Victim gone or capacity exhausted: the plan no longer fits. *)
+        incr f_dropped;
+        replan ();
+        false
+      end
+      else begin
+        (match f.Fetch_op.evict with
+         | Some b when in_cache.(b) -> ()
+         | Some _ -> incr f_skipped_evict
+         | None -> ());
+        start_fetch ~op:f ~evict_now:(match f.Fetch_op.evict with Some b when in_cache.(b) -> Some b | _ -> None);
+        true
+      end
+    end
+  in
+  arm 0 0;
+  sample_occ 0;
+  while !cursor < n do
+    if !t > horizon then begin
+      let b = inst.Instance.seq.(!cursor) in
+      failwith
+        (Printf.sprintf
+           "Resilient.execute: exceeded time horizon %d at r%d (fault plan pathology) \
+            [b=%d cached=%b pending=%b armed=%b following=%b reserved=%d cache=%d inflight=%d \
+            retryq=%d waiting=%d]"
+           horizon (!cursor + 1) b in_cache.(b) (block_pending b) (plan_will_supply b) !following
+           !reserved !cache_count !in_flight_count (List.length !retryq) !waiting_count)
+    end;
+    (* 0. Outage transition events. *)
+    List.iter
+      (fun (o : Faults.outage) ->
+         if o.Faults.from_time = !t then fevent (Faults.Outage_begin { time = !t; disk = o.Faults.disk });
+         if o.Faults.until_time = !t then fevent (Faults.Outage_end { time = !t; disk = o.Faults.disk }))
+      faults.Faults.outages;
+    (* 1. Completions at instant t. *)
+    for d = 0 to num_disks - 1 do
+      match in_flight.(d) with
+      | Some a when a.a_finish = !t ->
+        in_flight.(d) <- None;
+        decr in_flight_count;
+        if a.a_fail then begin
+          incr f_failures;
+          fevent (Faults.Fail { time = !t; disk = d; block = a.a_block; attempt = a.a_attempts });
+          if a.a_attempts < faults.Faults.retry.Faults.max_attempts then
+            retryq_add (!t + Faults.backoff_delay faults.Faults.retry ~attempt:a.a_attempts) a
+          else begin
+            incr f_abandoned;
+            decr reserved;
+            fevent (Faults.Give_up { time = !t; disk = d; block = a.a_block; attempts = a.a_attempts })
+          end
+        end
+        else begin
+          decr reserved;
+          if not in_cache.(a.a_block) then begin
+            in_cache.(a.a_block) <- true;
+            incr cache_count
+          end;
+          incr completed;
+          push (Simulate.Fetch_complete { time = !t; fetch = a.a_op })
+        end
+      | _ -> ()
+    done;
+    (* 1b. Outage interrupts: abort in-flight attempts on disks that just
+       went down; the interrupt does not consume an attempt. *)
+    for d = 0 to num_disks - 1 do
+      match in_flight.(d) with
+      | Some a when disk_down d ->
+        in_flight.(d) <- None;
+        decr in_flight_count;
+        disk_busy.(d) <- disk_busy.(d) - (a.a_finish - !t);
+        incr f_interrupts;
+        fevent (Faults.Interrupted { time = !t; disk = d; block = a.a_block });
+        a.a_attempts <- a.a_attempts - 1;  (* the relaunch re-draws this attempt *)
+        retryq_add (Faults.next_up faults ~disk:d ~time:!t) a
+      | _ -> ()
+    done;
+    (* 2. Retries whose backoff expired relaunch as soon as their disk is
+       idle and up (they keep their reservation meanwhile). *)
+    let rec relaunch_due acc = function
+      | (ready, a) :: rest when ready <= !t ->
+        if in_flight.(a.a_disk) = None && (not (disk_down a.a_disk))
+           && not (in_cache.(a.a_block)) then begin
+          launch a;
+          relaunch_due acc rest
+        end
+        else if in_cache.(a.a_block) then begin
+          (* Arrived some other way while in backoff: drop the retry. *)
+          decr reserved;
+          incr f_dropped;
+          relaunch_due acc rest
+        end
+        else relaunch_due ((ready, a) :: acc) rest
+      | rest -> List.rev_append acc rest
+    in
+    retryq := relaunch_due [] !retryq;
+    (* 3. Starts at instant t. *)
+    if !following then begin
+      let rec move_armed () =
+        match !armed with
+        | (start_time, i) :: rest when start_time <= !t ->
+          armed := rest;
+          Queue.add i waiting.(ops.(i).Fetch_op.disk);
+          incr waiting_count;
+          move_armed ()
+        | _ -> ()
+      in
+      move_armed ();
+      for d = 0 to num_disks - 1 do
+        let continue = ref true in
+        while !continue && !following && (not (Queue.is_empty waiting.(d)))
+              && in_flight.(d) = None && not (disk_down d) do
+          let i = Queue.take waiting.(d) in
+          decr waiting_count;
+          if plan_start i then continue := false
+        done
+      done;
+      if !following && !waiting_count > 0 then
+        (* Count each op the first time it is left waiting for its disk. *)
+        Array.iter
+          (fun q ->
+             Queue.iter
+               (fun i ->
+                  if not op_deferred.(i) then begin
+                    op_deferred.(i) <- true;
+                    incr f_deferred
+                  end)
+               q)
+          waiting
+    end;
+    if not !following then greedy_decide ();
+    if !cache_count + !in_flight_count > !peak then peak := !cache_count + !in_flight_count;
+    sample_occ !t;
+    (* 4. Serve or stall during [t, t+1). *)
+    let b = inst.Instance.seq.(!cursor) in
+    if in_cache.(b) then begin
+      push (Simulate.Serve { time = !t; index = !cursor; block = b });
+      incr cursor;
+      incr t;
+      reach.(!cursor) <- !t;
+      if !following then arm !t !cursor
+    end
+    else begin
+      (* Will anything pending, armed or waiting ever supply [b]?  If
+         not, the plan has diverged: re-plan the suffix and decide again
+         within the same instant, so the greedy fetch starts right now. *)
+      if !following && (not (block_pending b)) && not (plan_will_supply b) then begin
+        replan ();
+        greedy_decide ()
+      end;
+      (* Fault-attributed stall: the supplying fetch is retrying, on a
+         repeat or slowed attempt, or its disk is down. *)
+      (let attributed = ref false in
+       Array.iter
+         (function
+           | Some a when (not !attributed) && a.a_block = b ->
+             if a.a_attempts > 1 || (a.a_jitter && !t >= a.a_start + fetch_time) then begin
+               incr f_stall;
+               attributed := true
+             end
+           | _ -> ())
+         in_flight;
+       if not !attributed then
+         if List.exists (fun (_, a) -> a.a_block = b) !retryq
+            || disk_down inst.Instance.disk_of.(b) then
+           incr f_stall);
+      push (Simulate.Stall { time = !t });
+      incr stall;
+      incr t
+    end
+  done;
+  (* Refund busy time in-flight fetches would spend past the end. *)
+  Array.iter
+    (function
+      | Some a when a.a_finish > !t ->
+        disk_busy.(a.a_disk) <- disk_busy.(a.a_disk) - (a.a_finish - !t)
+      | _ -> ())
+    in_flight;
+  sample_occ !t;
+  let report =
+    { Faults.injected_jitter = !f_jitter;
+      transient_failures = !f_failures;
+      retries = !f_retries;
+      abandoned = !f_abandoned;
+      deferred_starts = !f_deferred;
+      outage_interrupts = !f_interrupts;
+      dropped_fetches = !f_dropped;
+      skipped_evictions = !f_skipped_evict;
+      fault_stall = !f_stall;
+      replans = !f_replans;
+      events = List.rev !fevents }
+  in
+  let stats =
+    { Simulate.stall_time = !stall;
+      elapsed_time = !t;
+      fetches_started = !started;
+      fetches_completed = !completed;
+      peak_occupancy = !peak;
+      events = List.rev !events;
+      disk_busy;
+      stall_by_fetch = [];
+      occupancy = List.rev !occupancy }
+  in
+  if Telemetry.enabled () then begin
+    Telemetry.incr m_runs;
+    Telemetry.add m_replans report.Faults.replans;
+    Telemetry.add m_retries report.Faults.retries;
+    Telemetry.add m_abandoned report.Faults.abandoned;
+    Telemetry.add m_fault_stall report.Faults.fault_stall;
+    Telemetry.add m_greedy !greedy_fetches;
+    Telemetry.add m_stall stats.Simulate.stall_time
+  end;
+  { stats; report; replanned_at = !replanned_at; greedy_fetches = !greedy_fetches }

@@ -82,12 +82,7 @@ let schedule (inst : Instance.t) : Fetch_op.schedule =
   let hints = eviction_hints inst in
   Driver.schedule (Driver.run inst ~decide:(decide hints))
 
-let stats inst =
-  match Simulate.run inst (schedule inst) with
-  | Ok s -> s
-  | Error e ->
-    failwith (Printf.sprintf "Reverse-Aggressive produced an invalid schedule at t=%d: %s"
-                e.Simulate.at_time e.Simulate.reason)
+let stats inst = Driver.validate ~name:"Reverse-Aggressive" inst (schedule inst)
 
 let stall_time inst = (stats inst).Simulate.stall_time
 let elapsed_time inst = (stats inst).Simulate.elapsed_time

@@ -1,0 +1,209 @@
+(* Deterministic, seeded fault plans for the disk layer.
+
+   Every random decision - is this attempt slowed, by how much, does it
+   fail - is a pure splitmix64-style hash of (plan seed, disk, block,
+   attempt number, start time).  Including the start time means a retried
+   or re-issued fetch draws fresh randomness, so a plan with
+   [fail_prob < 1] cannot pin a block down forever, while the whole run
+   stays exactly reproducible from the seed. *)
+
+type backoff =
+  | Immediate
+  | Fixed of int
+  | Exponential of { base : int; factor : int; max_delay : int }
+
+type retry = {
+  backoff : backoff;
+  max_attempts : int;
+}
+
+let default_retry = { backoff = Exponential { base = 1; factor = 2; max_delay = 8 }; max_attempts = 3 }
+
+let backoff_delay retry ~attempt =
+  match retry.backoff with
+  | Immediate -> 0
+  | Fixed d -> d
+  | Exponential { base; factor; max_delay } ->
+    let rec pow acc i = if i <= 1 then acc else pow (acc * factor) (i - 1) in
+    min (base * pow 1 attempt) max_delay
+
+type outage = {
+  disk : int;
+  from_time : int;
+  until_time : int;
+}
+
+type t = {
+  seed : int;
+  jitter_prob : float;
+  max_jitter : int;
+  fail_prob : float;
+  retry : retry;
+  outages : outage list;
+}
+
+let none =
+  { seed = 0; jitter_prob = 0.0; max_jitter = 0; fail_prob = 0.0; retry = default_retry;
+    outages = [] }
+
+let is_none t = t.jitter_prob = 0.0 && t.fail_prob = 0.0 && t.outages = []
+
+let make ?(seed = 1) ?(jitter_prob = 0.0) ?(max_jitter = 0) ?(fail_prob = 0.0)
+    ?(retry = default_retry) ?(outages = []) () =
+  let bad fmt = Printf.ksprintf invalid_arg fmt in
+  if not (jitter_prob >= 0.0 && jitter_prob <= 1.0) then bad "Faults.make: jitter_prob %g" jitter_prob;
+  if not (fail_prob >= 0.0 && fail_prob < 1.0) then
+    bad "Faults.make: fail_prob %g must be in [0,1)" fail_prob;
+  if max_jitter < 0 then bad "Faults.make: negative max_jitter";
+  if jitter_prob > 0.0 && max_jitter = 0 then bad "Faults.make: jitter_prob > 0 needs max_jitter > 0";
+  if retry.max_attempts < 1 then bad "Faults.make: max_attempts %d < 1" retry.max_attempts;
+  (match retry.backoff with
+   | Immediate -> ()
+   | Fixed d -> if d < 0 then bad "Faults.make: negative fixed backoff"
+   | Exponential { base; factor; max_delay } ->
+     if base < 0 || factor < 1 || max_delay < 0 then bad "Faults.make: malformed exponential backoff");
+  List.iter
+    (fun o ->
+       if o.disk < 0 then bad "Faults.make: outage on negative disk %d" o.disk;
+       if o.from_time < 0 || o.until_time <= o.from_time then
+         bad "Faults.make: outage window [%d,%d) on disk %d" o.from_time o.until_time o.disk)
+    outages;
+  (* Sort and reject overlapping windows per disk so [next_up] is a single
+     forward scan. *)
+  let outages =
+    List.sort
+      (fun a b ->
+         match Int.compare a.disk b.disk with 0 -> Int.compare a.from_time b.from_time | c -> c)
+      outages
+  in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      if a.disk = b.disk && b.from_time < a.until_time then
+        bad "Faults.make: overlapping outages on disk %d" a.disk;
+      check rest
+    | _ -> ()
+  in
+  check outages;
+  { seed; jitter_prob; max_jitter; fail_prob; retry; outages }
+
+let pp fmt t =
+  if is_none t then Format.fprintf fmt "no faults"
+  else begin
+    Format.fprintf fmt "seed=%d" t.seed;
+    if t.jitter_prob > 0.0 then
+      Format.fprintf fmt " jitter=%g(max %d)" t.jitter_prob t.max_jitter;
+    if t.fail_prob > 0.0 then begin
+      Format.fprintf fmt " fail=%g retry=%d/" t.fail_prob t.retry.max_attempts;
+      match t.retry.backoff with
+      | Immediate -> Format.fprintf fmt "immediate"
+      | Fixed d -> Format.fprintf fmt "fixed(%d)" d
+      | Exponential { base; factor; max_delay } ->
+        Format.fprintf fmt "exp(%d,%d,max %d)" base factor max_delay
+    end;
+    List.iter
+      (fun o -> Format.fprintf fmt " outage(d%d,[%d,%d))" o.disk o.from_time o.until_time)
+      t.outages
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic draws: splitmix64 finalizer over the attempt identity. *)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+let combine h v = mix64 (Int64.add (Int64.logxor h (Int64.of_int v)) 0x9e3779b97f4a7c15L)
+
+(* A uniform float in [0,1) from the top 53 bits. *)
+let u01 h = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+
+type draw = {
+  duration : int;
+  failed : bool;
+}
+
+let draw t ~fetch_time ~disk ~block ~attempt ~start =
+  let h =
+    combine (combine (combine (combine (mix64 (Int64.of_int t.seed)) disk) block) attempt) start
+  in
+  let jitter_roll = u01 h in
+  let h = mix64 h in
+  let jitter_size = u01 h in
+  let h = mix64 h in
+  let fail_roll = u01 h in
+  let extra =
+    if t.jitter_prob > 0.0 && jitter_roll < t.jitter_prob then
+      1 + int_of_float (jitter_size *. float_of_int t.max_jitter) |> min t.max_jitter
+    else 0
+  in
+  { duration = fetch_time + extra; failed = t.fail_prob > 0.0 && fail_roll < t.fail_prob }
+
+let disk_down t ~disk ~time =
+  List.exists (fun o -> o.disk = disk && o.from_time <= time && time < o.until_time) t.outages
+
+let next_up t ~disk ~time =
+  (* Windows per disk are sorted and disjoint: chase the time forward. *)
+  List.fold_left
+    (fun tm o -> if o.disk = disk && o.from_time <= tm && tm < o.until_time then o.until_time else tm)
+    time t.outages
+
+(* ------------------------------------------------------------------ *)
+(* Fault events and reports. *)
+
+type event =
+  | Slow of { time : int; disk : int; block : int; extra : int }
+  | Fail of { time : int; disk : int; block : int; attempt : int }
+  | Retry of { time : int; disk : int; block : int; attempt : int }
+  | Give_up of { time : int; disk : int; block : int; attempts : int }
+  | Interrupted of { time : int; disk : int; block : int }
+  | Outage_begin of { time : int; disk : int }
+  | Outage_end of { time : int; disk : int }
+  | Replan of { time : int; cursor : int }
+
+let event_time = function
+  | Slow { time; _ } | Fail { time; _ } | Retry { time; _ } | Give_up { time; _ }
+  | Interrupted { time; _ } | Outage_begin { time; _ } | Outage_end { time; _ }
+  | Replan { time; _ } -> time
+
+let pp_event fmt = function
+  | Slow { time; disk; block; extra } ->
+    Format.fprintf fmt "t=%-3d slow  d%d b%d (+%d)" time disk block extra
+  | Fail { time; disk; block; attempt } ->
+    Format.fprintf fmt "t=%-3d fail  d%d b%d (attempt %d)" time disk block attempt
+  | Retry { time; disk; block; attempt } ->
+    Format.fprintf fmt "t=%-3d retry d%d b%d (attempt %d)" time disk block attempt
+  | Give_up { time; disk; block; attempts } ->
+    Format.fprintf fmt "t=%-3d abandon d%d b%d after %d attempts" time disk block attempts
+  | Interrupted { time; disk; block } ->
+    Format.fprintf fmt "t=%-3d interrupted d%d b%d (outage)" time disk block
+  | Outage_begin { time; disk } -> Format.fprintf fmt "t=%-3d disk %d down" time disk
+  | Outage_end { time; disk } -> Format.fprintf fmt "t=%-3d disk %d up" time disk
+  | Replan { time; cursor } -> Format.fprintf fmt "t=%-3d replan at r%d" time (cursor + 1)
+
+type report = {
+  injected_jitter : int;
+  transient_failures : int;
+  retries : int;
+  abandoned : int;
+  deferred_starts : int;
+  outage_interrupts : int;
+  dropped_fetches : int;
+  skipped_evictions : int;
+  fault_stall : int;
+  replans : int;
+  events : event list;
+}
+
+let empty_report =
+  { injected_jitter = 0; transient_failures = 0; retries = 0; abandoned = 0; deferred_starts = 0;
+    outage_interrupts = 0; dropped_fetches = 0; skipped_evictions = 0; fault_stall = 0;
+    replans = 0; events = [] }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "jitter=+%d failures=%d retries=%d abandoned=%d deferred=%d interrupts=%d dropped=%d \
+     fault_stall=%d replans=%d"
+    r.injected_jitter r.transient_failures r.retries r.abandoned r.deferred_starts
+    r.outage_interrupts r.dropped_fetches r.fault_stall r.replans

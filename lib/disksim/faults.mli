@@ -1,0 +1,112 @@
+(** Deterministic, seeded fault plans for the disk layer.
+
+    The paper's model assumes every fetch takes exactly [F] units and
+    every disk is always up.  A fault plan perturbs that model the way
+    real storage does - per-fetch latency jitter (a fetch takes [F + d]),
+    transient fetch failures with a bounded retry policy, and timed
+    whole-disk outages - while staying fully deterministic: every draw is
+    a pure hash of the plan seed and the attempt's identity (disk, block,
+    attempt number, start time), so replaying the same schedule under the
+    same plan reproduces the same faults exactly.
+
+    {!none} is the empty plan; executing under it is byte-identical to
+    the fault-free simulator. *)
+
+(** {1 Retry policies} *)
+
+type backoff =
+  | Immediate  (** retry as soon as the failure is detected *)
+  | Fixed of int  (** wait a constant number of units before each retry *)
+  | Exponential of { base : int; factor : int; max_delay : int }
+      (** attempt [a] waits [min (base * factor^(a-1)) max_delay] units *)
+
+type retry = {
+  backoff : backoff;
+  max_attempts : int;  (** total attempts including the first; >= 1 *)
+}
+
+val default_retry : retry
+(** Three attempts with exponential backoff (base 1, factor 2, cap 8). *)
+
+val backoff_delay : retry -> attempt:int -> int
+(** Units to wait after failed attempt number [attempt] (1-based). *)
+
+(** {1 Plans} *)
+
+type outage = {
+  disk : int;
+  from_time : int;
+  until_time : int;  (** the disk is down during [[from_time, until_time)] *)
+}
+
+type t = {
+  seed : int;
+  jitter_prob : float;  (** probability an attempt is slowed *)
+  max_jitter : int;  (** slowed attempts take [F + U{1..max_jitter}] units *)
+  fail_prob : float;  (** probability an attempt fails (after its service time) *)
+  retry : retry;
+  outages : outage list;
+}
+
+val none : t
+val is_none : t -> bool
+
+val make :
+  ?seed:int -> ?jitter_prob:float -> ?max_jitter:int -> ?fail_prob:float ->
+  ?retry:retry -> ?outages:outage list -> unit -> t
+(** Defaults: seed 1, no jitter, no failures, {!default_retry}, no
+    outages.  @raise Invalid_argument on negative fields, probabilities
+    outside [0,1], [fail_prob = 1] (which could never terminate), or
+    malformed outage windows. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Deterministic draws} *)
+
+type draw = {
+  duration : int;  (** actual attempt duration, [>= fetch_time] *)
+  failed : bool;  (** the attempt occupies the disk for [duration] units
+                      and then fails without delivering the block *)
+}
+
+val draw : t -> fetch_time:int -> disk:int -> block:int -> attempt:int -> start:int -> draw
+(** Pure function of the plan seed and the attempt identity. *)
+
+val disk_down : t -> disk:int -> time:int -> bool
+
+val next_up : t -> disk:int -> time:int -> int
+(** First instant [>= time] at which the disk is up (outage windows are
+    finite and non-overlapping per disk after {!make}). *)
+
+(** {1 Fault events and reports} *)
+
+type event =
+  | Slow of { time : int; disk : int; block : int; extra : int }
+  | Fail of { time : int; disk : int; block : int; attempt : int }
+  | Retry of { time : int; disk : int; block : int; attempt : int }
+  | Give_up of { time : int; disk : int; block : int; attempts : int }
+  | Interrupted of { time : int; disk : int; block : int }
+      (** an in-flight attempt aborted by a disk outage *)
+  | Outage_begin of { time : int; disk : int }
+  | Outage_end of { time : int; disk : int }
+  | Replan of { time : int; cursor : int }
+
+val event_time : event -> int
+val pp_event : Format.formatter -> event -> unit
+
+type report = {
+  injected_jitter : int;  (** total extra latency units added *)
+  transient_failures : int;  (** failed attempts (excluding outage aborts) *)
+  retries : int;  (** attempts beyond each fetch's first *)
+  abandoned : int;  (** fetches that exhausted their attempts *)
+  deferred_starts : int;  (** planned starts postponed by a busy or down disk *)
+  outage_interrupts : int;  (** in-flight attempts aborted by an outage *)
+  dropped_fetches : int;  (** planned fetches that had become inapplicable *)
+  skipped_evictions : int;  (** evictions skipped because the victim was gone *)
+  fault_stall : int;  (** stall units charged to fault-delayed fetches *)
+  replans : int;  (** suffix re-plans (resilient executor only) *)
+  events : event list;  (** chronological *)
+}
+
+val empty_report : report
+val pp_report : Format.formatter -> report -> unit

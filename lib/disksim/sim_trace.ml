@@ -51,7 +51,71 @@ let fetch_args (inst : Instance.t) (stats : Simulate.stats) (f : Fetch_op.t) =
     [ ("stall_involuntary", Tjson.Int a.Simulate.involuntary_stall);
       ("stall_voluntary", Tjson.Int a.Simulate.voluntary_stall) ]
 
-let events (inst : Instance.t) (stats : Simulate.stats) : Trace_event.t list =
+(* The fault lane (tid [num_disks + 1]): outages render as duration
+   events by pairing each begin with its end on the same disk; every
+   other injected fault is an instant. *)
+let fault_lane ~tid (report : Faults.report) : Trace_event.t list =
+  let rec outage_end disk = function
+    | Faults.Outage_end { time; disk = d } :: _ when d = disk -> Some time
+    | _ :: rest -> outage_end disk rest
+    | [] -> None
+  in
+  let rec convert = function
+    | [] -> []
+    | ev :: rest ->
+      let instant name args time =
+        Trace_event.instant ~cat:"fault" ~name ~args ~ts:(scale time) ~tid ()
+      in
+      let e =
+        match ev with
+        | Faults.Slow { time; disk; block; extra } ->
+          Some
+            (instant "slow"
+               [ ("disk", Tjson.Int disk); ("block", Tjson.Int block); ("extra", Tjson.Int extra) ]
+               time)
+        | Faults.Fail { time; disk; block; attempt } ->
+          Some
+            (instant "fail"
+               [ ("disk", Tjson.Int disk); ("block", Tjson.Int block);
+                 ("attempt", Tjson.Int attempt) ]
+               time)
+        | Faults.Retry { time; disk; block; attempt } ->
+          Some
+            (instant "retry"
+               [ ("disk", Tjson.Int disk); ("block", Tjson.Int block);
+                 ("attempt", Tjson.Int attempt) ]
+               time)
+        | Faults.Give_up { time; disk; block; attempts } ->
+          Some
+            (instant "abandon"
+               [ ("disk", Tjson.Int disk); ("block", Tjson.Int block);
+                 ("attempts", Tjson.Int attempts) ]
+               time)
+        | Faults.Interrupted { time; disk; block } ->
+          Some
+            (instant "interrupted"
+               [ ("disk", Tjson.Int disk); ("block", Tjson.Int block) ]
+               time)
+        | Faults.Outage_begin { time; disk } ->
+          let dur =
+            match outage_end disk rest with Some e -> e - time | None -> 1
+          in
+          Some
+            (Trace_event.duration ~cat:"fault" ~name:(Printf.sprintf "outage d%d" disk)
+               ~args:[ ("disk", Tjson.Int disk) ]
+               ~ts:(scale time) ~dur:(scale dur) ~tid ())
+        | Faults.Outage_end _ -> None
+        | Faults.Replan { time; cursor } ->
+          Some (instant "replan" [ ("cursor", Tjson.Int (cursor + 1)) ] time)
+      in
+      (match e with Some e -> e :: convert rest | None -> convert rest)
+  in
+  Trace_event.thread_name ~tid "faults"
+  :: Trace_event.thread_sort_index ~tid tid
+  :: convert report.Faults.events
+
+let events ?(faults : Faults.report option) (inst : Instance.t) (stats : Simulate.stats) :
+  Trace_event.t list =
   let meta =
     Trace_event.process_name "ipc simulation"
     :: Trace_event.thread_name ~tid:0 "cpu"
@@ -60,6 +124,12 @@ let events (inst : Instance.t) (stats : Simulate.stats) : Trace_event.t list =
          (List.init inst.Instance.num_disks (fun d ->
               [ Trace_event.thread_name ~tid:(d + 1) (Printf.sprintf "disk %d" d);
                 Trace_event.thread_sort_index ~tid:(d + 1) (d + 1) ]))
+  in
+  let faults =
+    match faults with
+    | Some r when r.Faults.events <> [] ->
+      fault_lane ~tid:(inst.Instance.num_disks + 1) r
+    | _ -> []
   in
   let serves =
     List.map
@@ -99,12 +169,12 @@ let events (inst : Instance.t) (stats : Simulate.stats) : Trace_event.t list =
            ())
       stats.Simulate.occupancy
   in
-  meta @ serves @ stalls_and_fetches @ occupancy
+  meta @ serves @ stalls_and_fetches @ occupancy @ faults
 
-let to_string inst stats = Trace_event.to_string (events inst stats)
+let to_string ?faults inst stats = Trace_event.to_string (events ?faults inst stats)
 
-let write oc inst stats = Trace_event.write oc (events inst stats)
+let write ?faults oc inst stats = Trace_event.write oc (events ?faults inst stats)
 
-let write_file path inst stats =
+let write_file ?faults path inst stats =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc inst stats)
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write ?faults oc inst stats)

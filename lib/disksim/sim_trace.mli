@@ -5,12 +5,17 @@
     as instants), tid [1+d] is disk [d] (fetches as duration events with
     their stall charges in [args]); the cache-occupancy timeline becomes
     counter events.  Requires a run with [record_events]; stall charges
-    and the occupancy track additionally need [attribution]. *)
+    and the occupancy track additionally need [attribution].
 
-val events : Instance.t -> Simulate.stats -> Trace_event.t list
+    Passing [?faults] (a report from {!Simulate.run_faulty} or the
+    Resilient executor) adds a "faults" lane at tid [num_disks + 1]:
+    outage windows as duration events, every other injected fault
+    (slow/fail/retry/abandon/interrupt/replan) as an instant. *)
 
-val to_string : Instance.t -> Simulate.stats -> string
+val events : ?faults:Faults.report -> Instance.t -> Simulate.stats -> Trace_event.t list
 
-val write : out_channel -> Instance.t -> Simulate.stats -> unit
+val to_string : ?faults:Faults.report -> Instance.t -> Simulate.stats -> string
 
-val write_file : string -> Instance.t -> Simulate.stats -> unit
+val write : ?faults:Faults.report -> out_channel -> Instance.t -> Simulate.stats -> unit
+
+val write_file : ?faults:Faults.report -> string -> Instance.t -> Simulate.stats -> unit

@@ -29,7 +29,19 @@
    partition the stall: sum over fetches of (involuntary + voluntary)
    equals [stall_time] exactly; the delayed-hits literature calls this
    stall-time attribution and it is the lens the ROADMAP's latency work
-   needs. *)
+   needs.
+
+   [run_faulty] executes the same schedule under a {!Faults} plan: fetch
+   attempts may be slowed (duration F + d), fail transiently (retried
+   under the plan's backoff policy, bounded attempts) or be interrupted
+   by timed whole-disk outages.  Under a non-empty plan the strict
+   plan-consistency rejections are relaxed into degraded-mode behaviour -
+   a start on a busy or down disk waits its turn instead of rejecting,
+   an inapplicable fetch (block already resident, eviction victim gone
+   and no free slot) is dropped and counted - because the divergence is
+   the fault's doing, not the schedule's.  With [Faults.none] the code
+   path is the fault-free one and the returned stats are identical to
+   [run]'s. *)
 
 type event =
   | Serve of { time : int; index : int; block : Instance.block }
@@ -92,18 +104,49 @@ let m_stall_hist = Telemetry.histogram "simulate.stall_time"
 let m_peak_hist = Telemetry.histogram "simulate.peak_occupancy"
 let m_util_hist = Telemetry.histogram "simulate.disk_utilization"
 
+(* Fault-injection counters, bumped only by [run_faulty]. *)
+let m_faulty_runs = Telemetry.counter "simulate.faulty_runs"
+let m_f_jitter = Telemetry.counter "faults.injected_jitter"
+let m_f_failures = Telemetry.counter "faults.transient_failures"
+let m_f_retries = Telemetry.counter "faults.retries"
+let m_f_abandoned = Telemetry.counter "faults.abandoned"
+let m_f_deferred = Telemetry.counter "faults.deferred_starts"
+let m_f_interrupts = Telemetry.counter "faults.outage_interrupts"
+let m_f_dropped = Telemetry.counter "faults.dropped_fetches"
+let m_f_stall = Telemetry.counter "faults.stall_units"
+
+let record_fault_telemetry (r : Faults.report) =
+  if Telemetry.enabled () then begin
+    Telemetry.incr m_faulty_runs;
+    Telemetry.add m_f_jitter r.Faults.injected_jitter;
+    Telemetry.add m_f_failures r.Faults.transient_failures;
+    Telemetry.add m_f_retries r.Faults.retries;
+    Telemetry.add m_f_abandoned r.Faults.abandoned;
+    Telemetry.add m_f_deferred r.Faults.deferred_starts;
+    Telemetry.add m_f_interrupts r.Faults.outage_interrupts;
+    Telemetry.add m_f_dropped r.Faults.dropped_fetches;
+    Telemetry.add m_f_stall r.Faults.fault_stall
+  end
+
 (* [extra_slots] extends capacity beyond k (the paper's parallel algorithm
    is allowed 2(D-1) extra locations).  [record_events] controls whether the
    full event trace is accumulated (examples want it; sweeps do not).
    [attribution] additionally charges every stall unit to a fetch and
    samples the occupancy timeline; it is forced on while the telemetry
-   registry is enabled so metrics dumps always carry the attribution. *)
-let run ?(extra_slots = 0) ?(record_events = false) ?(attribution = false) (inst : Instance.t)
-    (schedule : Fetch_op.schedule) : (stats, error) Result.t =
+   registry is enabled so metrics dumps always carry the attribution.
+
+   [exec] is the single loop behind both [run] and [run_faulty]: every
+   fault-mode behaviour is gated on [faulty], so with [Faults.none] the
+   executed path is exactly the fault-free executor. *)
+let exec ~extra_slots ~record_events ~attribution ~(faults : Faults.t) (inst : Instance.t)
+    (schedule : Fetch_op.schedule) : (stats * Faults.report, error) Result.t =
   let n = Instance.length inst in
   let capacity = inst.Instance.cache_size + extra_slots in
   let num_blocks = Instance.num_blocks inst in
-  let attribution = attribution || Telemetry.enabled () in
+  let num_disks = inst.Instance.num_disks in
+  let fetch_time = inst.Instance.fetch_time in
+  let faulty = not (Faults.is_none faults) in
+  let attribution = attribution || faulty || Telemetry.enabled () in
   (* Static validation of fetch operations. *)
   let validate f =
     let open Fetch_op in
@@ -111,7 +154,7 @@ let run ?(extra_slots = 0) ?(record_events = false) ?(attribution = false) (inst
       rejectf 0 "fetch %s anchored outside [0,%d]" (Format.asprintf "%a" Fetch_op.pp f) n;
     if f.delay < 0 then rejectf 0 "negative delay";
     if f.block < 0 || f.block >= num_blocks then rejectf 0 "fetch of unknown block %d" f.block;
-    if f.disk < 0 || f.disk >= inst.Instance.num_disks then
+    if f.disk < 0 || f.disk >= num_disks then
       rejectf 0 "fetch on unknown disk %d" f.disk;
     if inst.Instance.disk_of.(f.block) <> f.disk then
       rejectf 0 "block %d lives on disk %d, fetched from disk %d" f.block
@@ -131,14 +174,49 @@ let run ?(extra_slots = 0) ?(record_events = false) ?(attribution = false) (inst
       let in_cache = Array.make num_blocks false in
       List.iter (fun b -> in_cache.(b) <- true) inst.Instance.initial_cache;
       let cache_count = ref (List.length inst.Instance.initial_cache) in
-      let in_flight = Array.make inst.Instance.num_disks None in
+      let in_flight = Array.make num_disks None in
       (* in_flight.(d) = Some (op_index, end_time) *)
       let in_flight_count = ref 0 in
       let block_in_flight = Array.make num_blocks false in
-      let disk_busy = Array.make inst.Instance.num_disks 0 in
+      let disk_busy = Array.make num_disks 0 in
+      (* Cache-slot reservations: a fetch holds its slot from first start
+         until final success or abandonment, across retries.  Fault-free,
+         this equals [in_flight_count] at every capacity check. *)
+      let reserved = ref 0 in
       (* Stall charges, indexed like [ops]. *)
       let involuntary = Array.make (if attribution then nops else 0) 0 in
       let voluntary = Array.make (if attribution then nops else 0) 0 in
+      (* Fault-mode per-op state (empty arrays when fault-free). *)
+      let fsz = if faulty then nops else 0 in
+      let attempts = Array.make fsz 0 in
+      let cur_fail = Array.make fsz false in
+      let cur_jitter = Array.make fsz false in
+      let cur_start = Array.make fsz 0 in
+      let was_deferred = Array.make fsz false in
+      (* Outage-interrupted ops relaunch with the SAME attempt number (an
+         interrupt does not consume an attempt) and keep their reservation
+         and eviction from the original start. *)
+      let redraw = Array.make fsz false in
+      (* Ready-to-start ops (first attempts and due retries) waiting for
+         their disk, FIFO per disk. *)
+      let waiting = Array.init (if faulty then num_disks else 0) (fun _ -> Queue.create ()) in
+      let waiting_count = ref 0 in
+      (* Failed attempts in backoff: (ready_time, op_index), sorted. *)
+      let retryq = ref [] in
+      let retryq_add ready i =
+        let rec ins = function
+          | [] -> [ (ready, i) ]
+          | ((r', i') as hd) :: tl ->
+            if (r', i') <= (ready, i) then hd :: ins tl else (ready, i) :: hd :: tl
+        in
+        retryq := ins !retryq
+      in
+      (* Fault report accumulators. *)
+      let f_jitter = ref 0 and f_failures = ref 0 and f_retries = ref 0 in
+      let f_abandoned = ref 0 and f_deferred = ref 0 and f_interrupts = ref 0 in
+      let f_dropped = ref 0 and f_skipped_evict = ref 0 and f_stall = ref 0 in
+      let fevents = ref [] in
+      let fevent e = fevents := e :: !fevents in
       (* Pending fetches grouped by anchor cursor, held as bare op indexes
          (immediate ints) so the bookkeeping allocates exactly what the
          un-instrumented executor did; [ops.(i)] recovers the fetch. *)
@@ -196,62 +274,277 @@ let run ?(extra_slots = 0) ?(record_events = false) ?(attribution = false) (inst
       let t = ref 0 in
       arm 0 0;
       sample_occ 0;
-      (* Upper bound on total time: every fetch costs at most F (+delays). *)
+      (* Upper bound on total time: every fetch costs at most F (+delays);
+         under faults, add the worst case of every retry, backoff wait and
+         outage window (a generous but finite deadlock guard). *)
       let horizon =
-        n + List.fold_left (fun acc f -> acc + inst.Instance.fetch_time + f.Fetch_op.delay) 0 schedule + 1
+        let clean =
+          n + List.fold_left (fun acc f -> acc + fetch_time + f.Fetch_op.delay) 0 schedule + 1
+        in
+        if not faulty then clean
+        else begin
+          let ma = faults.Faults.retry.Faults.max_attempts in
+          let worst_attempt = fetch_time + faults.Faults.max_jitter in
+          let backoff_total = ref 0 in
+          for a = 1 to ma - 1 do
+            backoff_total := !backoff_total + Faults.backoff_delay faults.Faults.retry ~attempt:a
+          done;
+          let outage_total =
+            List.fold_left
+              (fun acc (o : Faults.outage) -> acc + (o.Faults.until_time - o.Faults.from_time))
+              0 faults.Faults.outages
+          in
+          let noutages = List.length faults.Faults.outages in
+          clean + outage_total
+          + (nops * (((ma + noutages) * worst_attempt) + !backoff_total))
+          + 16
+        end
+      in
+      (* Fault-mode start of one ready op on its (idle, up) disk; returns
+         false when the op had become inapplicable and was dropped. *)
+      let fault_start i =
+        let f = ops.(i) in
+        let open Fetch_op in
+        if attempts.(i) = 0 && not redraw.(i) then begin
+          (* First attempt: perform plan validation in degraded mode -
+             inapplicable fetches are dropped and counted, not rejected. *)
+          if in_cache.(f.block) || block_in_flight.(f.block) then begin
+            incr f_dropped;
+            false
+          end
+          else begin
+            let evict_resident =
+              match f.evict with Some b when in_cache.(b) -> true | _ -> false
+            in
+            if (not evict_resident) && !cache_count + !reserved + 1 > capacity then begin
+              (* Victim gone (or no-evict fetch) and no free slot. *)
+              incr f_dropped;
+              false
+            end
+            else begin
+              (match f.evict with
+               | Some b when in_cache.(b) ->
+                 in_cache.(b) <- false;
+                 decr cache_count
+               | Some _ -> incr f_skipped_evict
+               | None -> ());
+              let d = Faults.draw faults ~fetch_time ~disk:f.disk ~block:f.block ~attempt:1 ~start:!t in
+              attempts.(i) <- 1;
+              cur_fail.(i) <- d.Faults.failed;
+              cur_jitter.(i) <- d.Faults.duration > fetch_time;
+              cur_start.(i) <- !t;
+              if d.Faults.duration > fetch_time then begin
+                f_jitter := !f_jitter + (d.Faults.duration - fetch_time);
+                fevent
+                  (Faults.Slow
+                     { time = !t; disk = f.disk; block = f.block;
+                       extra = d.Faults.duration - fetch_time })
+              end;
+              in_flight.(f.disk) <- Some (i, !t + d.Faults.duration);
+              incr in_flight_count;
+              incr reserved;
+              block_in_flight.(f.block) <- true;
+              disk_busy.(f.disk) <- disk_busy.(f.disk) + d.Faults.duration;
+              incr started;
+              push (Fetch_start { time = !t; fetch = f });
+              true
+            end
+          end
+        end
+        else if in_cache.(f.block) || block_in_flight.(f.block) then begin
+          (* The block arrived through another fetch while this one was in
+             backoff: release the reservation and drop the retry. *)
+          decr reserved;
+          incr f_dropped;
+          false
+        end
+        else begin
+          (* Retry attempt (or same-attempt relaunch after an outage
+             interrupt): the slot is still reserved and the eviction
+             already happened on the first attempt. *)
+          let attempt = if redraw.(i) then max attempts.(i) 1 else attempts.(i) + 1 in
+          let was_redraw = redraw.(i) in
+          redraw.(i) <- false;
+          attempts.(i) <- attempt;
+          let d = Faults.draw faults ~fetch_time ~disk:f.disk ~block:f.block ~attempt ~start:!t in
+          cur_fail.(i) <- d.Faults.failed;
+          cur_jitter.(i) <- d.Faults.duration > fetch_time;
+          cur_start.(i) <- !t;
+          if d.Faults.duration > fetch_time then begin
+            f_jitter := !f_jitter + (d.Faults.duration - fetch_time);
+            fevent
+              (Faults.Slow
+                 { time = !t; disk = f.disk; block = f.block;
+                   extra = d.Faults.duration - fetch_time })
+          end;
+          if not was_redraw then begin
+            incr f_retries;
+            fevent (Faults.Retry { time = !t; disk = f.disk; block = f.block; attempt })
+          end;
+          in_flight.(f.disk) <- Some (i, !t + d.Faults.duration);
+          incr in_flight_count;
+          block_in_flight.(f.block) <- true;
+          disk_busy.(f.disk) <- disk_busy.(f.disk) + d.Faults.duration;
+          push (Fetch_start { time = !t; fetch = f });
+          true
+        end
       in
       while !cursor < n do
         if !t > horizon then rejectf !t "simulation exceeded time horizon (deadlock)";
+        (* 0. Outage transitions (fault mode). *)
+        if faulty then
+          List.iter
+            (fun (o : Faults.outage) ->
+               if o.Faults.from_time = !t then
+                 fevent (Faults.Outage_begin { time = !t; disk = o.Faults.disk });
+               if o.Faults.until_time = !t then
+                 fevent (Faults.Outage_end { time = !t; disk = o.Faults.disk }))
+            faults.Faults.outages;
         (* 1. Completions at instant t. *)
-        for d = 0 to inst.Instance.num_disks - 1 do
+        for d = 0 to num_disks - 1 do
           match in_flight.(d) with
           | Some (i, end_time) when end_time = !t ->
             let f = ops.(i) in
-            in_flight.(d) <- None;
-            decr in_flight_count;
-            block_in_flight.(f.Fetch_op.block) <- false;
-            in_cache.(f.Fetch_op.block) <- true;
-            incr cache_count;
-            incr completed;
-            push (Fetch_complete { time = !t; fetch = f })
+            if faulty && cur_fail.(i) then begin
+              (* Transient failure: the disk is freed, the block did not
+                 arrive; retry under the plan's policy or abandon. *)
+              in_flight.(d) <- None;
+              decr in_flight_count;
+              block_in_flight.(f.Fetch_op.block) <- false;
+              incr f_failures;
+              fevent
+                (Faults.Fail
+                   { time = !t; disk = d; block = f.Fetch_op.block; attempt = attempts.(i) });
+              if attempts.(i) < faults.Faults.retry.Faults.max_attempts then
+                retryq_add (!t + Faults.backoff_delay faults.Faults.retry ~attempt:attempts.(i)) i
+              else begin
+                incr f_abandoned;
+                decr reserved;
+                fevent
+                  (Faults.Give_up
+                     { time = !t; disk = d; block = f.Fetch_op.block; attempts = attempts.(i) })
+              end
+            end
+            else begin
+              in_flight.(d) <- None;
+              decr in_flight_count;
+              decr reserved;
+              block_in_flight.(f.Fetch_op.block) <- false;
+              if not in_cache.(f.Fetch_op.block) then begin
+                in_cache.(f.Fetch_op.block) <- true;
+                incr cache_count
+              end;
+              incr completed;
+              push (Fetch_complete { time = !t; fetch = f })
+            end
           | _ -> ()
         done;
+        (* 1b. Outage interrupts (fault mode): an in-flight attempt on a
+           disk that just went down is aborted and re-queued for when the
+           disk comes back; the interrupt does not consume an attempt. *)
+        if faulty then
+          for d = 0 to num_disks - 1 do
+            match in_flight.(d) with
+            | Some (i, end_time) when Faults.disk_down faults ~disk:d ~time:!t ->
+              let f = ops.(i) in
+              in_flight.(d) <- None;
+              decr in_flight_count;
+              block_in_flight.(f.Fetch_op.block) <- false;
+              disk_busy.(d) <- disk_busy.(d) - (end_time - !t);
+              incr f_interrupts;
+              fevent (Faults.Interrupted { time = !t; disk = d; block = f.Fetch_op.block });
+              redraw.(i) <- true;  (* relaunch re-draws this attempt, not a new one *)
+              retryq_add (Faults.next_up faults ~disk:d ~time:!t) i
+            | _ -> ()
+          done;
         (* 2. Starts at instant t. *)
-        let rec start_due () =
-          match !armed with
-          | (start_time, i) :: rest when start_time = !t ->
-            armed := rest;
-            let f = ops.(i) in
-            let open Fetch_op in
-            (match in_flight.(f.disk) with
-             | Some _ -> rejectf !t "disk %d already busy when fetch of b%d starts" f.disk f.block
-             | None -> ());
-            if in_cache.(f.block) then rejectf !t "fetch of b%d but it is already in cache" f.block;
-            if block_in_flight.(f.block) then rejectf !t "fetch of b%d already in flight" f.block;
-            (match f.evict with
-             | Some b ->
-               if not in_cache.(b) then rejectf !t "eviction of b%d which is not in cache" b;
-               in_cache.(b) <- false;
-               decr cache_count
-             | None -> ());
-            (* The started fetch reserves a slot for the incoming block. *)
-            if !cache_count + !in_flight_count + 1 > capacity then
-              rejectf !t "cache capacity %d exceeded" capacity;
-            in_flight.(f.disk) <- Some (i, !t + inst.Instance.fetch_time);
-            incr in_flight_count;
-            block_in_flight.(f.block) <- true;
-            (* Disks never pause: the fetch occupies the disk for exactly
-               [fetch_time] units, so busy time is charged up front and the
-               unfinished tail is refunded after the loop - no per-unit
-               bookkeeping. *)
-            disk_busy.(f.disk) <- disk_busy.(f.disk) + inst.Instance.fetch_time;
-            incr started;
-            push (Fetch_start { time = !t; fetch = f });
-            start_due ()
-          | (start_time, _) :: _ when start_time < !t -> assert false
-          | _ -> ()
-        in
-        start_due ();
+        if not faulty then begin
+          let rec start_due () =
+            match !armed with
+            | (start_time, i) :: rest when start_time = !t ->
+              armed := rest;
+              let f = ops.(i) in
+              let open Fetch_op in
+              (match in_flight.(f.disk) with
+               | Some _ -> rejectf !t "disk %d already busy when fetch of b%d starts" f.disk f.block
+               | None -> ());
+              if in_cache.(f.block) then rejectf !t "fetch of b%d but it is already in cache" f.block;
+              if block_in_flight.(f.block) then rejectf !t "fetch of b%d already in flight" f.block;
+              (match f.evict with
+               | Some b ->
+                 if not in_cache.(b) then rejectf !t "eviction of b%d which is not in cache" b;
+                 in_cache.(b) <- false;
+                 decr cache_count
+               | None -> ());
+              (* The started fetch reserves a slot for the incoming block. *)
+              if !cache_count + !reserved + 1 > capacity then
+                rejectf !t "cache capacity %d exceeded" capacity;
+              in_flight.(f.disk) <- Some (i, !t + fetch_time);
+              incr in_flight_count;
+              incr reserved;
+              block_in_flight.(f.block) <- true;
+              (* Disks never pause: the fetch occupies the disk for exactly
+                 [fetch_time] units, so busy time is charged up front and the
+                 unfinished tail is refunded after the loop - no per-unit
+                 bookkeeping. *)
+              disk_busy.(f.disk) <- disk_busy.(f.disk) + fetch_time;
+              incr started;
+              push (Fetch_start { time = !t; fetch = f });
+              start_due ()
+            | (start_time, _) :: _ when start_time < !t -> assert false
+            | _ -> ()
+          in
+          start_due ()
+        end
+        else begin
+          (* Fault mode: due retries and due planned starts queue up per
+             disk and drain FIFO onto idle, up disks; a start finding its
+             disk busy or down simply waits instead of rejecting. *)
+          let rec move_retries () =
+            match !retryq with
+            | (ready, i) :: rest when ready <= !t ->
+              retryq := rest;
+              Queue.add i waiting.(ops.(i).Fetch_op.disk);
+              incr waiting_count;
+              move_retries ()
+            | _ -> ()
+          in
+          move_retries ();
+          let rec move_armed () =
+            match !armed with
+            | (start_time, i) :: rest when start_time <= !t ->
+              armed := rest;
+              Queue.add i waiting.(ops.(i).Fetch_op.disk);
+              incr waiting_count;
+              move_armed ()
+            | _ -> ()
+          in
+          move_armed ();
+          for d = 0 to num_disks - 1 do
+            let continue = ref true in
+            while !continue && (not (Queue.is_empty waiting.(d)))
+                  && in_flight.(d) = None
+                  && not (Faults.disk_down faults ~disk:d ~time:!t) do
+              let i = Queue.take waiting.(d) in
+              decr waiting_count;
+              (* A dropped op frees the disk for the next in line. *)
+              ignore (fault_start i : bool);
+              if in_flight.(d) <> None then continue := false
+            done
+          done;
+          (* Anything still queued was deferred by a busy or down disk. *)
+          if !waiting_count > 0 then
+            Array.iter
+              (fun q ->
+                 Queue.iter
+                   (fun i ->
+                      if not was_deferred.(i) then begin
+                        was_deferred.(i) <- true;
+                        incr f_deferred
+                      end)
+                   q)
+              waiting
+        end;
         if !cache_count + !in_flight_count > !peak then peak := !cache_count + !in_flight_count;
         if attribution then sample_occ !t;
         (* 3. Serve or stall during [t, t+1). *)
@@ -265,20 +558,32 @@ let run ?(extra_slots = 0) ?(record_events = false) ?(attribution = false) (inst
         else begin
           (* Stall is legal while a fetch is in flight or an armed fetch will
              start later (a delayed start is a voluntary stall).  With neither,
-             the missing block can never arrive: reject as a deadlock. *)
-          if !in_flight_count = 0 && !armed = [] then
-            rejectf !t "request r%d (b%d) missing with no fetch in flight or scheduled" (!cursor + 1) b;
+             the missing block can never arrive: reject as a deadlock.  Under
+             faults, waiting and retrying fetches also keep the run alive. *)
+          if !in_flight_count = 0 && !armed = []
+             && ((not faulty) || (!waiting_count = 0 && !retryq = [])) then
+            if faulty then
+              rejectf !t "request r%d (b%d) missing and unrecoverable under faults" (!cursor + 1) b
+            else
+              rejectf !t "request r%d (b%d) missing with no fetch in flight or scheduled" (!cursor + 1) b;
           if attribution then begin
             (* Charge the unit to the fetch supplying the needed block: in
                flight -> involuntary, armed-but-delayed -> voluntary.  For
                accepted schedules one of the two always exists (otherwise
                the run deadlocks and is rejected); the fallbacks keep the
-               partition total even on paths that will reject later. *)
+               partition total even on paths that will reject later.  In
+               fault mode a fetch held up by a retry wait, a deferral or a
+               jittered/retried in-flight attempt additionally charges the
+               unit to the fault plan. *)
             let charged = ref false in
-            for d = 0 to inst.Instance.num_disks - 1 do
+            for d = 0 to num_disks - 1 do
               match in_flight.(d) with
               | Some (i, _) when (not !charged) && ops.(i).Fetch_op.block = b ->
                 involuntary.(i) <- involuntary.(i) + 1;
+                if faulty
+                   && (attempts.(i) > 1 || was_deferred.(i)
+                       || (cur_jitter.(i) && !t >= cur_start.(i) + fetch_time)) then
+                  incr f_stall;
                 charged := true
               | _ -> ()
             done;
@@ -288,12 +593,32 @@ let run ?(extra_slots = 0) ?(record_events = false) ?(attribution = false) (inst
                 voluntary.(i) <- voluntary.(i) + 1;
                 charged := true
               | None -> ());
+            if faulty && not !charged then begin
+              (* Waiting for a busy/down disk or sitting out a backoff:
+                 still "not started", so the partition books it as
+                 voluntary, but the delay is the fault plan's fault. *)
+              let found = ref None in
+              Array.iter
+                (fun q ->
+                   Queue.iter (fun i -> if !found = None && ops.(i).Fetch_op.block = b then found := Some i) q)
+                waiting;
+              if !found = None then (
+                match List.find_opt (fun (_, i) -> ops.(i).Fetch_op.block = b) !retryq with
+                | Some (_, i) -> found := Some i
+                | None -> ());
+              match !found with
+              | Some i ->
+                voluntary.(i) <- voluntary.(i) + 1;
+                incr f_stall;
+                charged := true
+              | None -> ()
+            end;
             if not !charged then begin
               (* Doomed-to-reject path: no fetch of the needed block exists.
                  Charge the earliest-completing in-flight fetch, else the
                  earliest armed one, so the charge total stays exact. *)
               let best = ref None in
-              for d = 0 to inst.Instance.num_disks - 1 do
+              for d = 0 to num_disks - 1 do
                 match (in_flight.(d), !best) with
                 | Some (i, e), Some (_, e') when e < e' -> best := Some (i, e)
                 | Some (i, e), None -> best := Some (i, e)
@@ -302,7 +627,18 @@ let run ?(extra_slots = 0) ?(record_events = false) ?(attribution = false) (inst
               match (!best, !armed) with
               | Some (i, _), _ -> involuntary.(i) <- involuntary.(i) + 1
               | None, (_, i) :: _ -> voluntary.(i) <- voluntary.(i) + 1
-              | None, [] -> assert false (* rejected above *)
+              | None, [] ->
+                (* Fault mode can stall with everything queued or in
+                   backoff; charge the first such op to keep the total. *)
+                let found = ref None in
+                Array.iter
+                  (fun q -> Queue.iter (fun i -> if !found = None then found := Some i) q)
+                  waiting;
+                (match (!found, !retryq) with
+                 | Some i, _ | None, (_, i) :: _ ->
+                   voluntary.(i) <- voluntary.(i) + 1;
+                   incr f_stall
+                 | None, [] -> assert false (* rejected above *))
             end
           end;
           push (Stall { time = !t });
@@ -333,21 +669,37 @@ let run ?(extra_slots = 0) ?(record_events = false) ?(attribution = false) (inst
                ops)
         else []
       in
+      let report =
+        if not faulty then Faults.empty_report
+        else
+          { Faults.injected_jitter = !f_jitter;
+            transient_failures = !f_failures;
+            retries = !f_retries;
+            abandoned = !f_abandoned;
+            deferred_starts = !f_deferred;
+            outage_interrupts = !f_interrupts;
+            dropped_fetches = !f_dropped;
+            skipped_evictions = !f_skipped_evict;
+            fault_stall = !f_stall;
+            replans = 0;
+            events = List.rev !fevents }
+      in
       Ok
-        { stall_time = !stall;
-          elapsed_time = !t;
-          fetches_started = !started;
-          fetches_completed = !completed;
-          peak_occupancy = !peak;
-          events = List.rev !events;
-          disk_busy;
-          stall_by_fetch;
-          occupancy = List.rev !occupancy }
+        ( { stall_time = !stall;
+            elapsed_time = !t;
+            fetches_started = !started;
+            fetches_completed = !completed;
+            peak_occupancy = !peak;
+            events = List.rev !events;
+            disk_busy;
+            stall_by_fetch;
+            occupancy = List.rev !occupancy },
+          report )
     with Reject e -> Error e
   in
-  if Telemetry.enabled () then begin
-    (match result with
-     | Ok s ->
+  (match result with
+   | Ok (s, _) ->
+     if Telemetry.enabled () then begin
        Telemetry.incr m_runs;
        Telemetry.add m_stall_units s.stall_time;
        Telemetry.add m_fetches s.fetches_completed;
@@ -362,9 +714,22 @@ let run ?(extra_slots = 0) ?(record_events = false) ?(attribution = false) (inst
          Array.iter
            (fun busy -> Telemetry.observe m_util_hist (float_of_int busy /. float_of_int s.elapsed_time))
            s.disk_busy
-     | Error _ -> Telemetry.incr m_rejected)
-  end;
+     end
+   | Error _ -> if Telemetry.enabled () then Telemetry.incr m_rejected);
   result
+
+let run ?(extra_slots = 0) ?(record_events = false) ?(attribution = false) (inst : Instance.t)
+    (schedule : Fetch_op.schedule) : (stats, error) Result.t =
+  match exec ~extra_slots ~record_events ~attribution ~faults:Faults.none inst schedule with
+  | Ok (s, _) -> Ok s
+  | Error e -> Error e
+
+let run_faulty ?(extra_slots = 0) ?(record_events = false) ?(attribution = false)
+    ~(faults : Faults.t) (inst : Instance.t) (schedule : Fetch_op.schedule) :
+  (stats * Faults.report, error) Result.t =
+  let r = exec ~extra_slots ~record_events ~attribution ~faults inst schedule in
+  (match r with Ok (_, report) when not (Faults.is_none faults) -> record_fault_telemetry report | _ -> ());
+  r
 
 (* Convenience wrappers. *)
 

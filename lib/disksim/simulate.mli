@@ -66,6 +66,25 @@ val run :
     violations, wrong home disks, and deadlocks (a missing block that no
     in-flight or scheduled fetch can supply). *)
 
+val run_faulty :
+  ?extra_slots:int -> ?record_events:bool -> ?attribution:bool -> faults:Faults.t ->
+  Instance.t -> Fetch_op.schedule -> (stats * Faults.report, error) Result.t
+(** Execute the schedule under a {!Faults} plan.  With [Faults.none] the
+    executed code path is the fault-free one and the returned stats are
+    identical to {!run}'s (the report is {!Faults.empty_report}).  Under a
+    non-empty plan, fetch attempts may be slowed, fail transiently
+    (retried with the plan's backoff, bounded attempts) or be interrupted
+    by whole-disk outages; plan-consistency violations caused by the
+    faults are absorbed in degraded mode instead of rejecting - a start
+    finding its disk busy or down waits FIFO for the disk, an
+    inapplicable fetch (block already resident, eviction victim gone with
+    no free slot) is dropped and counted in the report.  Attribution is
+    forced on; stall units whose supplying fetch is retrying, deferred,
+    or running a jittered/repeat attempt are additionally counted as
+    [fault_stall].  Still rejects statically malformed schedules, and
+    deadlocks when an abandoned fetch leaves a requested block
+    unreachable (the {!Resilient} executor in lib/core re-plans instead). *)
+
 val stall_time : ?extra_slots:int -> Instance.t -> Fetch_op.schedule -> (int, error) Result.t
 
 val stall_time_exn : ?extra_slots:int -> Instance.t -> Fetch_op.schedule -> int

@@ -1,0 +1,100 @@
+(* E15: graceful degradation under disk faults.
+
+   None of the paper's guarantees cover a faulty disk, so this battery
+   row measures what actually happens to the reproduced algorithms when
+   the disk layer injects latency jitter, transient failures and
+   outages: the stall of the fixed plan executed verbatim under faults
+   ({!Simulate.run_faulty}, which may deadlock once a fetch is
+   abandoned), against the {!Resilient} executor that re-plans the
+   suffix with Aggressive.  Everything is seeded, so the table is
+   reproducible. *)
+
+type level = {
+  label : string;
+  faults : int -> Faults.t;  (* instance index -> plan (varies the seed) *)
+}
+
+let levels =
+  let mk ~jitter_prob ~max_jitter ~fail_prob idx =
+    Faults.make ~seed:(1000 + idx) ~jitter_prob ~max_jitter ~fail_prob ()
+  in
+  [ { label = "jitter 10%"; faults = mk ~jitter_prob:0.10 ~max_jitter:3 ~fail_prob:0.0 };
+    { label = "fail 5%"; faults = mk ~jitter_prob:0.05 ~max_jitter:3 ~fail_prob:0.05 };
+    { label = "fail 15%"; faults = mk ~jitter_prob:0.05 ~max_jitter:3 ~fail_prob:0.15 };
+    { label = "fail 30%"; faults = mk ~jitter_prob:0.10 ~max_jitter:4 ~fail_prob:0.30 };
+    (* One attempt only + an outage: fetches are abandoned, fixed plans
+       deadlock, and the resilient executor has to re-plan. *)
+    { label = "fail 30%+outage";
+      faults =
+        (fun idx ->
+          Faults.make ~seed:(1000 + idx) ~jitter_prob:0.10 ~max_jitter:4 ~fail_prob:0.30
+            ~retry:{ Faults.backoff = Faults.Immediate; max_attempts = 1 }
+            ~outages:[ { Faults.disk = 0; from_time = 8; until_time = 16 } ]
+            ()) } ]
+
+type alg = {
+  name : string;
+  schedule : Instance.t -> Fetch_op.schedule;
+}
+
+let algorithms =
+  [ { name = "aggressive"; schedule = Aggressive.schedule };
+    { name = "combination"; schedule = Combination.schedule };
+    { name = "lp-rounding"; schedule = (fun inst -> (Rounding.solve inst).Rounding.schedule) } ]
+
+(* Small single-disk pool: the LP pipeline needs modest n. *)
+let pool ?(count = 8) () =
+  List.init count (fun i ->
+      let family =
+        List.find (fun (f : Workload.family) -> f.Workload.name = "zipf") Workload.families
+      in
+      Workload.single_instance ~k:5 ~fetch_time:4
+        (family.Workload.generate ~seed:(41 + i) ~n:24 ~num_blocks:10))
+
+let e15 ?count () : Tablefmt.t =
+  let insts = pool ?count () in
+  let n = List.length insts in
+  let rows =
+    List.concat_map
+      (fun level ->
+         List.map
+           (fun alg ->
+              let clean = ref 0 and faulty = ref 0 and deadlocks = ref 0 in
+              let resil = ref 0 and retries = ref 0 and abandoned = ref 0 in
+              let replans = ref 0 and fault_stall = ref 0 in
+              List.iteri
+                (fun i inst ->
+                   let sched = alg.schedule inst in
+                   let faults = level.faults i in
+                   clean := !clean + (Driver.validate ~name:alg.name inst sched).Simulate.stall_time;
+                   (match Simulate.run_faulty ~faults inst sched with
+                    | Ok (s, _) -> faulty := !faulty + s.Simulate.stall_time
+                    | Error _ -> incr deadlocks);
+                   let o = Resilient.execute ~faults inst sched in
+                   resil := !resil + o.Resilient.stats.Simulate.stall_time;
+                   retries := !retries + o.Resilient.report.Faults.retries;
+                   abandoned := !abandoned + o.Resilient.report.Faults.abandoned;
+                   replans := !replans + o.Resilient.report.Faults.replans;
+                   fault_stall := !fault_stall + o.Resilient.report.Faults.fault_stall)
+                insts;
+              let mean v = Printf.sprintf "%.1f" (float_of_int v /. float_of_int n) in
+              [ level.label; alg.name; mean !clean;
+                (if !deadlocks > 0 then Printf.sprintf "%s (%d dead)" (mean !faulty) !deadlocks
+                 else mean !faulty);
+                mean !resil; string_of_int !retries; string_of_int !abandoned;
+                string_of_int !replans; mean !fault_stall ])
+           algorithms)
+      levels
+  in
+  Tablefmt.make ~title:(Printf.sprintf "E15: stall degradation under faults (%d instances)" n)
+    ~headers:
+      [ "faults"; "algorithm"; "clean"; "faulty"; "resilient"; "retries"; "abandoned"; "replans";
+        "fault stall" ]
+    ~notes:
+      [ "faulty = the fixed plan executed verbatim under the fault plan (dead = deadlocked runs \
+         excluded from the mean);";
+        "resilient = the re-planning executor; clean/faulty/resilient/fault-stall are mean stall \
+         units per instance." ]
+    rows
+
+let all () = [ e15 () ]

@@ -1,0 +1,11 @@
+(** Fault-injection experiments (E15 of DESIGN.md): stall degradation of
+    the reproduced algorithms under seeded disk faults - outside the
+    paper's theorems, measuring graceful degradation instead. *)
+
+val e15 : ?count:int -> unit -> Tablefmt.t
+(** Aggressive, Combination and the LP-rounding pipeline on a small
+    single-disk pool under increasing fault levels: clean stall vs the
+    fixed plan under faults ({!Simulate.run_faulty}) vs the {!Resilient}
+    re-planning executor, with retry/abandon/re-plan counts. *)
+
+val all : unit -> Tablefmt.t list

@@ -21,11 +21,7 @@ let delay_algorithm d = { name = Printf.sprintf "delay(%d)" d; schedule = Delay.
    diverging between - two executor runs of the same (instance, schedule)
    pair. *)
 let run_stats (inst : Instance.t) (alg : algorithm) : Simulate.stats =
-  match Simulate.run inst (alg.schedule inst) with
-  | Ok s -> s
-  | Error e ->
-    failwith (Printf.sprintf "%s: invalid schedule at t=%d: %s" alg.name e.Simulate.at_time
-                e.Simulate.reason)
+  Driver.validate ~name:alg.name inst (alg.schedule inst)
 
 let elapsed (inst : Instance.t) (alg : algorithm) : int = (run_stats inst alg).Simulate.elapsed_time
 let stall (inst : Instance.t) (alg : algorithm) : int = (run_stats inst alg).Simulate.stall_time

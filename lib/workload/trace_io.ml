@@ -10,7 +10,11 @@
      layout 0 0 0 0 1 1 1        # block -> disk (optional; default all 0)
      init 0 1 4 5                # initial cache (optional; default warm)
      seq 0 1 4 5 2 6 3
-*)
+
+   The parser is strict: duplicate keys, CRLF line endings, non-integer
+   or overflowing fields and trailing garbage are all rejected, each with
+   the 1-based line number, so a truncated or hand-mangled trace fails
+   loudly instead of silently producing a different instance. *)
 
 let save_instance (path : string) (inst : Instance.t) : unit =
   let oc = open_out path in
@@ -28,28 +32,60 @@ let save_instance (path : string) (inst : Instance.t) : unit =
        Printf.fprintf oc "seq %s\n"
          (String.concat " " (Array.to_list (Array.map string_of_int inst.Instance.seq))))
 
-exception Parse_error of string
+exception Parse_error of { file : string; line : int; message : string }
 
-let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+let () =
+  Printexc.register_printer (function
+    | Parse_error { file; line; message } -> Some (Printf.sprintf "%s:%d: %s" file line message)
+    | _ -> None)
 
 let load_instance (path : string) : Instance.t =
   let ic = open_in path in
+  let lineno = ref 0 in
+  let parse_error fmt =
+    Printf.ksprintf
+      (fun message -> raise (Parse_error { file = path; line = !lineno; message }))
+      fmt
+  in
+  (* [int_of_string_opt] accepts "0x10", "1_000" and unary '+'; the trace
+     format wants plain decimal integers only, and must reject overflow. *)
+  let strict_int s =
+    let ok =
+      s <> "" && s <> "-"
+      && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s
+      && (not (String.contains_from s 1 '-'))
+    in
+    if not ok then parse_error "not an integer: %S" s;
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> parse_error "integer out of range: %s" s
+  in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-       let k = ref None and f = ref None and disks = ref 1 in
+       let k = ref None and f = ref None and disks = ref None in
        let layout = ref None and init = ref None and seq = ref None in
+       let set name cell v =
+         match !cell with
+         | Some _ -> parse_error "duplicate key: %s" name
+         | None -> cell := Some v
+       in
        let ints rest =
-         String.split_on_char ' ' rest
-         |> List.filter (fun s -> s <> "")
-         |> List.map (fun s ->
-             match int_of_string_opt s with
-             | Some v -> v
-             | None -> parse_error "not an integer: %s" s)
+         String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") |> List.map strict_int
+       in
+       let one rest =
+         match ints rest with
+         | [ v ] -> v
+         | [] -> parse_error "missing value"
+         | _ :: _ -> parse_error "trailing garbage after value: %s" (String.trim rest)
        in
        (try
           while true do
-            let line = String.trim (input_line ic) in
+            let raw = input_line ic in
+            incr lineno;
+            if String.contains raw '\r' then
+              parse_error "CRLF line ending (expected LF-only)";
+            let line = String.trim raw in
             if line = "" || line.[0] = '#' then ()
             else begin
               let line =
@@ -63,22 +99,24 @@ let load_instance (path : string) : Instance.t =
                 let key = String.sub line 0 i in
                 let rest = String.sub line (i + 1) (String.length line - i - 1) in
                 (match key with
-                 | "k" -> k := Some (int_of_string (String.trim rest))
-                 | "f" -> f := Some (int_of_string (String.trim rest))
-                 | "disks" -> disks := int_of_string (String.trim rest)
-                 | "layout" -> layout := Some (Array.of_list (ints rest))
-                 | "init" -> init := Some (ints rest)
-                 | "seq" -> seq := Some (Array.of_list (ints rest))
+                 | "k" -> set "k" k (one rest)
+                 | "f" -> set "f" f (one rest)
+                 | "disks" -> set "disks" disks (one rest)
+                 | "layout" -> set "layout" layout (Array.of_list (ints rest))
+                 | "init" -> set "init" init (ints rest)
+                 | "seq" -> set "seq" seq (Array.of_list (ints rest))
                  | _ -> parse_error "unknown key: %s" key)
             end
           done
         with End_of_file -> ());
+       lineno := 0;
        let k = match !k with Some v -> v | None -> parse_error "missing k" in
        let f = match !f with Some v -> v | None -> parse_error "missing f" in
        let seq = match !seq with Some v -> v | None -> parse_error "missing seq" in
+       let disks = match !disks with Some v -> v | None -> 1 in
        let init = match !init with Some v -> v | None -> Instance.warm_initial_cache ~k seq in
        match !layout with
-       | None when !disks = 1 -> Instance.single_disk ~k ~fetch_time:f ~initial_cache:init seq
+       | None when disks = 1 -> Instance.single_disk ~k ~fetch_time:f ~initial_cache:init seq
        | None -> parse_error "layout required when disks > 1"
        | Some disk_of ->
-         Instance.parallel ~k ~fetch_time:f ~num_disks:!disks ~disk_of ~initial_cache:init seq)
+         Instance.parallel ~k ~fetch_time:f ~num_disks:disks ~disk_of ~initial_cache:init seq)

@@ -12,8 +12,12 @@
 
 val save_instance : string -> Instance.t -> unit
 
-exception Parse_error of string
+exception Parse_error of { file : string; line : int; message : string }
+(** [line] is 1-based; 0 for whole-file errors (a missing mandatory key).
+    A printer is registered, rendering as ["file:line: message"]. *)
 
 val load_instance : string -> Instance.t
-(** @raise Parse_error on malformed input.
+(** Strict: rejects duplicate keys, CRLF line endings, non-decimal or
+    out-of-range integers, and trailing garbage after single-value keys.
+    @raise Parse_error on malformed input, with the offending line.
     @raise Instance.Invalid if the parsed instance is inconsistent. *)
