@@ -86,7 +86,7 @@ let tests =
          (let inst = Lazy.force opt_workload in
           let sched = Conservative.schedule inst in
           fun () -> Peephole.optimize ~max_passes:2 inst sched));
-    (* Ablations (DESIGN.md section 6). *)
+    (* Ablations (DESIGN.md section 7). *)
     Test.make ~name:"ablation_lp_exact_hybrid"
       (stage (fun () -> Simplex.solve_exact (Lazy.force lp_problem)));
     Test.make ~name:"ablation_lp_float" (stage (fun () -> Simplex.solve_float (Lazy.force lp_problem)));

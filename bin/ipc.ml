@@ -14,6 +14,9 @@
      profile     run one algorithm and write a Chrome trace-event timeline
      faults      run one workload under an injected fault plan and print
                  the clean / faulty / re-planned degradation table
+     fuzz        property-based conformance fuzzing: generated instances
+                 checked against validity, accounting, theorem-bound and
+                 differential oracles, with shrunk counterexamples
 
    Every subcommand also accepts --metrics[=PATH]: enable the telemetry
    registry for the run and dump it as JSONL when the command finishes. *)
@@ -303,6 +306,115 @@ let faults_cmd =
       $ fault_seed_arg $ jitter_prob_arg $ jitter_arg $ fail_prob_arg $ retry_arg $ attempts_arg
       $ outage_arg $ trace_out_arg)
 
+(* fuzz: the property-based conformance harness (lib/check) *)
+let classes_conv =
+  let parse s =
+    let parts =
+      String.split_on_char ',' s |> List.map String.trim |> List.filter (fun x -> x <> "")
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: tl -> (
+        match Ck_oracle.class_of_string p with
+        | Some c -> go (c :: acc) tl
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown oracle class %s (choose from: validity, accounting, theorem, differential)"
+                  p)))
+    in
+    go [] parts
+  in
+  let print fmt cs =
+    Format.pp_print_string fmt (String.concat "," (List.map Ck_oracle.class_name cs))
+  in
+  Arg.conv (parse, print)
+
+let fuzz_cmd =
+  let cases_arg = Arg.(value & opt int 500 & info [ "cases" ] ~doc:"Number of generated instances.") in
+  let fuzz_seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed; case $(i,I) is a pure function of (seed, I).")
+  in
+  let classes_arg =
+    Arg.(
+      value & opt classes_conv Ck_oracle.all_classes
+      & info [ "classes" ] ~docv:"LIST"
+          ~doc:"Comma-separated oracle classes to run: validity, accounting, theorem, differential (default: all).")
+  in
+  let dump_arg =
+    Arg.(
+      value & opt string "fuzz-failures"
+      & info [ "dump" ] ~docv:"DIR" ~doc:"Directory for shrunk-counterexample artifacts (replayable trace + Gantt/event report).")
+  in
+  let no_dump_arg = Arg.(value & flag & info [ "no-dump" ] ~doc:"Do not write counterexample artifacts.") in
+  let max_failures_arg =
+    Arg.(value & opt int 5 & info [ "max-failures" ] ~doc:"Stop after this many oracle failures.")
+  in
+  let progress_arg = Arg.(value & flag & info [ "progress" ] ~doc:"Print progress to stderr every 100 cases.") in
+  let self_test_arg =
+    Arg.(
+      value & flag
+      & info [ "self-test" ]
+          ~doc:"Verify the harness catches two deliberately planted scheduler bugs (broken Aggressive eviction, stripped evictions) and shrinks the counterexample, then exit.")
+  in
+  let run metrics seed cases classes dump no_dump max_failures progress self_test =
+    let ok =
+      with_metrics metrics @@ fun () ->
+      if self_test then begin
+        match Ck_selftest.run ~seed ~max_cases:cases with
+        | Error msg ->
+          Printf.printf "self-test FAILED: %s\n" msg;
+          false
+        | Ok findings ->
+          List.iter
+            (fun (f : Ck_selftest.finding) ->
+              Printf.printf
+                "planted bug caught by %s after %d cases; counterexample shrunk to %d requests:\n"
+                f.Ck_selftest.oracle_name f.Ck_selftest.cases_tried
+                (Instance.length f.Ck_selftest.shrunk);
+              Format.printf "  %s@.%a@." f.Ck_selftest.shrunk_msg Instance.pp f.Ck_selftest.shrunk)
+            findings;
+          let worst =
+            List.fold_left
+              (fun m (f : Ck_selftest.finding) -> max m (Instance.length f.Ck_selftest.shrunk))
+              0 findings
+          in
+          if worst <= 12 then begin
+            Printf.printf "self-test ok (largest shrunk counterexample: %d requests)\n" worst;
+            true
+          end
+          else begin
+            Printf.printf "self-test FAILED: shrunk counterexample has %d > 12 requests\n" worst;
+            false
+          end
+      end
+      else begin
+        let cfg =
+          {
+            Ck_runner.seed;
+            cases;
+            classes;
+            dump_dir = (if no_dump then None else Some dump);
+            max_shrink_evals = Ck_runner.default_config.Ck_runner.max_shrink_evals;
+            max_failures;
+            progress;
+          }
+        in
+        let summary = Ck_runner.run cfg in
+        Format.printf "%a@." Ck_runner.pp_summary summary;
+        not (Ck_runner.failed summary)
+      end
+    in
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing of the schedulers against exact optima and the paper's theorem bounds.")
+    Term.(
+      const run $ metrics_arg $ fuzz_seed_arg $ cases_arg $ classes_arg $ dump_arg $ no_dump_arg
+      $ max_failures_arg $ progress_arg $ self_test_arg)
+
 (* lp *)
 let lp_cmd =
   let d_arg = Arg.(value & opt int 2 & info [ "d"; "disks" ] ~doc:"Number of disks.") in
@@ -338,7 +450,7 @@ let () =
            (Cmd.info "ipc" ~version:"1.0"
               ~doc:"Integrated prefetching and caching in single and parallel disk systems")
            [ simulate_cmd; compare_cmd; sweep_cmd; lower_cmd; delay_cmd; parallel_cmd; lp_cmd;
-             experiments_cmd; profile_cmd; faults_cmd ])
+             experiments_cmd; profile_cmd; faults_cmd; fuzz_cmd ])
     with
     | Sys_error msg | Failure msg ->
       Printf.eprintf "ipc: %s\n" msg;

@@ -1,0 +1,30 @@
+(** Differential oracles: independent implementations must agree.
+
+    - [opt_agreement]: the greedy-content DP optimum equals the
+      assumption-free exhaustive search (tiny single-disk instances).
+    - [delay0_is_aggressive]: Delay(0) emits Aggressive's schedule,
+      operation for operation.
+    - [peephole_monotone]: the peephole optimizer never increases stall
+      and never beats the exact optimum.
+    - [replay_none]: [Simulate.run_faulty] under the empty fault plan
+      returns stats byte-identical to [Simulate.run].
+    - [faulty_invariants]: under a seeded fault plan, accepted runs keep
+      the accounting identities, charge fault stall within total stall,
+      and never beat the fault-free stall.
+    - [resilient_safety]: the re-planning executor always completes with
+      consistent accounting, and under the empty plan reproduces the
+      fault-free stall exactly.
+
+    Fault plans are derived deterministically from the instance content,
+    so every oracle stays a pure function of the instance. *)
+
+val fault_plan : Instance.t -> Faults.t
+
+val opt_agreement : Ck_oracle.t
+val delay0_is_aggressive : Ck_oracle.t
+val peephole_monotone : Ck_oracle.t
+val replay_none : Ck_oracle.t
+val faulty_invariants : Ck_oracle.t
+val resilient_safety : Ck_oracle.t
+
+val all : Ck_oracle.t list

@@ -1,0 +1,159 @@
+(* Deterministic tiered instance generation.  Everything is a pure
+   function of (seed, index): the RNG is re-seeded per case, so a
+   failure report of "seed S case I" is a complete repro token. *)
+
+type tier = Tiny | Single | Parallel
+
+let tier_name = function
+  | Tiny -> "tiny"
+  | Single -> "single"
+  | Parallel -> "parallel"
+
+type case = {
+  index : int;
+  tier : tier;
+  descr : string;
+  inst : Instance.t;
+}
+
+let state ~seed ~index = Random.State.make [| 0xc5eed; seed; index |]
+
+let range st lo hi = lo + Random.State.int st (hi - lo + 1)
+
+(* --- request sequences ------------------------------------------------ *)
+
+(* The named families from lib/workload, plus the loop and stream
+   patterns that take different parameters. *)
+let draw_sequence st ~n ~num_blocks =
+  let n_fams = List.length Workload.families in
+  let which = Random.State.int st (n_fams + 2) in
+  if which < n_fams then begin
+    let fam = List.nth Workload.families which in
+    (fam.Workload.name, fam.Workload.generate ~seed:(Random.State.bits st) ~n ~num_blocks)
+  end
+  else if which = n_fams then begin
+    let loop_len = range st 2 (max 2 num_blocks) in
+    (Printf.sprintf "loop(%d)" loop_len, Workload.loop_pattern ~n ~loop_len)
+  end
+  else begin
+    let num_streams = range st 2 4 in
+    let blocks_per_stream = max 1 (num_blocks / num_streams) in
+    ( Printf.sprintf "streams(%d)" num_streams,
+      Workload.interleaved_streams ~n ~num_streams ~blocks_per_stream )
+  end
+
+(* --- initial cache ---------------------------------------------------- *)
+
+let take n l =
+  let rec go n acc = function
+    | [] -> List.rev acc
+    | _ when n <= 0 -> List.rev acc
+    | x :: tl -> go (n - 1) (x :: acc) tl
+  in
+  go n [] l
+
+(* Shuffle-free random subset: keep each referenced block with p=1/2,
+   then truncate to k.  Deterministic given the state. *)
+let draw_initial_cache st ~k seq =
+  match Random.State.int st 5 with
+  | 0 -> ("cold", [])
+  | 1 | 2 ->
+    let referenced = List.sort_uniq compare (Array.to_list seq) in
+    let subset = List.filter (fun _ -> Random.State.bool st) referenced in
+    ("mixed", take k subset)
+  | _ -> ("warm", Instance.warm_initial_cache ~k seq)
+
+(* --- disk layouts ----------------------------------------------------- *)
+
+let draw_layout st ~num_blocks ~num_disks =
+  match Random.State.int st 4 with
+  | 0 -> ("striped", Workload.striped_layout ~num_blocks ~num_disks)
+  | 1 -> ("partitioned", Workload.partitioned_layout ~num_blocks ~num_disks)
+  | 2 ->
+    ( "random",
+      Workload.random_layout ~seed:(Random.State.bits st) ~num_blocks ~num_disks )
+  | _ ->
+    ( "hot",
+      Workload.hot_disk_layout ~seed:(Random.State.bits st) ~num_blocks ~num_disks
+        ~hot_fraction:0.6 )
+
+(* --- assembly --------------------------------------------------------- *)
+
+let universe seq initial_cache =
+  List.fold_left max (Array.fold_left max (-1) seq) initial_cache + 1
+
+let assemble st ~tier ~index ~fam ~init_name ~k ~f ~num_disks ~initial_cache seq =
+  let nb = universe seq initial_cache in
+  let descr =
+    Printf.sprintf "%s n=%d k=%d F=%d D=%d %s" fam (Array.length seq) k f num_disks
+      init_name
+  in
+  let inst =
+    if num_disks = 1 then
+      Instance.single_disk ~k ~fetch_time:f ~initial_cache seq
+    else begin
+      let _layout_name, disk_of = draw_layout st ~num_blocks:nb ~num_disks in
+      Instance.parallel ~k ~fetch_time:f ~num_disks ~disk_of ~initial_cache seq
+    end
+  in
+  { index; tier; descr; inst }
+
+let gen_tiny st ~index =
+  let n = range st 4 10 in
+  let num_blocks = range st 2 6 in
+  let k = range st 1 (min 4 num_blocks) in
+  let f = range st 1 5 in
+  let num_disks = range st 1 2 in
+  let fam, seq = draw_sequence st ~n ~num_blocks in
+  let init_name, initial_cache = draw_initial_cache st ~k seq in
+  assemble st ~tier:Tiny ~index ~fam ~init_name ~k ~f ~num_disks ~initial_cache seq
+
+let gen_single st ~index =
+  (* 1 in 6 cases: the paper's own Theorem-2 lower-bound construction,
+     the known-hard family for Aggressive. *)
+  if Random.State.int st 6 = 0 then begin
+    let f = range st 2 4 in
+    let k = Workload.theorem2_round_k ~k:(range st 2 9) ~fetch_time:f in
+    let phases = range st 1 3 in
+    let inst = Workload.theorem2_lower_bound ~k ~fetch_time:f ~phases in
+    let descr =
+      Printf.sprintf "theorem2 n=%d k=%d F=%d D=1 warm" (Instance.length inst) k f
+    in
+    { index; tier = Single; descr; inst }
+  end
+  else begin
+    let n = range st 8 60 in
+    let num_blocks = range st 3 12 in
+    let k = range st 1 (min 8 num_blocks) in
+    let f = range st 1 9 in
+    let fam, seq = draw_sequence st ~n ~num_blocks in
+    let init_name, initial_cache = draw_initial_cache st ~k seq in
+    assemble st ~tier:Single ~index ~fam ~init_name ~k ~f ~num_disks:1 ~initial_cache
+      seq
+  end
+
+let gen_parallel st ~index =
+  let n = range st 8 40 in
+  let num_blocks = range st 4 14 in
+  let k = range st 2 (min 8 num_blocks) in
+  let f = range st 1 6 in
+  let num_disks = range st 2 4 in
+  let fam, seq = draw_sequence st ~n ~num_blocks in
+  let init_name, initial_cache = draw_initial_cache st ~k seq in
+  assemble st ~tier:Parallel ~index ~fam ~init_name ~k ~f ~num_disks ~initial_cache
+    seq
+
+let generate ~seed ~index =
+  let st = state ~seed ~index in
+  match index mod 3 with
+  | 0 -> gen_tiny st ~index
+  | 1 -> gen_single st ~index
+  | _ -> gen_parallel st ~index
+
+let generate_single_disk ~seed ~index =
+  let st = state ~seed ~index in
+  let c = if index mod 2 = 0 then gen_tiny st ~index else gen_single st ~index in
+  if c.inst.Instance.num_disks = 1 then c
+  else
+    (* the tiny tier drew D=2: redraw from the single-disk tier instead *)
+    gen_single (state ~seed:(seed lxor 0x51731e) ~index) ~index

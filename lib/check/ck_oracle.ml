@@ -1,0 +1,50 @@
+(* Oracle framework for the conformance fuzzer: a named, classed,
+   total check over problem instances.  See ck_oracle.mli. *)
+
+type class_ = Validity | Accounting | Theorem | Differential
+
+let all_classes = [ Validity; Accounting; Theorem; Differential ]
+
+let class_name = function
+  | Validity -> "validity"
+  | Accounting -> "accounting"
+  | Theorem -> "theorem"
+  | Differential -> "differential"
+
+let class_of_string = function
+  | "validity" -> Some Validity
+  | "accounting" -> Some Accounting
+  | "theorem" -> Some Theorem
+  | "differential" -> Some Differential
+  | _ -> None
+
+type outcome =
+  | Pass
+  | Skip of string
+  | Fail of { msg : string; schedule : Fetch_op.schedule option; extra_slots : int }
+
+let is_fail = function Fail _ -> true | Pass | Skip _ -> false
+
+type t = {
+  name : string;
+  cls : class_;
+  check : Instance.t -> outcome;
+}
+
+let failf ?schedule ?(extra_slots = 0) fmt =
+  Printf.ksprintf (fun msg -> Fail { msg; schedule; extra_slots }) fmt
+
+(* Any exception escaping an oracle is itself a finding: the system under
+   test must never throw on a structurally valid instance. *)
+let guarded f inst =
+  try f inst with
+  | Driver.Invalid_schedule { algorithm; at_time; reason } ->
+    failf "%s produced an invalid schedule at t=%d: %s" algorithm at_time reason
+  | Instance.Invalid msg -> failf "instance rejected mid-check: %s" msg
+  | Failure msg -> failf "uncaught Failure: %s" msg
+  | Invalid_argument msg -> failf "uncaught Invalid_argument: %s" msg
+  | Not_found -> failf "uncaught Not_found"
+  | Assert_failure (file, line, _) -> failf "assertion failed at %s:%d" file line
+  | Stack_overflow -> failf "stack overflow"
+
+let make ~name ~cls check = { name; cls; check = guarded check }

@@ -1,0 +1,45 @@
+(** Oracle framework for the conformance fuzzer.
+
+    An oracle is a named machine-checked property of a problem instance,
+    grouped into one of four classes forming the harness's hierarchy
+    (DESIGN.md section 6): schedule {e validity}, stall {e accounting}
+    identities, the paper's {e theorem} bounds, and {e differential}
+    agreement between independent implementations.  Oracles are total:
+    exceptions escaping a check are reported as failures, and
+    inapplicable instances (wrong disk count, too large for an exact
+    reference) are skipped with a reason rather than silently passed. *)
+
+type class_ = Validity | Accounting | Theorem | Differential
+
+val all_classes : class_ list
+val class_name : class_ -> string
+
+val class_of_string : string -> class_ option
+(** Accepts the lowercase names printed by {!class_name}. *)
+
+type outcome =
+  | Pass
+  | Skip of string  (** oracle not applicable to this instance *)
+  | Fail of {
+      msg : string;
+      schedule : Fetch_op.schedule option;
+          (** offending schedule, when one exists - lets the reporter
+              render a Gantt chart and event trace of the failure *)
+      extra_slots : int;  (** capacity the witness schedule is allowed *)
+    }
+
+val is_fail : outcome -> bool
+
+type t = {
+  name : string;
+  cls : class_;
+  check : Instance.t -> outcome;
+}
+
+val make : name:string -> cls:class_ -> (Instance.t -> outcome) -> t
+(** Wraps the check so that any escaping exception (including
+    [Driver.Invalid_schedule] and assertion failures) becomes a [Fail]. *)
+
+val failf :
+  ?schedule:Fetch_op.schedule -> ?extra_slots:int ->
+  ('a, unit, string, outcome) format4 -> 'a

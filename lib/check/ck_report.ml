@@ -1,0 +1,72 @@
+(* Counterexample artifacts.  See ck_report.mli. *)
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let slug s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Buffer.add_char b (Char.lowercase_ascii c)
+      | _ -> if Buffer.length b > 0 && Buffer.nth b (Buffer.length b - 1) <> '-' then Buffer.add_char b '-')
+    s;
+  let s = Buffer.contents b in
+  let s = if String.length s > 40 then String.sub s 0 40 else s in
+  if String.length s > 0 && s.[String.length s - 1] = '-' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let dump ~dir ~(case : Ck_gen.case) ~(oracle : Ck_oracle.t) ~first_msg ~shrunk
+    ~shrunk_outcome =
+  mkdir_p dir;
+  let base = Printf.sprintf "case-%d-%s" case.Ck_gen.index (slug oracle.Ck_oracle.name) in
+  let trace_path = Filename.concat dir (base ^ ".trace") in
+  let txt_path = Filename.concat dir (base ^ ".txt") in
+  Trace_io.save_instance trace_path shrunk;
+  let shrunk_msg, witness, extra_slots =
+    match shrunk_outcome with
+    | Ck_oracle.Fail { msg; schedule; extra_slots } -> (msg, schedule, extra_slots)
+    | Ck_oracle.Pass | Ck_oracle.Skip _ -> (first_msg, None, 0)
+  in
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.fprintf fmt "oracle:  %s@\nclass:   %s@\ncase:    #%d (%s, %s)@\n@\n"
+    oracle.Ck_oracle.name
+    (Ck_oracle.class_name oracle.Ck_oracle.cls)
+    case.Ck_gen.index
+    (Ck_gen.tier_name case.Ck_gen.tier)
+    case.Ck_gen.descr;
+  Format.fprintf fmt "--- original failure ---@\n%s@\n@\n%a@\n@\n" first_msg
+    Instance.pp case.Ck_gen.inst;
+  Format.fprintf fmt "--- shrunk counterexample (n=%d) ---@\n%s@\n@\n%a@\n@\n"
+    (Instance.length shrunk) shrunk_msg Instance.pp shrunk;
+  Format.fprintf fmt "replay:  ipc simulate --file %s@\n@\n" trace_path;
+  (match witness with
+  | None -> ()
+  | Some sched ->
+    Format.fprintf fmt "--- witness schedule ---@\n%a@\n@\n" Fetch_op.pp_schedule
+      sched;
+    (match Gantt.render shrunk sched with
+    | Ok gantt -> Format.fprintf fmt "--- gantt ---@\n%s@\n" gantt
+    | Error reason ->
+      Format.fprintf fmt "--- gantt unavailable (executor rejects): %s ---@\n"
+        reason);
+    (match Simulate.run ~extra_slots ~record_events:true shrunk sched with
+    | Ok stats ->
+      Format.fprintf fmt "@\n--- event trace ---@\n";
+      List.iter
+        (fun ev -> Format.fprintf fmt "%a@\n" Simulate.pp_event ev)
+        stats.Simulate.events
+    | Error { Simulate.reason; at_time } ->
+      Format.fprintf fmt "@\n--- executor rejection at t=%d: %s ---@\n" at_time
+        reason));
+  Format.pp_print_flush fmt ();
+  let oc = open_out txt_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  txt_path

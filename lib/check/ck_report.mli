@@ -1,0 +1,18 @@
+(** Counterexample artifacts for failing fuzz cases.
+
+    For each failure two files are written under the dump directory:
+    [case-<index>-<slug>.trace], the shrunk instance in {!Trace_io}
+    format (replayable with [ipc simulate --file]), and
+    [case-<index>-<slug>.txt], a human report with the original and
+    shrunk instances, the failure messages, the witness schedule and its
+    Gantt chart plus event trace when one exists. *)
+
+val dump :
+  dir:string ->
+  case:Ck_gen.case ->
+  oracle:Ck_oracle.t ->
+  first_msg:string ->
+  shrunk:Instance.t ->
+  shrunk_outcome:Ck_oracle.outcome ->
+  string
+(** Returns the path of the [.txt] report. *)

@@ -1,0 +1,141 @@
+(* The fuzz engine.  See ck_runner.mli. *)
+
+type config = {
+  seed : int;
+  cases : int;
+  classes : Ck_oracle.class_ list;
+  dump_dir : string option;
+  max_shrink_evals : int;
+  max_failures : int;
+  progress : bool;
+}
+
+let default_config =
+  {
+    seed = 42;
+    cases = 500;
+    classes = Ck_oracle.all_classes;
+    dump_dir = None;
+    max_shrink_evals = 500;
+    max_failures = 5;
+    progress = false;
+  }
+
+type failure = {
+  case : Ck_gen.case;
+  oracle : Ck_oracle.t;
+  first_msg : string;
+  shrunk : Instance.t;
+  shrunk_msg : string;
+  shrink_evals : int;
+  artifact : string option;
+}
+
+type counts = { mutable pass : int; mutable skip : int; mutable fail : int }
+
+type summary = {
+  cases_run : int;
+  checks : int;
+  per_oracle : (Ck_oracle.t * counts) list;
+  failures : failure list;
+}
+
+let battery () =
+  (Ck_validity.validity :: Ck_validity.accounting :: Ck_theorems.all)
+  @ Ck_diff.all
+
+let msg_of = function
+  | Ck_oracle.Fail { msg; _ } -> msg
+  | Ck_oracle.Pass -> "(pass)"
+  | Ck_oracle.Skip why -> Printf.sprintf "(skip: %s)" why
+
+let run ?battery:(oracles = battery ()) cfg =
+  let oracles =
+    List.filter (fun o -> List.mem o.Ck_oracle.cls cfg.classes) oracles
+  in
+  let tallies = List.map (fun o -> (o, { pass = 0; skip = 0; fail = 0 })) oracles in
+  let failures = ref [] in
+  let n_failures = ref 0 in
+  let cases_run = ref 0 in
+  let checks = ref 0 in
+  (try
+     for i = 0 to cfg.cases - 1 do
+       let case = Ck_gen.generate ~seed:cfg.seed ~index:i in
+       incr cases_run;
+       List.iter
+         (fun (o, tally) ->
+           incr checks;
+           match o.Ck_oracle.check case.Ck_gen.inst with
+           | Ck_oracle.Pass -> tally.pass <- tally.pass + 1
+           | Ck_oracle.Skip _ -> tally.skip <- tally.skip + 1
+           | Ck_oracle.Fail { msg; _ } as first ->
+             tally.fail <- tally.fail + 1;
+             let shrunk, shrunk_outcome, shrink_evals =
+               Ck_shrink.minimize ~max_evals:cfg.max_shrink_evals
+                 ~check:o.Ck_oracle.check case.Ck_gen.inst first
+             in
+             let artifact =
+               match cfg.dump_dir with
+               | None -> None
+               | Some dir ->
+                 Some
+                   (Ck_report.dump ~dir ~case ~oracle:o ~first_msg:msg ~shrunk
+                      ~shrunk_outcome)
+             in
+             failures :=
+               {
+                 case;
+                 oracle = o;
+                 first_msg = msg;
+                 shrunk;
+                 shrunk_msg = msg_of shrunk_outcome;
+                 shrink_evals;
+                 artifact;
+               }
+               :: !failures;
+             incr n_failures;
+             if !n_failures >= cfg.max_failures then raise Exit)
+         tallies;
+       if cfg.progress && (i + 1) mod 100 = 0 then
+         Printf.eprintf "fuzz: %d/%d cases, %d failures\n%!" (i + 1) cfg.cases
+           !n_failures
+     done
+   with Exit -> ());
+  {
+    cases_run = !cases_run;
+    checks = !checks;
+    per_oracle = tallies;
+    failures = List.rev !failures;
+  }
+
+let failed summary = summary.failures <> []
+
+let pp_summary fmt summary =
+  Format.fprintf fmt "%-55s %-13s %7s %7s %5s@\n" "oracle" "class" "pass"
+    "skip" "fail";
+  List.iter
+    (fun (o, t) ->
+      Format.fprintf fmt "%-55s %-13s %7d %7d %5d@\n" o.Ck_oracle.name
+        (Ck_oracle.class_name o.Ck_oracle.cls)
+        t.pass t.skip t.fail)
+    summary.per_oracle;
+  let pass, skip, fail =
+    List.fold_left
+      (fun (p, s, f) (_, t) -> (p + t.pass, s + t.skip, f + t.fail))
+      (0, 0, 0) summary.per_oracle
+  in
+  Format.fprintf fmt
+    "@\n%d cases, %d checks: %d passed, %d skipped, %d failed@\n"
+    summary.cases_run summary.checks pass skip fail;
+  List.iter
+    (fun fl ->
+      Format.fprintf fmt
+        "@\nFAIL %s@\n  case #%d (%s): %s@\n  shrunk to n=%d after %d \
+         evaluations: %s@\n%a@\n"
+        fl.oracle.Ck_oracle.name fl.case.Ck_gen.index fl.case.Ck_gen.descr
+        fl.first_msg (Instance.length fl.shrunk) fl.shrink_evals fl.shrunk_msg
+        Instance.pp fl.shrunk;
+      match fl.artifact with
+      | Some path -> Format.fprintf fmt "  artifact: %s@\n" path
+      | None -> ())
+    summary.failures

@@ -1,0 +1,51 @@
+(** The fuzz engine: generate cases, run the oracle battery, shrink and
+    report failures.
+
+    Case [i] is {!Ck_gen.generate}[ ~seed ~index:i]; each selected oracle
+    runs on each case.  On the first failure of an oracle the instance is
+    greedily shrunk while that oracle keeps failing, and (when a dump
+    directory is configured) a counterexample artifact is written via
+    {!Ck_report}.  The run stops early once [max_failures] distinct
+    failures have been collected. *)
+
+type config = {
+  seed : int;
+  cases : int;
+  classes : Ck_oracle.class_ list;
+  dump_dir : string option;
+  max_shrink_evals : int;
+  max_failures : int;
+  progress : bool;  (** print a progress line to stderr every 100 cases *)
+}
+
+val default_config : config
+(** seed 42, 500 cases, all classes, no dump dir, 500 shrink evals,
+    stop after 5 failures, no progress. *)
+
+type failure = {
+  case : Ck_gen.case;
+  oracle : Ck_oracle.t;
+  first_msg : string;
+  shrunk : Instance.t;
+  shrunk_msg : string;
+  shrink_evals : int;
+  artifact : string option;
+}
+
+type counts = { mutable pass : int; mutable skip : int; mutable fail : int }
+
+type summary = {
+  cases_run : int;
+  checks : int;
+  per_oracle : (Ck_oracle.t * counts) list;  (** battery order *)
+  failures : failure list;  (** chronological *)
+}
+
+val battery : unit -> Ck_oracle.t list
+(** The full oracle battery: validity, accounting, the theorem oracles,
+    the differential oracles. *)
+
+val run : ?battery:Ck_oracle.t list -> config -> summary
+
+val failed : summary -> bool
+val pp_summary : Format.formatter -> summary -> unit

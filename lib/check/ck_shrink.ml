@@ -1,0 +1,112 @@
+(* Greedy shrinking for failing instances.  See ck_shrink.mli. *)
+
+let take n l =
+  let rec go n acc = function
+    | [] -> List.rev acc
+    | _ when n <= 0 -> List.rev acc
+    | x :: tl -> go (n - 1) (x :: acc) tl
+  in
+  go n [] l
+
+(* Rebuild a candidate from a sub-sequence and (possibly reduced)
+   parameters.  Block ids are compacted in order of first appearance;
+   the disk map and initial cache are restricted to surviving blocks
+   and the cache truncated to the new k.  Returns None when the result
+   is degenerate or fails Instance validation. *)
+let rebuild (inst : Instance.t) ?k ?f ?num_disks seq =
+  let k = match k with Some k -> k | None -> inst.Instance.cache_size in
+  let f = match f with Some f -> f | None -> inst.Instance.fetch_time in
+  let num_disks =
+    match num_disks with Some d -> d | None -> inst.Instance.num_disks
+  in
+  if Array.length seq = 0 || k < 1 || f < 1 || num_disks < 1 then None
+  else begin
+    let remap = Hashtbl.create 16 in
+    let next = ref 0 in
+    let map b =
+      match Hashtbl.find_opt remap b with
+      | Some b' -> b'
+      | None ->
+        let b' = !next in
+        incr next;
+        Hashtbl.add remap b b';
+        b'
+    in
+    let seq' = Array.map map seq in
+    let initial_cache =
+      take k
+        (List.filter_map
+           (fun b -> Hashtbl.find_opt remap b)
+           inst.Instance.initial_cache)
+    in
+    let disk_of = Array.make !next 0 in
+    Hashtbl.iter
+      (fun b b' -> disk_of.(b') <- inst.Instance.disk_of.(b) mod num_disks)
+      remap;
+    match
+      Instance.parallel ~k ~fetch_time:f ~num_disks ~disk_of ~initial_cache seq'
+    with
+    | inst' -> Some inst'
+    | exception Instance.Invalid _ -> None
+  end
+
+let candidates (inst : Instance.t) : Instance.t Seq.t =
+  let seq = inst.Instance.seq in
+  let n = Array.length seq in
+  let k = inst.Instance.cache_size in
+  let f = inst.Instance.fetch_time in
+  let d = inst.Instance.num_disks in
+  let sub lo len = Array.sub seq lo len in
+  let drop lo len = Array.append (sub 0 lo) (sub (lo + len) (n - lo - len)) in
+  let thunks = ref [] in
+  let add t = thunks := t :: !thunks in
+  (* Built in reverse priority order; most aggressive candidates are
+     appended last so they end up first after the final reversal. *)
+  (* parameter shrinks (least aggressive) *)
+  if f > 1 then add (fun () -> rebuild inst ~f:(f - 1) seq);
+  if k > 1 then add (fun () -> rebuild inst ~k:(k - 1) seq);
+  if d > 2 then add (fun () -> rebuild inst ~num_disks:(d - 1) seq);
+  if d > 1 then add (fun () -> rebuild inst ~num_disks:1 seq);
+  (* drop a single request, scanning from the tail *)
+  for i = 0 to n - 1 do
+    add (fun () -> rebuild inst (drop i 1))
+  done;
+  (* drop each quarter *)
+  if n >= 4 then begin
+    let q = n / 4 in
+    for j = 3 downto 0 do
+      let lo = j * q in
+      let len = if j = 3 then n - lo else q in
+      add (fun () -> rebuild inst (drop lo len))
+    done
+  end;
+  (* halves (most aggressive) *)
+  if n >= 2 then begin
+    add (fun () -> rebuild inst (sub (n / 2) (n - (n / 2))));
+    add (fun () -> rebuild inst (sub 0 (n / 2)))
+  end;
+  List.to_seq (List.rev !thunks) |> Seq.filter_map (fun t -> t ())
+
+let minimize ?(max_evals = 500) ~check (inst : Instance.t) first_failure =
+  let evals = ref 0 in
+  let rec loop cur cur_fail =
+    if !evals >= max_evals then (cur, cur_fail, !evals)
+    else begin
+      let found =
+        Seq.find_map
+          (fun cand ->
+            if !evals >= max_evals then None
+            else begin
+              incr evals;
+              match check cand with
+              | Ck_oracle.Fail _ as f -> Some (cand, f)
+              | Ck_oracle.Pass | Ck_oracle.Skip _ -> None
+            end)
+          (candidates cur)
+      in
+      match found with
+      | Some (smaller, fail) -> loop smaller fail
+      | None -> (cur, cur_fail, !evals)
+    end
+  in
+  loop inst first_failure

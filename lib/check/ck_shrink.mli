@@ -1,0 +1,23 @@
+(** Greedy structural shrinking of failing instances.
+
+    Candidates are ordered from most to least aggressive (halving the
+    sequence, dropping chunks, dropping single requests, collapsing to
+    one disk, shrinking D, k and F); block ids are re-compacted and the
+    disk map / initial cache carried over so every candidate is again a
+    structurally valid instance.  [minimize] repeatedly takes the first
+    candidate on which the oracle still fails, up to an evaluation
+    budget. *)
+
+val candidates : Instance.t -> Instance.t Seq.t
+(** Lazily enumerated simplifications of the instance, all validated. *)
+
+val minimize :
+  ?max_evals:int ->
+  check:(Instance.t -> Ck_oracle.outcome) ->
+  Instance.t ->
+  Ck_oracle.outcome ->
+  Instance.t * Ck_oracle.outcome * int
+(** [minimize ~check inst first_failure] greedily shrinks [inst] while
+    [check] keeps failing.  Returns the smallest failing instance found,
+    the failure outcome observed on it, and the number of oracle
+    evaluations spent.  [max_evals] defaults to 500. *)

@@ -1,0 +1,36 @@
+(** Theorem oracles: the paper's guarantees as machine-checked bounds.
+
+    All bounds are checked in their {e per-sequence} (finite-instance)
+    forms, the forms the paper's phase arguments actually prove; the
+    asymptotic ratio statements allow additive constants that random
+    small instances legitimately exhibit:
+
+    - Theorem 1 (budget form): Aggressive's elapsed time is at most
+      [OPT + F * ceil (n / (k + ceil(k/F) - 1))].
+    - Theorem 3: Delay(d)'s elapsed time is at most
+      [delay_bound(d, F) * OPT + F].
+    - Corollary 2: Combination satisfies the bound of whichever strategy
+      it selected.
+    - Conservative is 2-approximate with no additive slack (Cao et al.,
+      tight): elapsed [<= 2 * OPT].
+    - Theorem 4 (tiny instances): [LP <= OPT(k)], and the rounded
+      schedule with [2(D-1)] extra slots is valid and no better than the
+      exhaustive optimum given the same slots.
+
+    Theorems 1-3 apply to single-disk instances small enough for the DP
+    optimum; Theorem 4 to tiny instances within reach of the LP and the
+    exhaustive parallel search.  Anything larger is skipped. *)
+
+val theorem1 :
+  ?impl:string * (Instance.t -> Fetch_op.schedule) -> unit -> Ck_oracle.t
+(** [impl] substitutes the scheduler under test (default: the real
+    Aggressive); the self-test passes a deliberately broken one. *)
+
+val theorem3_delay : Ck_oracle.t
+(** Checks d in {0, 1, d0, d0+2}. *)
+
+val corollary2_combination : Ck_oracle.t
+val conservative_2approx : Ck_oracle.t
+val theorem4_lp_sandwich : Ck_oracle.t
+
+val all : Ck_oracle.t list

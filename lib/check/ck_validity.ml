@@ -1,0 +1,132 @@
+(* Validity and accounting oracles.  See ck_validity.mli. *)
+
+open Ck_oracle
+
+let single_algorithms inst =
+  let f = inst.Instance.fetch_time in
+  let d0 = Bounds.delay_opt_d ~f in
+  [
+    ("aggressive", Aggressive.schedule);
+    ("conservative", Conservative.schedule);
+    ("combination", Combination.schedule);
+    ("delay(1)", fun i -> Delay.schedule ~d:1 i);
+    (Printf.sprintf "delay(%d)" d0, fun i -> Delay.schedule ~d:d0 i);
+    ("fixed_horizon", Fixed_horizon.schedule);
+    ( Printf.sprintf "online(la=%d)" (f + 1),
+      fun i -> Online.schedule (Online.aggressive ~lookahead:(f + 1)) i );
+    ("reverse_aggressive", Reverse_aggressive.schedule);
+  ]
+
+let parallel_algorithms =
+  [
+    ("aggressive-D", Parallel_greedy.aggressive_schedule);
+    ("conservative-D", Parallel_greedy.conservative_schedule);
+    ("reverse_aggressive", Reverse_aggressive.schedule);
+  ]
+
+let algorithms_for inst =
+  if inst.Instance.num_disks = 1 then single_algorithms inst
+  else parallel_algorithms
+
+let validity_with ~name ~algorithms_for =
+  make ~name ~cls:Validity (fun inst ->
+      let rec go = function
+        | [] -> Pass
+        | (alg_name, alg) :: rest -> (
+          let sched = alg inst in
+          match Simulate.run inst sched with
+          | Ok _ -> go rest
+          | Error { Simulate.reason; at_time } ->
+            failf ~schedule:sched "%s rejected by executor at t=%d: %s" alg_name
+              at_time reason)
+      in
+      go (algorithms_for inst))
+
+let validity =
+  validity_with ~name:"validity: schedules accepted by the executor"
+    ~algorithms_for
+
+(* Accounting identities on one instrumented run. *)
+let check_identities ~alg_name inst sched =
+  match Simulate.run ~record_events:true ~attribution:true inst sched with
+  | Error { Simulate.reason; at_time } ->
+    Some
+      (failf ~schedule:sched "%s rejected by executor at t=%d: %s" alg_name
+         at_time reason)
+  | Ok s ->
+    let n = Instance.length inst in
+    let serves, stalls, starts, completes =
+      List.fold_left
+        (fun (sv, st, fs, fc) ev ->
+          match ev with
+          | Simulate.Serve _ -> (sv + 1, st, fs, fc)
+          | Simulate.Stall _ -> (sv, st + 1, fs, fc)
+          | Simulate.Fetch_start _ -> (sv, st, fs + 1, fc)
+          | Simulate.Fetch_complete _ -> (sv, st, fs, fc + 1))
+        (0, 0, 0, 0) s.Simulate.events
+    in
+    let attributed =
+      List.fold_left
+        (fun acc fsl ->
+          acc + fsl.Simulate.involuntary_stall + fsl.Simulate.voluntary_stall)
+        0 s.Simulate.stall_by_fetch
+    in
+    let negative_charge =
+      List.exists
+        (fun fsl ->
+          fsl.Simulate.involuntary_stall < 0 || fsl.Simulate.voluntary_stall < 0)
+        s.Simulate.stall_by_fetch
+    in
+    let bad fmt = Printf.ksprintf (fun m -> Some (failf ~schedule:sched "%s: %s" alg_name m)) fmt in
+    if s.Simulate.elapsed_time <> n + s.Simulate.stall_time then
+      bad "elapsed (%d) <> n (%d) + stall (%d)" s.Simulate.elapsed_time n
+        s.Simulate.stall_time
+    else if serves <> n then bad "serve events (%d) <> n (%d)" serves n
+    else if stalls <> s.Simulate.stall_time then
+      bad "stall events (%d) <> stall_time (%d)" stalls s.Simulate.stall_time
+    else if starts <> s.Simulate.fetches_started then
+      bad "fetch-start events (%d) <> fetches_started (%d)" starts
+        s.Simulate.fetches_started
+    else if completes <> s.Simulate.fetches_completed then
+      bad "fetch-complete events (%d) <> fetches_completed (%d)" completes
+        s.Simulate.fetches_completed
+    else if attributed <> s.Simulate.stall_time then
+      bad "stall attribution sums to %d, stall_time is %d" attributed
+        s.Simulate.stall_time
+    else if negative_charge then bad "negative stall charge in attribution"
+    else if s.Simulate.peak_occupancy > inst.Instance.cache_size then
+      bad "peak occupancy %d exceeds capacity %d" s.Simulate.peak_occupancy
+        inst.Instance.cache_size
+    else if
+      List.exists
+        (fun (_, occ) -> occ > inst.Instance.cache_size || occ < 0)
+        s.Simulate.occupancy
+    then bad "occupancy sample outside [0, k]"
+    else if
+      Array.exists (fun b -> b < 0 || b > s.Simulate.elapsed_time) s.Simulate.disk_busy
+    then bad "per-disk busy time outside [0, elapsed]"
+    else None
+
+let accounting =
+  make ~name:"accounting: stall/attribution identities" ~cls:Accounting
+    (fun inst ->
+      let algs =
+        if inst.Instance.num_disks = 1 then
+          [
+            ("aggressive", Aggressive.schedule);
+            ("conservative", Conservative.schedule);
+          ]
+        else
+          [
+            ("aggressive-D", Parallel_greedy.aggressive_schedule);
+            ("conservative-D", Parallel_greedy.conservative_schedule);
+          ]
+      in
+      let rec go = function
+        | [] -> Pass
+        | (alg_name, alg) :: rest -> (
+          match check_identities ~alg_name inst (alg inst) with
+          | Some failure -> failure
+          | None -> go rest)
+      in
+      go algs)

@@ -1,0 +1,27 @@
+(** Validity and accounting oracles.
+
+    The validity oracle runs every applicable scheduling algorithm on the
+    instance and requires the executor to accept each schedule - i.e. all
+    of [Driver.validate]'s invariants hold.  The accounting oracle
+    re-runs representative schedules with event recording and stall
+    attribution on and checks the executor's self-consistency identities:
+    elapsed = n + stall, per-fetch attribution partitions the stall,
+    event counts match the stats, occupancy never exceeds capacity. *)
+
+val single_algorithms : Instance.t -> (string * (Instance.t -> Fetch_op.schedule)) list
+(** The single-disk battery: aggressive, conservative, combination,
+    delay(1) and delay(d0), fixed_horizon, online(F+1), reverse_aggressive. *)
+
+val parallel_algorithms : (string * (Instance.t -> Fetch_op.schedule)) list
+(** The D-disk battery: aggressive-D, conservative-D, reverse_aggressive. *)
+
+val algorithms_for : Instance.t -> (string * (Instance.t -> Fetch_op.schedule)) list
+
+val validity_with :
+  name:string ->
+  algorithms_for:(Instance.t -> (string * (Instance.t -> Fetch_op.schedule)) list) ->
+  Ck_oracle.t
+(** Parameterized constructor, used by the planted-bug self-test. *)
+
+val validity : Ck_oracle.t
+val accounting : Ck_oracle.t

@@ -39,8 +39,25 @@ let delay_bound ~d ~f =
   Float.max ((d +. f) /. f) (Float.max ((d +. (2.0 *. f)) /. (d +. f)) (3.0 *. (d +. f) /. (d +. (2.0 *. f))))
 
 (* Corollary 1: the optimal delay d0 = ceil((sqrt 3 - 1)/2 * F); the bound
-   at d0 tends to sqrt 3 as F grows. *)
-let delay_opt_d ~f = int_of_float (Float.ceil ((Float.sqrt 3.0 -. 1.0) /. 2.0 *. float_of_int f))
+   at d0 tends to sqrt 3 as F grows.  The corollary is asymptotic: for
+   small F the integer minimizer of delay_bound can be d0 - 1 (e.g. F = 3,
+   where d = 1 gives 1.75 but d0 = 2 gives 1.875), so start from the
+   closed form and scan the relevant integer range, replacing the
+   incumbent only on strict improvement - ties keep the corollary's d0.
+   delay_bound is increasing in d once (d+F)/F takes over, so d <= 2F + 2
+   covers every candidate. *)
+let delay_opt_d ~f =
+  let d0 = int_of_float (Float.ceil ((Float.sqrt 3.0 -. 1.0) /. 2.0 *. float_of_int f)) in
+  let best = ref d0 in
+  let best_bound = ref (delay_bound ~d:d0 ~f) in
+  for d = 0 to (2 * f) + 2 do
+    let b = delay_bound ~d ~f in
+    if b < !best_bound -. 1e-12 then begin
+      best := d;
+      best_bound := b
+    end
+  done;
+  !best
 
 let sqrt3 = Float.sqrt 3.0
 

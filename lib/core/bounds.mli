@@ -29,9 +29,10 @@ val delay_bound : d:int -> f:int -> float
 (** Theorem 3: [max ((d+F)/F) (max ((d+2F)/(d+F)) (3(d+F)/(d+2F)))]. *)
 
 val delay_opt_d : f:int -> int
-(** Corollary 1: [d0 = ceil ((sqrt 3 - 1)/2 * F)].  Note that for small
-    [F] the integer minimizer of {!delay_bound} can be [d0 - 1]; the
-    corollary is asymptotic. *)
+(** An integer [d] minimizing {!delay_bound} for this [f].  Corollary 1's
+    closed form [d0 = ceil ((sqrt 3 - 1)/2 * F)] is asymptotic, and for
+    small [F] the true integer minimizer can be [d0 - 1] (e.g. [F = 3]);
+    this scans the candidate range and prefers [d0] on ties. *)
 
 val sqrt3 : float
 

@@ -65,16 +65,19 @@ let schedule (cfg : config) (inst : Instance.t) : Fetch_op.schedule =
           else if ka = 0 then sa > sb || (sa = sb && ta > tb)
           else sa > sb || (sa = sb && ta > tb)
         in
-        (match candidates with
-         | [] -> ()
-         | first :: rest ->
-           let victim = List.fold_left (fun acc b -> if better b acc then b else acc) first rest in
-           let vk, vnx, _ = score victim in
-           if not (Driver.cache_full d) then
-             Driver.start_fetch d ~block:seq.(j) ~evict:None
-           else if vk = 1 || vnx > j then
-             (* victim not requested before the miss (as far as we can see) *)
-             Driver.start_fetch d ~block:seq.(j) ~evict:(Some victim))
+        if not (Driver.cache_full d) then
+          (* a free slot needs no victim - in particular on a cold cache,
+             where there are no candidates at all *)
+          Driver.start_fetch d ~block:seq.(j) ~evict:None
+        else
+          (match candidates with
+           | [] -> ()
+           | first :: rest ->
+             let victim = List.fold_left (fun acc b -> if better b acc then b else acc) first rest in
+             let vk, vnx, _ = score victim in
+             if vk = 1 || vnx > j then
+               (* victim not requested before the miss (as far as we can see) *)
+               Driver.start_fetch d ~block:seq.(j) ~evict:(Some victim))
     end;
     (* Track recency of the request being served. *)
     if c < n then last_use.(seq.(c)) <- c

@@ -18,7 +18,10 @@ type result = {
   lp_value : Rat.t;  (** the fractional optimum (exact) *)
   nominal_stall : int;  (** sum of (F - |I|) over the selected batches *)
   laminar : bool;  (** whether crossing elimination fully succeeded *)
-  used_fallback : bool;  (** true if the greedy baseline had to be used *)
+  used_fallback : bool;
+      (** true if the greedy baseline was returned: either no candidate
+          offset produced a valid schedule, or the baseline's realized
+          stall strictly beat the best rounded candidate's *)
   candidates_tried : int;
   extra_slots_allowed : int;  (** 2(D-1) *)
 }

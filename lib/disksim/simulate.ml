@@ -472,6 +472,12 @@ let exec ~extra_slots ~record_events ~attribution ~(faults : Faults.t) (inst : I
               if block_in_flight.(f.block) then rejectf !t "fetch of b%d already in flight" f.block;
               (match f.evict with
                | Some b ->
+                 (* A block being fetched is not yet resident, so the
+                    residency check below would also fire - but the precise
+                    reason matters, and the dedicated check keeps the
+                    invariant independent of the deposit ordering above. *)
+                 if block_in_flight.(b) then
+                   rejectf !t "eviction of b%d during its own in-flight fetch window" b;
                  if not in_cache.(b) then rejectf !t "eviction of b%d which is not in cache" b;
                  in_cache.(b) <- false;
                  decr cache_count

@@ -215,6 +215,29 @@ let test_bounds_formulas () =
     done
   done
 
+(* Regression for the Corollary-1 off-by-one: the closed form
+   ceil((sqrt 3 - 1)/2 * F) is asymptotic, and for small F (e.g. F = 3)
+   the integer minimizer of delay_bound is d0 - 1.  delay_opt_d now scans,
+   so exhaustively verify it returns a true minimizer for every F up to
+   64, with d0 preferred on ties. *)
+let test_delay_opt_d_minimizes () =
+  for f = 1 to 64 do
+    let returned = Bounds.delay_opt_d ~f in
+    let returned_bound = Bounds.delay_bound ~d:returned ~f in
+    (* brute-force minimum over a range safely past the upward branch *)
+    let brute = ref infinity in
+    for d = 0 to (4 * f) + 8 do
+      brute := Float.min !brute (Bounds.delay_bound ~d ~f)
+    done;
+    if returned_bound > !brute +. 1e-12 then
+      Alcotest.failf "F=%d: delay_opt_d returned d=%d (bound %.6f) but min is %.6f" f returned
+        returned_bound !brute
+  done;
+  (* the documented small-F case where the closed form misses *)
+  Alcotest.(check int) "F=3 minimizer is 1, not ceil-form 2" 1 (Bounds.delay_opt_d ~f:3);
+  Alcotest.(check bool) "F=3: d=1 strictly beats d=2" true
+    (Bounds.delay_bound ~d:1 ~f:3 < Bounds.delay_bound ~d:2 ~f:3 -. 1e-12)
+
 let test_combination_choice () =
   (* Large k relative to F: Aggressive's bound is tiny, use Aggressive. *)
   (match Combination.choose ~k:100 ~f:2 with
@@ -254,6 +277,7 @@ let () =
           Alcotest.test_case "divisibility check" `Quick test_theorem2_requires_divisibility ] );
       ( "bounds",
         [ Alcotest.test_case "formulas" `Quick test_bounds_formulas;
+          Alcotest.test_case "delay_opt_d minimizes" `Quick test_delay_opt_d_minimizes;
           Alcotest.test_case "combination choice" `Quick test_combination_choice;
           Alcotest.test_case "combination dominates" `Quick test_combination_dominates ] );
       ("properties", props) ]

@@ -155,6 +155,50 @@ let test_reject_wrong_disk () =
   Alcotest.(check bool) "wrong disk" true
     (contains reason "lives on disk")
 
+(* Regression: a schedule must not evict a block while that block's own
+   fetch is still in flight.  The residency check happened to reject such
+   schedules too (an in-flight block is not yet resident), but the
+   executor now names the precise violation. *)
+let evict_in_flight_instance () =
+  (* blocks 0..2 on disk 0, block 3 on disk 1; k = 2 *)
+  Instance.parallel ~k:2 ~fetch_time:4 ~num_disks:2
+    ~disk_of:[| 0; 0; 0; 1 |] ~initial_cache:[ 0; 1 ]
+    [| 0; 1; 2; 3 |]
+
+let test_reject_evict_in_flight () =
+  let inst = evict_in_flight_instance () in
+  let schedule =
+    [ (* disk 0 fetches b2 (completes at t=4)... *)
+      fetch ~at_cursor:0 ~disk:0 ~block:2 ~evict:(Some 0) ();
+      (* ...and disk 1 tries to evict b2 at t=1, mid-flight *)
+      fetch ~at_cursor:0 ~delay:1 ~disk:1 ~block:3 ~evict:(Some 2) () ]
+  in
+  let reason = reject (Simulate.run inst schedule) in
+  Alcotest.(check bool) "names the in-flight eviction" true
+    (contains reason "in-flight fetch window");
+  (* Driver.validate surfaces the same rejection as Invalid_schedule. *)
+  match Driver.validate ~name:"bad" inst schedule with
+  | (_ : Simulate.stats) -> Alcotest.fail "validate unexpectedly accepted"
+  | exception Driver.Invalid_schedule { reason; _ } ->
+    Alcotest.(check bool) "validate names the in-flight eviction" true
+      (contains reason "in-flight fetch window")
+
+let test_evict_at_completion_instant_ok () =
+  (* Boundary: completions deposit before starts perform evictions, so
+     evicting a block at the exact instant its fetch completes is legal. *)
+  let inst =
+    Instance.parallel ~k:2 ~fetch_time:2 ~num_disks:2
+      ~disk_of:[| 0; 0; 0; 1 |] ~initial_cache:[ 0; 1 ]
+      [| 0; 0; 3; 0 |]
+  in
+  let schedule =
+    [ fetch ~at_cursor:0 ~disk:0 ~block:2 ~evict:(Some 1) ();
+      (* starts at t=2, the instant b2's fetch deposits: accepted *)
+      fetch ~at_cursor:0 ~delay:2 ~disk:1 ~block:3 ~evict:(Some 2) () ]
+  in
+  let s = ok_stats (Simulate.run inst schedule) in
+  Alcotest.(check int) "stall" 2 s.Simulate.stall_time
+
 let test_elapsed_equals_n_plus_stall () =
   let inst = example1 () in
   let schedule =
@@ -287,6 +331,8 @@ let () =
           Alcotest.test_case "evict absent block" `Quick test_reject_evict_absent;
           Alcotest.test_case "capacity exceeded" `Quick test_reject_capacity;
           Alcotest.test_case "extra slots" `Quick test_extra_slots_allow_overcommit;
+          Alcotest.test_case "evict during in-flight fetch" `Quick test_reject_evict_in_flight;
+          Alcotest.test_case "evict at completion instant" `Quick test_evict_at_completion_instant_ok;
           Alcotest.test_case "wrong disk" `Quick test_reject_wrong_disk;
           Alcotest.test_case "elapsed = n + stall" `Quick test_elapsed_equals_n_plus_stall ] );
       ( "instances",

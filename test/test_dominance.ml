@@ -81,6 +81,67 @@ let prop_dominates_transitive =
        && (not (Dominance.dominates inst a b && Dominance.dominates inst b a)
            || (Dominance.holes inst a = Dominance.holes inst b && a.Dominance.cursor = b.Dominance.cursor)))
 
+(* Holes are antitone in the cache: adding one block to the cache removes
+   exactly that block's hole (one occurrence of its next reference) and
+   leaves the others untouched, so hole lists shrink pointwise. *)
+let prop_holes_antitone =
+  QCheck2.Test.make ~count:2000 ~name:"holes antitone in cache"
+    QCheck2.Gen.(
+      let* nblocks = int_range 2 7 in
+      let* n = int_range 2 20 in
+      let* seq = array_size (return n) (int_range 0 (nblocks - 1)) in
+      let universe = Array.fold_left Stdlib.max 0 seq + 1 in
+      let* cursor = int_range 0 (n - 1) in
+      let* cache_bits = int_bound ((1 lsl universe) - 1) in
+      return (seq, universe, cursor, cache_bits))
+    (fun (seq, universe, cursor, cache_bits) ->
+       let cache =
+         List.filter (fun b -> cache_bits land (1 lsl b) <> 0)
+           (List.init universe Fun.id)
+       in
+       let missing = List.filter (fun b -> not (List.mem b cache)) (List.init universe Fun.id) in
+       QCheck2.assume (missing <> []);
+       let added = List.nth missing (cursor mod List.length missing) in
+       (* k is irrelevant to [holes]; any capacity accommodating the caches works *)
+       let inst = Instance.single_disk ~k:universe ~fetch_time:3 ~initial_cache:[] seq in
+       let h_small = Dominance.holes inst { Dominance.cursor; cache } in
+       let h_big = Dominance.holes inst { Dominance.cursor; cache = added :: cache } in
+       let nr = Next_ref.of_instance inst in
+       let removed = Next_ref.next_at_or_after nr added cursor in
+       let rec remove_one x = function
+         | [] -> None
+         | y :: tl when y = x -> Some tl
+         | y :: tl -> Option.map (fun tl' -> y :: tl') (remove_one x tl)
+       in
+       match remove_one removed h_small with
+       | Some expected -> h_big = expected
+       | None ->
+         QCheck2.Test.fail_reportf "hole %d for added block %d absent from %s" removed added
+           (String.concat ";" (List.map string_of_int h_small)))
+
+(* The normalization behind Opt_single prunes the candidate set to
+   greedy-content schedules (next missing block, furthest-next-reference
+   eviction, decision-point starts).  The pruned set must still contain an
+   optimal schedule: the unrestricted exhaustive search never beats it. *)
+let prop_pruning_retains_optimum =
+  QCheck2.Test.make ~count:120 ~name:"pruned candidate set retains an optimum"
+    QCheck2.Gen.(
+      let* nblocks = int_range 2 6 in
+      let* n = int_range 2 12 in
+      let* seq = array_size (return n) (int_range 0 (nblocks - 1)) in
+      let* k = int_range 1 4 in
+      let* f = int_range 1 5 in
+      let* warm = bool in
+      let init = if warm then Instance.warm_initial_cache ~k seq else [] in
+      return (Instance.single_disk ~k ~fetch_time:f ~initial_cache:init seq))
+    (fun inst ->
+       let pruned = Opt_single.stall_time inst in
+       let free = Opt_exhaustive.solve_stall inst in
+       if pruned = free then true
+       else
+         QCheck2.Test.fail_reportf "pruned %d vs exhaustive %d on %s" pruned free
+           (Format.asprintf "%a" Instance.pp inst))
+
 (* During an actual Aggressive run against itself started one fetch "ahead",
    the later state always dominates: a smoke check that the machinery plugs
    into real algorithm states. *)
@@ -112,4 +173,6 @@ let () =
           Alcotest.test_case "no-miss step" `Quick test_greedy_step_none_when_no_miss;
           Alcotest.test_case "aggressive self-domination" `Quick test_aggressive_self_domination ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_domination_lemma; prop_dominates_transitive ] ) ]
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_domination_lemma; prop_dominates_transitive; prop_holes_antitone;
+            prop_pruning_retains_optimum ] ) ]

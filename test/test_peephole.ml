@@ -56,6 +56,42 @@ let prop_sound =
        | None -> QCheck2.Test.fail_reportf "optimizer produced invalid schedule"
        | Some after -> after <= before && after >= Opt_single.stall_time inst)
 
+(* Lazified schedules: randomly delay the start of each operation in an
+   algorithm's schedule.  Whenever the perturbed schedule is still valid,
+   the peephole pass must recover a schedule that is valid and no worse -
+   on these artificially late starts it is where the optimizer earns its
+   keep. *)
+let prop_lazified_monotone =
+  QCheck2.Test.make ~count:200 ~name:"peephole: lazified schedules never get worse"
+    QCheck2.Gen.(
+      let* inst = gen_inst in
+      let* which = oneofl [ `Cons; `Agg ] in
+      let* delays = list_size (return 24) (int_range 0 4) in
+      return (inst, which, delays))
+    (fun (inst, which, delays) ->
+       let sched =
+         match which with
+         | `Cons -> Conservative.schedule inst
+         | `Agg -> Aggressive.schedule inst
+       in
+       let lazified =
+         List.mapi
+           (fun i (op : Fetch_op.t) ->
+              { op with Fetch_op.delay = op.Fetch_op.delay + List.nth delays (i mod 24) })
+           sched
+       in
+       match stall inst lazified with
+       | None -> true (* the perturbation broke validity; nothing to optimize *)
+       | Some before -> (
+         let optimized = Peephole.optimize inst lazified in
+         match stall inst optimized with
+         | None -> QCheck2.Test.fail_reportf "optimizer produced invalid schedule"
+         | Some after ->
+           if after <= before && after >= Opt_single.stall_time inst then true
+           else
+             QCheck2.Test.fail_reportf "stall %d -> %d (opt %d)" before after
+               (Opt_single.stall_time inst)))
+
 (* Aggressive already starts fetches as early as possible: the peephole
    pass should essentially never improve it. *)
 let prop_aggressive_already_tight =
@@ -72,4 +108,5 @@ let () =
         [ Alcotest.test_case "improves lazy schedule" `Quick test_improves_lazy_schedule;
           Alcotest.test_case "invalid untouched" `Quick test_invalid_untouched ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_sound; prop_aggressive_already_tight ] ) ]
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sound; prop_lazified_monotone; prop_aggressive_already_tight ] ) ]
