@@ -60,20 +60,31 @@ let tests =
     Test.make ~name:"parallel_greedy"
       (stage (fun () -> Parallel_greedy.aggressive_schedule (Lazy.force parallel_workload)));
     Test.make ~name:"lp_pipeline_d2" (stage (fun () -> Rounding.solve (Lazy.force parallel_workload)));
-    (* Substrates. *)
-    Test.make ~name:"simulate_replay"
+    (* Branch-and-bound engine at the raised fuzz-ceiling sizes: these
+       guard the differential-oracle budget (a regression here slows the
+       whole fuzz battery). *)
+    Test.make ~name:"opt_bnb_single_n18"
       (stage
-         (let inst = Lazy.force single_workload in
-          let sched = Aggressive.schedule inst in
-          fun () -> Simulate.run inst sched));
-    (* Paired with simulate_replay: the fault-aware entry point under the
-       empty plan.  CI compares the two to keep the zero-fault hot path
-       within noise of the plain executor. *)
-    Test.make ~name:"simulate_replay_faulty_none"
+         (let inst =
+            Workload.single_instance ~k:4 ~fetch_time:4
+              (Workload.zipf ~seed:11 ~alpha:0.9 ~n:18 ~num_blocks:9)
+          in
+          fun () -> Opt.solve_single inst));
+    Test.make ~name:"opt_bnb_exhaustive_n18"
       (stage
-         (let inst = Lazy.force single_workload in
-          let sched = Aggressive.schedule inst in
-          fun () -> Simulate.run_faulty ~faults:Faults.none inst sched));
+         (let inst =
+            Workload.single_instance ~k:4 ~fetch_time:4
+              (Workload.zipf ~seed:11 ~alpha:0.9 ~n:18 ~num_blocks:9)
+          in
+          fun () -> Opt.solve_single ~free_evict:true inst));
+    Test.make ~name:"opt_bnb_parallel_n14"
+      (stage
+         (let inst =
+            Workload.parallel_instance ~k:4 ~fetch_time:3 ~num_disks:2
+              ~layout:(fun ~num_blocks ~num_disks -> Workload.striped_layout ~num_blocks ~num_disks)
+              (Workload.uniform ~seed:5 ~n:14 ~num_blocks:8)
+          in
+          fun () -> Opt.solve_parallel inst));
     Test.make ~name:"paging_min" (stage (fun () -> Paging.min_offline (Lazy.force paging_workload)));
     Test.make ~name:"paging_clock" (stage (fun () -> Paging.clock (Lazy.force paging_workload)));
     Test.make ~name:"bigint_mul_4kbit"
@@ -92,14 +103,34 @@ let tests =
     Test.make ~name:"ablation_lp_float" (stage (fun () -> Simplex.solve_float (Lazy.force lp_problem)));
     Test.make ~name:"ablation_lp_pure_exact"
       (stage (fun () -> Simplex.solve_pure_exact (Lazy.force lp_problem)));
-    Test.make ~name:"ablation_opt_restricted_dp"
-      (stage
-         (let inst = Workload.single_instance ~k:3 ~fetch_time:3 (Workload.uniform ~seed:1 ~n:12 ~num_blocks:6) in
-          fun () -> Opt_single.solve inst));
     Test.make ~name:"ablation_opt_exhaustive"
       (stage
          (let inst = Workload.single_instance ~k:3 ~fetch_time:3 (Workload.uniform ~seed:1 ~n:12 ~num_blocks:6) in
           fun () -> Opt_exhaustive.solve_stall inst)) ]
+
+(* Entries whose BENCH_3 fits were noisy (r^2 ~ 0.66-0.75): sub-20us
+   bodies need a larger measurement quota and more samples than the
+   default pass to regress reliably.  simulate_replay and its
+   faulty-none twin stay in the same pass because CI compares their
+   ratio. *)
+let noisy_tests =
+  [ Test.make ~name:"simulate_replay"
+      (stage
+         (let inst = Lazy.force single_workload in
+          let sched = Aggressive.schedule inst in
+          fun () -> Simulate.run inst sched));
+    (* Paired with simulate_replay: the fault-aware entry point under the
+       empty plan.  CI compares the two to keep the zero-fault hot path
+       within noise of the plain executor. *)
+    Test.make ~name:"simulate_replay_faulty_none"
+      (stage
+         (let inst = Lazy.force single_workload in
+          let sched = Aggressive.schedule inst in
+          fun () -> Simulate.run_faulty ~faults:Faults.none inst sched));
+    Test.make ~name:"ablation_opt_restricted_dp"
+      (stage
+         (let inst = Workload.single_instance ~k:3 ~fetch_time:3 (Workload.uniform ~seed:1 ~n:12 ~num_blocks:6) in
+          fun () -> Opt_single.solve inst)) ]
 
 (* Scaling sweeps: the same algorithm at growing n (and the DP at growing
    k), to expose asymptotic behaviour in the report. *)
@@ -129,20 +160,26 @@ let scaling_tests =
 let run_benchmarks () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let instances = [ Instance.monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
-  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"ipc" (tests @ scaling_tests)) in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let default_cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  (* Bigger quota/sample budget for the noisy sub-20us entries. *)
+  let noisy_cfg = Benchmark.cfg ~limit:8000 ~quota:(Time.second 2.0) ~stabilize:true () in
   let rows = ref [] in
-  Hashtbl.iter
-    (fun name ols_result ->
-       let ns =
-         match Analyze.OLS.estimates ols_result with
-         | Some (t :: _) -> t
-         | _ -> Float.nan
-       in
-       let r2 = match Analyze.OLS.r_square ols_result with Some r -> r | None -> Float.nan in
-       rows := (name, ns, r2) :: !rows)
-    results;
+  let run_pass cfg pass_tests =
+    let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"ipc" pass_tests) in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    Hashtbl.iter
+      (fun name ols_result ->
+         let ns =
+           match Analyze.OLS.estimates ols_result with
+           | Some (t :: _) -> t
+           | _ -> Float.nan
+         in
+         let r2 = match Analyze.OLS.r_square ols_result with Some r -> r | None -> Float.nan in
+         rows := (name, ns, r2) :: !rows)
+      results
+  in
+  run_pass default_cfg (tests @ scaling_tests);
+  run_pass noisy_cfg noisy_tests;
   let rows = List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) !rows in
   Tablefmt.print
     (Tablefmt.make ~title:"Micro-benchmarks (monotonic clock, OLS estimate per call)"

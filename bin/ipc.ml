@@ -17,6 +17,8 @@
      fuzz        property-based conformance fuzzing: generated instances
                  checked against validity, accounting, theorem-bound and
                  differential oracles, with shrunk counterexamples
+     opt         solve one instance exactly with the branch-and-bound
+                 engine and print the optimum (and --stats: node counts)
 
    Every subcommand also accepts --metrics[=PATH]: enable the telemetry
    registry for the run and dump it as JSONL when the command finishes. *)
@@ -358,10 +360,23 @@ let fuzz_cmd =
       & info [ "self-test" ]
           ~doc:"Verify the harness catches two deliberately planted scheduler bugs (broken Aggressive eviction, stripped evictions) and shrinks the counterexample, then exit.")
   in
-  let run metrics seed cases classes dump no_dump max_failures progress self_test =
+  let ceilings_arg =
+    Arg.(
+      value & flag
+      & info [ "ceilings" ]
+          ~doc:"Print the differential-oracle size ceilings (largest instances the exact-optimum oracles accept) and exit.")
+  in
+  let run metrics seed cases classes dump no_dump max_failures progress self_test ceilings =
     let ok =
       with_metrics metrics @@ fun () ->
-      if self_test then begin
+      if ceilings then begin
+        Printf.printf "differential_single_ceiling=%d\n" Ck_oracle.differential_single_ceiling;
+        Printf.printf "differential_single_blocks=%d\n" Ck_oracle.differential_single_blocks;
+        Printf.printf "differential_parallel_ceiling=%d\n" Ck_oracle.differential_parallel_ceiling;
+        Printf.printf "differential_node_budget=%d\n" Ck_oracle.differential_node_budget;
+        true
+      end
+      else if self_test then begin
         match Ck_selftest.run ~seed ~max_cases:cases with
         | Error msg ->
           Printf.printf "self-test FAILED: %s\n" msg;
@@ -413,7 +428,65 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing of the schedulers against exact optima and the paper's theorem bounds.")
     Term.(
       const run $ metrics_arg $ fuzz_seed_arg $ cases_arg $ classes_arg $ dump_arg $ no_dump_arg
-      $ max_failures_arg $ progress_arg $ self_test_arg)
+      $ max_failures_arg $ progress_arg $ self_test_arg $ ceilings_arg)
+
+(* opt: the exact branch-and-bound engine on one instance. *)
+let opt_cmd =
+  let d_arg = Arg.(value & opt int 1 & info [ "d"; "disks" ] ~doc:"Number of disks.") in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print search statistics (nodes expanded/pruned/dominated, incumbent).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "node-budget" ] ~docv:"N" ~doc:"Abort after expanding $(docv) search nodes (default: unlimited).")
+  in
+  let run metrics wname seed n blocks k f d stats node_budget =
+    with_metrics metrics @@ fun () ->
+    let seq = (family wname).Workload.generate ~seed ~n ~num_blocks:blocks in
+    let inst =
+      if d = 1 then Workload.single_instance ~k ~fetch_time:f seq
+      else
+        Workload.parallel_instance ~k ~fetch_time:f ~num_disks:d
+          ~layout:(fun ~num_blocks ~num_disks -> Workload.striped_layout ~num_blocks ~num_disks)
+          seq
+    in
+    Format.printf "%a@." Instance.pp inst;
+    match Opt.solve ?node_budget inst with
+    | Error (Opt.Budget_exhausted { budget; expanded }) ->
+      Printf.printf "node budget exhausted: %d nodes expanded (budget %d), optimum unproven\n"
+        expanded budget;
+      exit 1
+    | Error Opt.Infeasible ->
+      Printf.printf "no feasible schedule in the search space\n";
+      exit 1
+    | Ok o ->
+      Printf.printf "optimal stall: %d (elapsed %d)\n" o.Opt.stall (n + o.Opt.stall);
+      if stats then begin
+        let s = o.Opt.stats in
+        (match s.Opt.incumbent_stall with
+         | Some ub ->
+           Printf.printf "incumbent (greedy) stall: %d%s\n" ub
+             (if s.Opt.improved then ", improved by search" else ", already optimal")
+         | None -> Printf.printf "incumbent: none\n");
+        Printf.printf "nodes expanded:  %d\n" s.Opt.expanded;
+        Printf.printf "nodes pruned:    %d (lower bound vs incumbent)\n" s.Opt.pruned;
+        Printf.printf "nodes dominated: %d (cache-mask dominance)\n" s.Opt.dominated;
+        Printf.printf "stale pops:      %d\n" s.Opt.deduped
+      end;
+      match o.Opt.schedule with
+      | Some sched when stats ->
+        Printf.printf "witness fetches: %d\n" (List.length sched)
+      | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "opt"
+       ~doc:"Solve one instance exactly with the pruned branch-and-bound engine.")
+    Term.(
+      const run $ metrics_arg $ workload_arg $ seed_arg
+      $ Arg.(value & opt int 20 & info [ "n" ] ~doc:"Request sequence length.")
+      $ Arg.(value & opt int 8 & info [ "b"; "blocks" ] ~doc:"Number of distinct blocks.")
+      $ k_arg $ f_arg $ d_arg $ stats_arg $ budget_arg)
 
 (* lp *)
 let lp_cmd =
@@ -450,7 +523,7 @@ let () =
            (Cmd.info "ipc" ~version:"1.0"
               ~doc:"Integrated prefetching and caching in single and parallel disk systems")
            [ simulate_cmd; compare_cmd; sweep_cmd; lower_cmd; delay_cmd; parallel_cmd; lp_cmd;
-             experiments_cmd; profile_cmd; faults_cmd; fuzz_cmd ])
+             experiments_cmd; profile_cmd; faults_cmd; fuzz_cmd; opt_cmd ])
     with
     | Sys_error msg | Failure msg ->
       Printf.eprintf "ipc: %s\n" msg;
@@ -463,6 +536,9 @@ let () =
       1
     | Driver.Invalid_schedule { algorithm; at_time; reason } ->
       Printf.eprintf "ipc: %s produced an invalid schedule at t=%d: %s\n" algorithm at_time reason;
+      1
+    | Opt.Solver_failure _ as e ->
+      Printf.eprintf "ipc: %s\n" (Printexc.to_string e);
       1
   in
   exit status

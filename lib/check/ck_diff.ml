@@ -28,17 +28,42 @@ let opt_agreement =
   make ~name:"differential: DP optimum = exhaustive optimum" ~cls:Differential
     (fun inst ->
       if inst.Instance.num_disks <> 1 then Skip "parallel instance"
-      else if Instance.length inst > 12 || Instance.num_blocks inst > 7 then
-        Skip "too large for the exhaustive search"
+      else if
+        Instance.length inst > differential_single_ceiling
+        || Instance.num_blocks inst > differential_single_blocks
+      then Skip "too large for the exhaustive search"
       else begin
-        let dp = Opt_single.stall_time inst in
-        let ex = Opt_exhaustive.solve_stall inst in
-        if dp <> ex then
-          failf
-            "greedy-content DP optimum (%d) disagrees with assumption-free \
-             exhaustive optimum (%d)"
-            dp ex
-        else Pass
+        let budget = differential_node_budget in
+        match
+          ( Opt.solve_single ~node_budget:budget inst,
+            Opt.solve_single ~node_budget:budget ~free_evict:true inst )
+        with
+        | Error (Opt.Budget_exhausted _), _ | _, Error (Opt.Budget_exhausted _) ->
+          Skip "node budget exhausted"
+        | Error Opt.Infeasible, _ | _, Error Opt.Infeasible ->
+          failf "exact solver reported an infeasible search space"
+        | Ok dp, Ok ex ->
+          if dp.Opt.stall <> ex.Opt.stall then
+            failf
+              "greedy-content DP optimum (%d) disagrees with assumption-free \
+               exhaustive optimum (%d)"
+              dp.Opt.stall ex.Opt.stall
+          else begin
+            (* The DP witness must replay to exactly the claimed stall. *)
+            match dp.Opt.schedule with
+            | None -> failf "single-disk solver returned no witness schedule"
+            | Some sched -> (
+              match Simulate.stall_time inst sched with
+              | Error e ->
+                failf ~schedule:sched "DP witness rejected at t=%d: %s"
+                  e.Simulate.at_time e.Simulate.reason
+              | Ok realized ->
+                if realized <> dp.Opt.stall then
+                  failf ~schedule:sched
+                    "DP witness realizes stall %d, solver claims %d" realized
+                    dp.Opt.stall
+                else Pass)
+          end
       end)
 
 let delay0_is_aggressive =

@@ -31,6 +31,15 @@ type t = {
   check : Instance.t -> outcome;
 }
 
+(* Size ceilings for the differential/theorem oracles that need an exact
+   optimum as reference.  One definition site so the CLI can print them
+   and CI can assert the deep-fuzz workflow runs with the advertised
+   coverage. *)
+let differential_single_ceiling = 18
+let differential_single_blocks = 9
+let differential_parallel_ceiling = 14
+let differential_node_budget = 400_000
+
 let failf ?schedule ?(extra_slots = 0) fmt =
   Printf.ksprintf (fun msg -> Fail { msg; schedule; extra_slots }) fmt
 
@@ -40,6 +49,16 @@ let guarded f inst =
   try f inst with
   | Driver.Invalid_schedule { algorithm; at_time; reason } ->
     failf "%s produced an invalid schedule at t=%d: %s" algorithm at_time reason
+  | Opt.Solver_failure { solver; failure } ->
+    (* Oracles that budget the exact solvers handle Budget_exhausted as a
+       Skip themselves; an escape here means a solver failed where the
+       oracle expected totality. *)
+    failf "%s failed: %s"
+      solver
+      (match failure with
+       | Opt.Budget_exhausted { budget; expanded } ->
+         Printf.sprintf "node budget exhausted (%d expanded, budget %d)" expanded budget
+       | Opt.Infeasible -> "search space infeasible")
   | Instance.Invalid msg -> failf "instance rejected mid-check: %s" msg
   | Failure msg -> failf "uncaught Failure: %s" msg
   | Invalid_argument msg -> failf "uncaught Invalid_argument: %s" msg

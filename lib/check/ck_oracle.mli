@@ -36,6 +36,28 @@ type t = {
   check : Instance.t -> outcome;
 }
 
+(** {1 Differential-oracle ceilings}
+
+    Largest instances the exact-optimum-backed oracles accept, and the
+    node budget they hand the branch-and-bound engine.  Defined once so
+    the CLI ([ipc fuzz --ceilings]) can print them and CI can assert the
+    deep-fuzz workflow runs with the advertised coverage. *)
+
+val differential_single_ceiling : int
+(** Max request-sequence length for the single-disk DP-vs-exhaustive
+    agreement oracle. *)
+
+val differential_single_blocks : int
+(** Max distinct blocks for the same oracle. *)
+
+val differential_parallel_ceiling : int
+(** Max request-sequence length for the Theorem-4 LP sandwich (parallel
+    exhaustive optimum). *)
+
+val differential_node_budget : int
+(** Node budget handed to {!Opt.solve_single} / {!Opt.solve_parallel} by
+    those oracles; exceeding it is a [Skip], not a failure. *)
+
 val make : name:string -> cls:class_ -> (Instance.t -> outcome) -> t
 (** Wraps the check so that any escaping exception (including
     [Driver.Invalid_schedule] and assertion failures) becomes a [Fail]. *)

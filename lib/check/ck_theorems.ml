@@ -130,23 +130,39 @@ let conservative_2approx =
 let theorem4_lp_sandwich =
   make ~name:"theorem4: LP <= OPT <= rounding" ~cls:Theorem (fun inst ->
       if
-        Instance.length inst > 10
+        Instance.length inst > differential_parallel_ceiling
         || Instance.num_blocks inst > 8
         || inst.Instance.num_disks > 2
       then Skip "too large for LP + exhaustive optimum"
       else begin
+        let solve_opt ?extra_slots () =
+          match
+            Opt.solve_parallel ?extra_slots
+              ~node_budget:differential_node_budget inst
+          with
+          | Ok o -> Some o.Opt.stall
+          | Error (Opt.Budget_exhausted _) -> None
+          | Error Opt.Infeasible ->
+            raise
+              (Opt.Solver_failure
+                 { solver = "theorem4/opt_parallel"; failure = Opt.Infeasible })
+        in
         match Sync_lp.lower_bound inst with
         | exception Sync_lp.Lp_infeasible ->
           Skip "synchronized LP infeasible on this instance"
         | lb -> (
-          let opt = Opt_parallel.solve_stall inst in
+          match solve_opt () with
+          | None -> Skip "node budget exhausted"
+          | Some opt ->
           if Rat.gt lb (Rat.of_int opt) then
             failf "LP lower bound %s exceeds exhaustive optimal stall %d"
               (Rat.to_string lb) opt
           else begin
             let r = Rounding.solve inst in
             let slots = r.Rounding.extra_slots_allowed in
-            let opt_extra = Opt_parallel.solve_stall ~extra_slots:slots inst in
+            match solve_opt ~extra_slots:slots () with
+            | None -> Skip "node budget exhausted"
+            | Some opt_extra ->
             let rounded = r.Rounding.stats.Simulate.stall_time in
             if rounded < opt_extra then
               failf ~schedule:r.Rounding.schedule ~extra_slots:slots

@@ -1,0 +1,54 @@
+(* Shared bit-set helpers for the mask-encoded cache states.  See
+   bits.mli for the encoding contract (bits 0..61 of an OCaml int). *)
+
+let max_mask_bits = 62
+
+(* 16-bit popcount table: four lookups cover the 63-bit int range
+   (the top chunk holds at most 15 payload bits plus the sign bit, and
+   [lsr] keeps the lookup well-defined for negative masks too). *)
+let pop16 =
+  let t = Bytes.make 65536 '\000' in
+  for i = 1 to 65535 do
+    Bytes.unsafe_set t i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get t (i lsr 1)) + (i land 1)))
+  done;
+  t
+
+let popcount m =
+  Char.code (Bytes.unsafe_get pop16 (m land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((m lsr 16) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((m lsr 32) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 (m lsr 48))
+
+let mem mask b = mask land (1 lsl b) <> 0
+let add mask b = mask lor (1 lsl b)
+let remove mask b = mask land lnot (1 lsl b)
+let subset a b = a land b = a
+
+(* Index of the lowest set bit: isolate it with [m land (-m)], then count
+   the bits below it. *)
+let lowest m = if m = 0 then -1 else popcount ((m land -m) - 1)
+
+let rec iter f m =
+  if m <> 0 then begin
+    let b = lowest m in
+    f b;
+    iter f (m land (m - 1))
+  end
+
+let rec fold f acc m =
+  if m = 0 then acc
+  else begin
+    let b = lowest m in
+    fold f (f acc b) (m land (m - 1))
+  end
+
+let of_list l =
+  List.fold_left
+    (fun m b ->
+       if b < 0 || b >= max_mask_bits then
+         invalid_arg (Printf.sprintf "Bits.of_list: bit %d outside [0, %d)" b max_mask_bits);
+       add m b)
+    0 l
+
+let to_list m = List.rev (fold (fun acc b -> b :: acc) [] m)

@@ -1,0 +1,43 @@
+(** Bit-set helpers shared by the exact-optimum solvers.
+
+    Cache states throughout [lib/core] are encoded as bit masks over block
+    ids, so instances must use at most {!max_mask_bits} distinct blocks.
+    This module centralizes the popcount / bit-iteration helpers that were
+    previously hand-rolled (three separate copies across the solvers) and
+    pins down the true encoding limit: OCaml ints carry 63 bits, the
+    solvers use bits 0..61, so 62 blocks fit. *)
+
+val max_mask_bits : int
+(** 62: the number of distinct block ids a mask can carry (bits 0..61). *)
+
+val popcount : int -> int
+(** Number of set bits.  Table-driven (four 16-bit lookups), branch-free;
+    correct for every OCaml int including negative ones. *)
+
+val mem : int -> int -> bool
+(** [mem mask b] - bit [b] is set. *)
+
+val add : int -> int -> int
+(** [add mask b] - set bit [b]. *)
+
+val remove : int -> int -> int
+(** [remove mask b] - clear bit [b]. *)
+
+val subset : int -> int -> bool
+(** [subset a b] - every bit of [a] is also set in [b]. *)
+
+val lowest : int -> int
+(** Index of the lowest set bit, or [-1] when the mask is empty. *)
+
+val iter : (int -> unit) -> int -> unit
+(** [iter f mask] applies [f] to each set bit index in ascending order. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> int -> 'a
+(** [fold f init mask] folds over set bit indices in ascending order. *)
+
+val of_list : int list -> int
+(** Mask with the listed bits set.  @raise Invalid_argument on a bit
+    outside [0, max_mask_bits). *)
+
+val to_list : int -> int list
+(** Set bit indices in ascending order. *)

@@ -1,0 +1,47 @@
+(* Monotone bucket queue.  See bucketq.mli. *)
+
+type 'a t = {
+  mutable buckets : 'a list array;
+  mutable cursor : int;  (* no bucket below this index is occupied *)
+  mutable size : int;
+}
+
+let create ?(hint = 64) () = { buckets = Array.make (max 1 hint) []; cursor = 0; size = 0 }
+
+let grow q prio =
+  let len = ref (Array.length q.buckets) in
+  while prio >= !len do
+    len := !len * 2
+  done;
+  let b = Array.make !len [] in
+  Array.blit q.buckets 0 b 0 (Array.length q.buckets);
+  q.buckets <- b
+
+let push q ~prio x =
+  if prio < q.cursor then
+    invalid_arg
+      (Printf.sprintf "Bucketq.push: priority %d below the monotone cursor %d" prio q.cursor);
+  if prio >= Array.length q.buckets then grow q prio;
+  q.buckets.(prio) <- x :: q.buckets.(prio);
+  q.size <- q.size + 1
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let rec advance () =
+      (* Match instead of [= []]: polymorphic equality is a C call per
+         empty-bucket check, which shows up in small solves. *)
+      match q.buckets.(q.cursor) with
+      | [] ->
+        q.cursor <- q.cursor + 1;
+        advance ()
+      | x :: tl ->
+        q.buckets.(q.cursor) <- tl;
+        q.size <- q.size - 1;
+        Some (q.cursor, x)
+    in
+    advance ()
+  end
+
+let is_empty q = q.size = 0
+let length q = q.size

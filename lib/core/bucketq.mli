@@ -1,0 +1,30 @@
+(** Monotone bucket priority queue for small integer keys.
+
+    The exact-optimum solvers run Dijkstra over graphs whose edge costs
+    are small non-negative stall increments (0/1 per time step in the
+    parallel engine, 0..F per fetch in the single-disk engines), so the
+    sequence of popped priorities is non-decreasing and bounded by the
+    incumbent stall.  That degenerate case needs no comparison-based heap:
+    an array of buckets indexed by priority with a forward-only cursor
+    gives O(1) push and amortized O(1) pop ([Set.Make]-as-priority-queue,
+    which this replaces, paid O(log n) and boxed allocations per
+    operation).
+
+    Monotonicity is enforced: pushing below the last popped priority
+    raises [Invalid_argument]. *)
+
+type 'a t
+
+val create : ?hint:int -> unit -> 'a t
+(** [hint] pre-sizes the bucket array (default 64); it grows on demand. *)
+
+val push : 'a t -> prio:int -> 'a -> unit
+(** @raise Invalid_argument if [prio] is negative or below the priority
+    of the last {!pop}. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return a minimum-priority element.  Elements of equal
+    priority come back in LIFO order (deterministic). *)
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int

@@ -183,19 +183,12 @@ let run inst ~decide =
    error.  One exception instead of nine per-algorithm [failwith]s, so
    Measure and the CLI can catch it uniformly. *)
 
-exception Invalid_schedule of { algorithm : string; at_time : int; reason : string }
-
-let () =
-  Printexc.register_printer (function
-    | Invalid_schedule { algorithm; at_time; reason } ->
-      Some
-        (Printf.sprintf "%s produced an invalid schedule at t=%d: %s" algorithm at_time reason)
-    | _ -> None)
+exception Invalid_schedule = Simulate.Invalid_schedule
+(* The definition (and its printer) lives in {!Simulate}, the layer that
+   actually rejects schedules; rebinding keeps [Driver.Invalid_schedule]
+   patterns working and makes the two constructors interchangeable. *)
 
 let validate ~name ?extra_slots inst sched =
   match Simulate.run ?extra_slots inst sched with
   | Ok s -> s
-  | Error e ->
-    raise
-      (Invalid_schedule
-         { algorithm = name; at_time = e.Simulate.at_time; reason = e.Simulate.reason })
+  | Error e -> Simulate.reject ~algorithm:name e

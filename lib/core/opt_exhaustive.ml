@@ -9,63 +9,11 @@
    were suboptimal, this search would return a strictly smaller stall time
    than Opt_single; the property tests assert they always agree.
 
-   Arbitrary evictions make the state graph cyclic (evict b, refetch b,
-   ...), so instead of memoized recursion we run Dijkstra over the lazily
-   generated graph; all edge costs (stall increments) are non-negative. *)
-
-module Pq = Set.Make (struct
-  type t = int * int * int  (* dist, cursor, cache mask *)
-
-  let compare = compare
-end)
+   The search is {!Opt.solve_single} in free-eviction mode: branch-and-bound
+   Dijkstra over the lazily generated (cyclic) eviction graph. *)
 
 let solve_stall (inst : Instance.t) : int =
-  let n = Instance.length inst in
-  let num_blocks = Instance.num_blocks inst in
-  if num_blocks > Opt_single.max_blocks then invalid_arg "Opt_exhaustive: too many blocks";
-  let seq = inst.Instance.seq in
-  let k = inst.Instance.cache_size in
-  let f = inst.Instance.fetch_time in
-  let initial_mask = List.fold_left (fun m b -> m lor (1 lsl b)) 0 inst.Instance.initial_cache in
-  let popcount m =
-    let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
-    go m 0
-  in
-  let next_missing mask c =
-    let rec scan i = if i >= n then None else if mask land (1 lsl seq.(i)) = 0 then Some i else scan (i + 1) in
-    scan c
-  in
-  let dist : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
-  let pq = ref (Pq.singleton (0, 0, initial_mask)) in
-  let push d c mask =
-    let key = (c, mask) in
-    match Hashtbl.find_opt dist key with
-    | Some d' when d' <= d -> ()
-    | _ ->
-      Hashtbl.replace dist key d;
-      pq := Pq.add (d, c, mask) !pq
-  in
-  Hashtbl.replace dist (0, initial_mask) 0;
-  let answer = ref None in
-  while !answer = None do
-    match Pq.min_elt_opt !pq with
-    | None -> failwith "Opt_exhaustive: exhausted queue without reaching a terminal state"
-    | Some ((d, c, mask) as node) ->
-      pq := Pq.remove node !pq;
-      if Hashtbl.find_opt dist (c, mask) = Some d then begin
-        match next_missing mask c with
-        | None -> answer := Some d (* all future requests cached: done *)
-        | Some p ->
-          let fetch_from mask' =
-            let c', stall = Opt_single.roll_forward inst ~c ~mask:mask' ~f in
-            push (d + stall) c' (mask' lor (1 lsl seq.(p)))
-          in
-          if popcount mask < k then fetch_from mask;
-          if popcount mask >= k then
-            for e = 0 to num_blocks - 1 do
-              if mask land (1 lsl e) <> 0 then fetch_from (mask land lnot (1 lsl e))
-            done;
-          if mask land (1 lsl seq.(c)) <> 0 then push d (c + 1) mask
-      end
-  done;
-  Option.get !answer
+  match Opt.solve_single ~free_evict:true inst with
+  | Ok o -> o.Opt.stall
+  | Error failure ->
+    raise (Opt.Solver_failure { solver = "Opt_exhaustive.solve_stall"; failure })

@@ -1,158 +1,20 @@
 (* Exhaustive optimal parallel-disk schedules for tiny instances.
 
-   Dijkstra over the full timeline state space: (cursor, cache mask,
-   per-disk in-flight fetch with remaining time).  At every time instant
-   each idle disk may start a fetch for the earliest-referenced missing
-   block on that disk (exchange argument: per-disk fetches may be assumed
-   to complete in order of their blocks' next references), choosing any
-   eviction candidate or a free slot; then one time unit elapses (serve if
-   the next request is cached, else stall).  Edge cost = 1 for a stall
-   unit, 0 for a served request.
-
-   This is exponential and only meant for cross-checking the LP pipeline
-   (Theorem 4: its stall time must never exceed this optimum) on instances
-   with <= ~10 requests. *)
-
-type flight = (int * int) option  (* block, remaining time > 0 *)
-
-module Key = struct
-  type t = int * int * flight array
-
-  let equal (c1, m1, f1) (c2, m2, f2) = c1 = c2 && m1 = m2 && f1 = f2
-  let hash = Hashtbl.hash
-end
-
-module Tbl = Hashtbl.Make (Key)
-
-module Pq = Set.Make (struct
-  type t = int * (int * int * flight array)
-
-  let compare = compare
-end)
+   The timeline search over (cursor, cache mask, per-disk in-flight fetch)
+   states lives in {!Opt.solve_parallel} (branch-and-bound Dijkstra seeded
+   with the greedy parallel schedule's realized stall); this module keeps
+   the legacy total API and its telemetry series. *)
 
 let m_solves = Telemetry.counter "opt_parallel.solves"
 let m_states = Telemetry.histogram "opt_parallel.states"
 
 let solve_stall ?(extra_slots = 0) (inst : Instance.t) : int =
-  let n = Instance.length inst in
-  let num_blocks = Instance.num_blocks inst in
-  if num_blocks > 30 then invalid_arg "Opt_parallel: too many blocks";
-  let seq = inst.Instance.seq in
-  let k = inst.Instance.cache_size + extra_slots in
-  let f = inst.Instance.fetch_time in
-  let nd = inst.Instance.num_disks in
-  let initial_mask = List.fold_left (fun m b -> m lor (1 lsl b)) 0 inst.Instance.initial_cache in
-  let popcount m =
-    let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
-    go m 0
-  in
-  (* Earliest-referenced missing block on [disk], given cache mask and the
-     set of in-flight blocks; positions scanned from the cursor. *)
-  let next_missing_on_disk mask flights disk c =
-    let in_flight b = Array.exists (function Some (b', _) -> b' = b | None -> false) flights in
-    let rec scan i =
-      if i >= n then None
-      else begin
-        let b = seq.(i) in
-        if mask land (1 lsl b) = 0 && (not (in_flight b)) && inst.Instance.disk_of.(b) = disk
-        then Some b
-        else scan (i + 1)
-      end
-    in
-    scan c
-  in
-  let dist = Tbl.create 4096 in
-  let start = (0, initial_mask, Array.make nd None) in
-  Tbl.replace dist start 0;
-  let pq = ref (Pq.singleton (0, start)) in
-  let push d state =
-    match Tbl.find_opt dist state with
-    | Some d' when d' <= d -> ()
-    | _ ->
-      Tbl.replace dist state d;
-      pq := Pq.add (d, state) !pq
-  in
-  let answer = ref None in
-  while !answer = None do
-    match Pq.min_elt_opt !pq with
-    | None -> failwith "Opt_parallel: exhausted queue"
-    | Some ((d, ((c, mask, flights) as state)) as node) ->
-      pq := Pq.remove node !pq;
-      if Tbl.find_opt dist state = Some d then begin
-        if c >= n then answer := Some d
-        else begin
-          (* Enumerate fetch-start combinations for idle disks.  Each idle
-             disk independently chooses: no fetch, or fetch its next
-             missing block with one of the eviction options. *)
-          let options_for_disk disk =
-            match flights.(disk) with
-            | Some _ -> [ `Keep ]
-            | None ->
-              (match next_missing_on_disk mask flights disk c with
-               | None -> [ `Keep ]
-               | Some b ->
-                 let evictions = ref [] in
-                 for e = 0 to num_blocks - 1 do
-                   if mask land (1 lsl e) <> 0 then evictions := `Start (b, Some e) :: !evictions
-                 done;
-                 `Keep :: `Start (b, None) :: !evictions)
-          in
-          let rec combos disk acc =
-            if disk >= nd then [ acc ]
-            else
-              List.concat_map (fun opt -> combos (disk + 1) ((disk, opt) :: acc)) (options_for_disk disk)
-          in
-          List.iter
-            (fun combo ->
-               (* Apply the chosen starts, tracking occupancy. *)
-               let mask' = ref mask in
-               let flights' = Array.copy flights in
-               let in_flight_cnt = ref (Array.fold_left (fun a x -> if x = None then a else a + 1) 0 flights) in
-               let ok = ref true in
-               List.iter
-                 (fun (disk, opt) ->
-                    match opt with
-                    | `Keep -> ()
-                    | `Start (b, evict) ->
-                      (match evict with
-                       | Some e ->
-                         if !mask' land (1 lsl e) = 0 then ok := false
-                         else mask' := !mask' land lnot (1 lsl e)
-                       | None -> ());
-                      if !ok then begin
-                        flights'.(disk) <- Some (b, f);
-                        incr in_flight_cnt
-                      end)
-                 combo;
-               if !ok && popcount !mask' + !in_flight_cnt <= k then begin
-                 (* One time unit elapses. *)
-                 let served = !mask' land (1 lsl seq.(c)) <> 0 in
-                 let c' = if served then c + 1 else c in
-                 let cost = if served then 0 else 1 in
-                 (* Don't stall into a dead state: stalling with an empty
-                    pipeline never reaches the goal (pruned by cost anyway,
-                    but skipping keeps the queue small). *)
-                 if served || !in_flight_cnt > 0 then begin
-                   let mask'' = ref !mask' in
-                   let flights'' =
-                     Array.map
-                       (function
-                         | Some (b, 1) ->
-                           mask'' := !mask'' lor (1 lsl b);
-                           None
-                         | Some (b, r) -> Some (b, r - 1)
-                         | None -> None)
-                       flights'
-                   in
-                   push (d + cost) (c', !mask'', flights'')
-                 end
-               end)
-            (combos 0 [])
-        end
-      end
-  done;
-  if Telemetry.enabled () then begin
-    Telemetry.incr m_solves;
-    Telemetry.observe_int m_states (Tbl.length dist)
-  end;
-  Option.get !answer
+  match Opt.solve_parallel ~extra_slots inst with
+  | Ok o ->
+    if Telemetry.enabled () then begin
+      Telemetry.incr m_solves;
+      Telemetry.observe_int m_states o.Opt.stats.Opt.expanded
+    end;
+    o.Opt.stall
+  | Error failure ->
+    raise (Opt.Solver_failure { solver = "Opt_parallel.solve_stall"; failure })

@@ -7,9 +7,15 @@
     time unit elapses.  Stall units cost 1, served requests cost 0.
 
     Exponential - intended as ground truth for Theorem 4 on instances with
-    roughly <= 10 requests. *)
+    roughly <= 14 requests.  The search itself is {!Opt.solve_parallel}
+    (branch-and-bound with incumbent seeding, admissible lower bounds and
+    cache-mask dominance). *)
 
 val solve_stall : ?extra_slots:int -> Instance.t -> int
 (** Minimum stall time using [cache_size + extra_slots] locations
     (default [extra_slots = 0]).
-    @raise Invalid_argument if the instance has more than 30 blocks. *)
+    @raise Invalid_argument if the instance has more than
+    {!Opt.max_blocks} (62) blocks or the packed state encoding would
+    overflow an OCaml int.
+    @raise Opt.Solver_failure if the search space is infeasible (never on
+    valid instances). *)

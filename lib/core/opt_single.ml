@@ -7,157 +7,33 @@
    the next missing block and evicts the cached block whose next reference
    is furthest in the future, and fetches start only at decision points
    (instants when the disk is idle).  Under that normalization the only
-   remaining choice is WHEN to fetch, so the optimum is computed by
-   memoized search over (cursor, cache) states with a binary
-   fetch-now/serve-one decision.  [Opt_exhaustive] (tests) validates the
-   normalization by branching over all evictions on tiny instances.
+   remaining choice is WHEN to fetch.
 
-   Cache states are encoded as bit masks, so instances must use fewer than
-   63 distinct blocks - plenty for the experiment sizes where exact OPT is
-   needed. *)
+   The search itself lives in {!Opt} (pruned branch-and-bound over the
+   (cursor, cache-mask) graph); this module keeps the legacy total API
+   and its telemetry series. *)
 
 type outcome = {
   stall : int;
   schedule : Fetch_op.schedule;
 }
 
-let max_blocks = 62
+let max_blocks = Opt.max_blocks
+let roll_forward = Opt.roll_forward
 
 let m_solves = Telemetry.counter "opt_single.solves"
 let m_states = Telemetry.histogram "opt_single.dp_states"
 
-(* Serve forward while a fetch is in flight: from cursor [c] with cache
-   [mask], the fetch completes after [f] time units; returns the cursor
-   after those units and the stall incurred.  Purely deterministic. *)
-let roll_forward (inst : Instance.t) ~c ~mask ~f =
-  let n = Instance.length inst in
-  let seq = inst.Instance.seq in
-  let stall = ref 0 in
-  let c = ref c in
-  for _ = 1 to f do
-    if !c < n && mask land (1 lsl seq.(!c)) <> 0 then incr c else if !c < n then incr stall
-  done;
-  (!c, !stall)
-
 let solve (inst : Instance.t) : outcome =
-  let n = Instance.length inst in
-  let num_blocks = Instance.num_blocks inst in
-  if num_blocks > max_blocks then
-    invalid_arg (Printf.sprintf "Opt_single.solve: %d blocks exceed the %d-block limit" num_blocks max_blocks);
-  let seq = inst.Instance.seq in
-  let k = inst.Instance.cache_size in
-  let f = inst.Instance.fetch_time in
-  let nr = Next_ref.of_instance inst in
-  let initial_mask = List.fold_left (fun m b -> m lor (1 lsl b)) 0 inst.Instance.initial_cache in
-  let memo : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
-  let popcount m =
-    let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
-    go m 0
-  in
-  (* Next position >= c whose block is not in [mask]. *)
-  let next_missing mask c =
-    let rec scan i = if i >= n then None else if mask land (1 lsl seq.(i)) = 0 then Some i else scan (i + 1) in
-    scan c
-  in
-  let furthest mask c =
-    let best = ref (-1) and best_next = ref (-1) in
-    for b = 0 to num_blocks - 1 do
-      if mask land (1 lsl b) <> 0 then begin
-        let nx = Next_ref.next_at_or_after nr b c in
-        if nx > !best_next then begin
-          best_next := nx;
-          best := b
-        end
-      end
-    done;
-    (!best, !best_next)
-  in
-  let rec search c mask =
-    if c >= n then 0
-    else begin
-      match Hashtbl.find_opt memo (c, mask) with
-      | Some v -> v
-      | None ->
-        let v =
-          match next_missing mask c with
-          | None -> 0
-          | Some p ->
-            (* Option A: start the canonical fetch now. *)
-            let fetch_cost =
-              let mask', ok =
-                if popcount mask < k then (mask, true)
-                else begin
-                  let e, e_next = furthest mask c in
-                  if e >= 0 && e_next > p then (mask land lnot (1 lsl e), true) else (mask, false)
-                end
-              in
-              if not ok then max_int
-              else begin
-                let c', stall = roll_forward inst ~c ~mask:mask' ~f in
-                let mask'' = mask' lor (1 lsl seq.(p)) in
-                let rest = search c' mask'' in
-                if rest = max_int then max_int else stall + rest
-              end
-            in
-            (* Option B: serve one request without fetching. *)
-            let serve_cost =
-              if mask land (1 lsl seq.(c)) <> 0 then search (c + 1) mask else max_int
-            in
-            Stdlib.min fetch_cost serve_cost
-        in
-        Hashtbl.replace memo (c, mask) v;
-        v
-    end
-  in
-  let optimal = search 0 initial_mask in
-  if optimal = max_int then failwith "Opt_single.solve: no feasible schedule (should be impossible)";
-  (* Reconstruct a witness schedule by replaying the decisions. *)
-  let ops = ref [] in
-  let reach = Array.make (n + 1) 0 in
-  let rec rebuild c mask t =
-    if c >= n then ()
-    else begin
-      match next_missing mask c with
-      | None -> ()
-      | Some p ->
-        let target = search c mask in
-        let serve_cost = if mask land (1 lsl seq.(c)) <> 0 then search (c + 1) mask else max_int in
-        if serve_cost = target then begin
-          reach.(c + 1) <- t + 1;
-          rebuild (c + 1) mask (t + 1)
-        end
-        else begin
-          (* The fetch decision was optimal; reproduce it. *)
-          let mask', evict =
-            if popcount mask < k then (mask, None)
-            else begin
-              let e, _ = furthest mask c in
-              (mask land lnot (1 lsl e), Some e)
-            end
-          in
-          ops := Fetch_op.make ~at_cursor:c ~delay:(t - reach.(c)) ~block:seq.(p) ~evict () :: !ops;
-          let c', _stall = roll_forward inst ~c ~mask:mask' ~f in
-          (* Recompute per-unit reach times for served requests. *)
-          let cc = ref c and tt = ref t in
-          for _ = 1 to f do
-            if !cc < n && mask' land (1 lsl seq.(!cc)) <> 0 then begin
-              incr cc;
-              incr tt;
-              reach.(!cc) <- !tt
-            end
-            else if !cc < n then incr tt
-          done;
-          assert (!cc = c');
-          rebuild c' (mask' lor (1 lsl seq.(p))) !tt
-        end
-    end
-  in
-  rebuild 0 initial_mask 0;
-  if Telemetry.enabled () then begin
-    Telemetry.incr m_solves;
-    Telemetry.observe_int m_states (Hashtbl.length memo)
-  end;
-  { stall = optimal; schedule = List.rev !ops }
+  match Opt.solve_single inst with
+  | Ok o ->
+    if Telemetry.enabled () then begin
+      Telemetry.incr m_solves;
+      Telemetry.observe_int m_states o.Opt.stats.Opt.expanded
+    end;
+    let schedule = match o.Opt.schedule with Some s -> s | None -> assert false in
+    { stall = o.Opt.stall; schedule }
+  | Error failure -> raise (Opt.Solver_failure { solver = "Opt_single.solve"; failure })
 
 let stall_time inst = (solve inst).stall
 let elapsed_time inst = Instance.length inst + (solve inst).stall

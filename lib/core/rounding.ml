@@ -868,7 +868,7 @@ let solve ?(solver = Simplex.solve_exact) (inst : Instance.t) : result =
     let schedule = Parallel_greedy.aggressive_schedule inst in
     match Simulate.run ~extra_slots:extra inst schedule with
     | Ok s -> (schedule, s)
-    | Error e -> failwith ("Rounding fallback invalid: " ^ e.Simulate.reason)
+    | Error e -> Simulate.reject ~algorithm:"rounding/greedy-fallback" e
   in
   let greedy_report () =
     let schedule, stats = greedy_baseline () in

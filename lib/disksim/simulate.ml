@@ -737,6 +737,23 @@ let run_faulty ?(extra_slots = 0) ?(record_events = false) ?(attribution = false
   (match r with Ok (_, report) when not (Faults.is_none faults) -> record_fault_telemetry report | _ -> ());
   r
 
+(* Typed channel for "this schedule was rejected" in exception position.
+   Defined here (the lowest layer that can reject) so lib/core's Driver
+   can rebind it rather than wrap-and-rethrow; [algorithm] names the
+   producer of the offending schedule. *)
+
+exception Invalid_schedule of { algorithm : string; at_time : int; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_schedule { algorithm; at_time; reason } ->
+      Some
+        (Printf.sprintf "%s produced an invalid schedule at t=%d: %s" algorithm at_time reason)
+    | _ -> None)
+
+let reject ~algorithm (e : error) =
+  raise (Invalid_schedule { algorithm; at_time = e.at_time; reason = e.reason })
+
 (* Convenience wrappers. *)
 
 let stall_time ?extra_slots inst schedule =
@@ -744,12 +761,12 @@ let stall_time ?extra_slots inst schedule =
   | Ok s -> Ok s.stall_time
   | Error e -> Error e
 
-let stall_time_exn ?extra_slots inst schedule =
+let stall_time_exn ?(name = "replay") ?extra_slots inst schedule =
   match run ?extra_slots inst schedule with
   | Ok s -> s.stall_time
-  | Error e -> failwith (Printf.sprintf "invalid schedule at t=%d: %s" e.at_time e.reason)
+  | Error e -> reject ~algorithm:name e
 
-let elapsed_time_exn ?extra_slots inst schedule =
+let elapsed_time_exn ?(name = "replay") ?extra_slots inst schedule =
   match run ?extra_slots inst schedule with
   | Ok s -> s.elapsed_time
-  | Error e -> failwith (Printf.sprintf "invalid schedule at t=%d: %s" e.at_time e.reason)
+  | Error e -> reject ~algorithm:name e

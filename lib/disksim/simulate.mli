@@ -85,10 +85,23 @@ val run_faulty :
     deadlocks when an abandoned fetch leaves a requested block
     unreachable (the {!Resilient} executor in lib/core re-plans instead). *)
 
+exception Invalid_schedule of { algorithm : string; at_time : int; reason : string }
+(** A schedule the simulator rejects, in exception position.  [algorithm]
+    names the producer ({!Driver.validate} tags it with the algorithm
+    name; the [_exn] wrappers below default to ["replay"]).  A printer is
+    registered, so an uncaught raise still renders as
+    ["%s produced an invalid schedule at t=%d: %s"]. *)
+
+val reject : algorithm:string -> error -> 'a
+(** [reject ~algorithm e] raises {!Invalid_schedule} carrying [e]'s
+    position and reason. *)
+
 val stall_time : ?extra_slots:int -> Instance.t -> Fetch_op.schedule -> (int, error) Result.t
 
-val stall_time_exn : ?extra_slots:int -> Instance.t -> Fetch_op.schedule -> int
-(** @raise Failure on invalid schedules. *)
+val stall_time_exn : ?name:string -> ?extra_slots:int -> Instance.t -> Fetch_op.schedule -> int
+(** @raise Invalid_schedule on invalid schedules, tagged with [name]
+    (default ["replay"]). *)
 
-val elapsed_time_exn : ?extra_slots:int -> Instance.t -> Fetch_op.schedule -> int
-(** @raise Failure on invalid schedules. *)
+val elapsed_time_exn : ?name:string -> ?extra_slots:int -> Instance.t -> Fetch_op.schedule -> int
+(** @raise Invalid_schedule on invalid schedules, tagged with [name]
+    (default ["replay"]). *)

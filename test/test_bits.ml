@@ -1,0 +1,107 @@
+(* Unit tests for the shared bit-set helpers and the monotone bucket
+   queue backing the branch-and-bound engine. *)
+
+let naive_popcount m =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go m 0
+
+let test_popcount () =
+  Alcotest.(check int) "empty" 0 (Bits.popcount 0);
+  Alcotest.(check int) "one" 1 (Bits.popcount 1);
+  Alcotest.(check int) "full 62" 62 (Bits.popcount ((1 lsl 62) - 1));
+  let st = Random.State.make [| 7 |] in
+  for _ = 1 to 1000 do
+    let m = Random.State.bits st lor (Random.State.bits st lsl 30) lor (Random.State.bits st lsl 60) in
+    let m = m land ((1 lsl 62) - 1) in
+    Alcotest.(check int) "random vs naive" (naive_popcount m) (Bits.popcount m)
+  done
+
+let test_set_ops () =
+  let m = Bits.of_list [ 0; 3; 61 ] in
+  Alcotest.(check bool) "mem 3" true (Bits.mem m 3);
+  Alcotest.(check bool) "mem 4" false (Bits.mem m 4);
+  Alcotest.(check int) "add idempotent" m (Bits.add m 3);
+  Alcotest.(check bool) "remove" false (Bits.mem (Bits.remove m 3) 3);
+  Alcotest.(check int) "remove absent is id" m (Bits.remove m 4);
+  Alcotest.(check bool) "subset" true (Bits.subset (Bits.of_list [ 0; 61 ]) m);
+  Alcotest.(check bool) "not subset" false (Bits.subset (Bits.of_list [ 0; 4 ]) m);
+  Alcotest.(check bool) "empty subset of all" true (Bits.subset 0 m);
+  Alcotest.(check int) "lowest" 0 (Bits.lowest m);
+  Alcotest.(check int) "lowest after remove" 3 (Bits.lowest (Bits.remove m 0));
+  Alcotest.(check int) "lowest empty" (-1) (Bits.lowest 0)
+
+let test_iteration () =
+  let l = [ 1; 5; 8; 40; 61 ] in
+  let m = Bits.of_list l in
+  Alcotest.(check (list int)) "to_list ascending" l (Bits.to_list m);
+  let seen = ref [] in
+  Bits.iter (fun b -> seen := b :: !seen) m;
+  Alcotest.(check (list int)) "iter ascending" l (List.rev !seen);
+  Alcotest.(check int) "fold sum" (List.fold_left ( + ) 0 l)
+    (Bits.fold (fun acc b -> acc + b) 0 m);
+  Alcotest.check_raises "of_list out of range"
+    (Invalid_argument "Bits.of_list: bit 62 outside [0, 62)") (fun () ->
+      ignore (Bits.of_list [ 62 ]))
+
+let test_bucketq_order () =
+  let q = Bucketq.create ~hint:2 () in
+  Alcotest.(check bool) "fresh empty" true (Bucketq.is_empty q);
+  Bucketq.push q ~prio:5 "a";
+  Bucketq.push q ~prio:1 "b";
+  Bucketq.push q ~prio:5 "c";
+  Bucketq.push q ~prio:130 "far";  (* forces growth past the hint *)
+  Alcotest.(check int) "length" 4 (Bucketq.length q);
+  (* Minimum priority first; LIFO within a bucket. *)
+  Alcotest.(check (option (pair int string))) "pop b" (Some (1, "b")) (Bucketq.pop q);
+  Alcotest.(check (option (pair int string))) "pop c (LIFO)" (Some (5, "c")) (Bucketq.pop q);
+  (* Pushing at or above the cursor is still allowed... *)
+  Bucketq.push q ~prio:5 "d";
+  Alcotest.(check (option (pair int string))) "pop d" (Some (5, "d")) (Bucketq.pop q);
+  Alcotest.(check (option (pair int string))) "pop a" (Some (5, "a")) (Bucketq.pop q);
+  (* ...pushing below it violates monotonicity. *)
+  Alcotest.check_raises "monotone violation"
+    (Invalid_argument "Bucketq.push: priority 4 below the monotone cursor 5") (fun () ->
+      Bucketq.push q ~prio:4 "bad");
+  Alcotest.(check (option (pair int string))) "pop far" (Some (130, "far")) (Bucketq.pop q);
+  Alcotest.(check (option (pair int string))) "drained" None (Bucketq.pop q);
+  Alcotest.(check bool) "empty again" true (Bucketq.is_empty q)
+
+let test_bucketq_dijkstra_shape () =
+  (* Priorities arriving in the non-decreasing pattern of a 0..F-cost
+     Dijkstra drain in globally sorted order. *)
+  let q = Bucketq.create () in
+  let st = Random.State.make [| 11 |] in
+  let popped = ref [] in
+  Bucketq.push q ~prio:0 0;
+  let pushed = ref 1 in
+  let rec drain () =
+    match Bucketq.pop q with
+    | None -> ()
+    | Some (prio, _) ->
+      popped := prio :: !popped;
+      if !pushed < 200 then begin
+        (* successors cost 0..4 more, as in the engine *)
+        for _ = 1 to 2 do
+          Bucketq.push q ~prio:(prio + Random.State.int st 5) !pushed;
+          incr pushed
+        done
+      end;
+      drain ()
+  in
+  drain ();
+  let order = List.rev !popped in
+  Alcotest.(check bool) "popped order non-decreasing" true
+    (fst
+       (List.fold_left
+          (fun (ok, prev) p -> (ok && p >= prev, p))
+          (true, 0) order))
+
+let () =
+  Alcotest.run "bits"
+    [ ( "bits",
+        [ Alcotest.test_case "popcount" `Quick test_popcount;
+          Alcotest.test_case "set operations" `Quick test_set_ops;
+          Alcotest.test_case "iteration" `Quick test_iteration ] );
+      ( "bucketq",
+        [ Alcotest.test_case "order and monotonicity" `Quick test_bucketq_order;
+          Alcotest.test_case "dijkstra drain sorted" `Quick test_bucketq_dijkstra_shape ] ) ]

@@ -131,6 +131,28 @@ let test_reject_evict_absent () =
   let schedule = [ fetch ~at_cursor:0 ~block:4 ~evict:(Some 4) () ] in
   ignore (reject (Simulate.run inst schedule))
 
+(* The _exn wrappers must raise the typed exception (with the rejection's
+   time step), not a bare Failure. *)
+let test_exn_wrappers_raise_typed () =
+  let inst = example1 () in
+  let bad = [ fetch ~at_cursor:0 ~block:0 ~evict:(Some 1) () ] in
+  let check_typed name f =
+    match f () with
+    | (_ : int) -> Alcotest.failf "%s accepted an invalid schedule" name
+    | exception Simulate.Invalid_schedule { algorithm; at_time; reason } ->
+      Alcotest.(check string) (name ^ " algorithm tag") "replay" algorithm;
+      Alcotest.(check bool) (name ^ " at_time sane") true (at_time >= 0);
+      Alcotest.(check bool) (name ^ " reason") true (contains reason "already in cache")
+    | exception Failure _ -> Alcotest.failf "%s raised untyped Failure" name
+  in
+  check_typed "stall_time_exn" (fun () -> Simulate.stall_time_exn inst bad);
+  check_typed "elapsed_time_exn" (fun () -> Simulate.elapsed_time_exn inst bad);
+  (* The valid-schedule path is unchanged. *)
+  Alcotest.(check int) "stall via exn wrapper" 3
+    (Simulate.stall_time_exn inst
+       [ fetch ~at_cursor:1 ~block:4 ~evict:(Some 0) ();
+         fetch ~at_cursor:5 ~block:0 ~evict:(Some 2) () ])
+
 let test_reject_capacity () =
   let inst = example1 () in
   (* Fetch without eviction into a full cache. *)
@@ -329,6 +351,8 @@ let () =
         [ Alcotest.test_case "busy disk" `Quick test_reject_busy_disk;
           Alcotest.test_case "fetch cached block" `Quick test_reject_fetch_cached_block;
           Alcotest.test_case "evict absent block" `Quick test_reject_evict_absent;
+          Alcotest.test_case "typed exception from _exn wrappers" `Quick
+            test_exn_wrappers_raise_typed;
           Alcotest.test_case "capacity exceeded" `Quick test_reject_capacity;
           Alcotest.test_case "extra slots" `Quick test_extra_slots_allow_overcommit;
           Alcotest.test_case "evict during in-flight fetch" `Quick test_reject_evict_in_flight;
