@@ -1,0 +1,210 @@
+(* Review-time differential check: old memoized DP / old Dijkstra
+   (copied verbatim in spirit from commit b79cf24^) vs the new Opt
+   branch-and-bound engine, on random instances. *)
+
+(* ---- old single-disk memoized DP (stall only) ---- *)
+let old_single_stall (inst : Instance.t) : int =
+  let n = Instance.length inst in
+  let num_blocks = Instance.num_blocks inst in
+  let seq = inst.Instance.seq in
+  let k = inst.Instance.cache_size in
+  let f = inst.Instance.fetch_time in
+  let nr = Next_ref.of_instance inst in
+  let initial_mask = List.fold_left (fun m b -> m lor (1 lsl b)) 0 inst.Instance.initial_cache in
+  let memo : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let popcount m =
+    let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+    go m 0
+  in
+  let next_missing mask c =
+    let rec scan i =
+      if i >= n then None else if mask land (1 lsl seq.(i)) = 0 then Some i else scan (i + 1)
+    in
+    scan c
+  in
+  let furthest mask c =
+    let best = ref (-1) and best_next = ref (-1) in
+    for b = 0 to num_blocks - 1 do
+      if mask land (1 lsl b) <> 0 then begin
+        let nx = Next_ref.next_at_or_after nr b c in
+        if nx > !best_next then begin
+          best_next := nx;
+          best := b
+        end
+      end
+    done;
+    (!best, !best_next)
+  in
+  let roll_forward ~c ~mask =
+    let stall = ref 0 in
+    let c = ref c in
+    for _ = 1 to f do
+      if !c < n && mask land (1 lsl seq.(!c)) <> 0 then incr c else if !c < n then incr stall
+    done;
+    (!c, !stall)
+  in
+  let rec search c mask =
+    if c >= n then 0
+    else begin
+      match Hashtbl.find_opt memo (c, mask) with
+      | Some v -> v
+      | None ->
+        let v =
+          match next_missing mask c with
+          | None -> 0
+          | Some p ->
+            let fetch_cost =
+              let mask', ok =
+                if popcount mask < k then (mask, true)
+                else begin
+                  let e, e_next = furthest mask c in
+                  if e >= 0 && e_next > p then (mask land lnot (1 lsl e), true)
+                  else (mask, false)
+                end
+              in
+              if not ok then max_int
+              else begin
+                let c', stall = roll_forward ~c ~mask:mask' in
+                let mask'' = mask' lor (1 lsl seq.(p)) in
+                let rest = search c' mask'' in
+                if rest = max_int then max_int else stall + rest
+              end
+            in
+            let serve_cost =
+              if mask land (1 lsl seq.(c)) <> 0 then search (c + 1) mask else max_int
+            in
+            Stdlib.min fetch_cost serve_cost
+        in
+        Hashtbl.replace memo (c, mask) v;
+        v
+    end
+  in
+  search 0 initial_mask
+
+(* ---- old exhaustive free-eviction Dijkstra (stall only) ---- *)
+let old_exhaustive_stall (inst : Instance.t) : int =
+  let n = Instance.length inst in
+  let num_blocks = Instance.num_blocks inst in
+  let seq = inst.Instance.seq in
+  let k = inst.Instance.cache_size in
+  let f = inst.Instance.fetch_time in
+  let initial_mask = List.fold_left (fun m b -> m lor (1 lsl b)) 0 inst.Instance.initial_cache in
+  let popcount m =
+    let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+    go m 0
+  in
+  let next_missing mask c =
+    let rec scan i =
+      if i >= n then None else if mask land (1 lsl seq.(i)) = 0 then Some i else scan (i + 1)
+    in
+    scan c
+  in
+  let roll_forward ~c ~mask =
+    let stall = ref 0 in
+    let c = ref c in
+    for _ = 1 to f do
+      if !c < n && mask land (1 lsl seq.(!c)) <> 0 then incr c else if !c < n then incr stall
+    done;
+    (!c, !stall)
+  in
+  let module Pq = Set.Make (struct
+    type t = int * int * int
+
+    let compare = compare
+  end) in
+  let dist : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let pq = ref (Pq.singleton (0, 0, initial_mask)) in
+  let push d c mask =
+    let key = (c, mask) in
+    match Hashtbl.find_opt dist key with
+    | Some d' when d' <= d -> ()
+    | _ ->
+      Hashtbl.replace dist key d;
+      pq := Pq.add (d, c, mask) !pq
+  in
+  Hashtbl.replace dist (0, initial_mask) 0;
+  let answer = ref None in
+  while !answer = None do
+    match Pq.min_elt_opt !pq with
+    | None -> failwith "old_exhaustive: exhausted queue"
+    | Some ((d, c, mask) as node) ->
+      pq := Pq.remove node !pq;
+      if Hashtbl.find_opt dist (c, mask) = Some d then begin
+        match next_missing mask c with
+        | None -> answer := Some d
+        | Some p ->
+          let fetch_from mask' =
+            let c', stall = roll_forward ~c ~mask:mask' in
+            push (d + stall) c' (mask' lor (1 lsl seq.(p)))
+          in
+          if popcount mask < k then fetch_from mask;
+          if popcount mask >= k then
+            for e = 0 to num_blocks - 1 do
+              if mask land (1 lsl e) <> 0 then fetch_from (mask land lnot (1 lsl e))
+            done;
+          if mask land (1 lsl seq.(c)) <> 0 then push d (c + 1) mask
+      end
+  done;
+  Option.get !answer
+
+(* ---- random instances ---- *)
+let () =
+  Random.self_init ();
+  let seed = try int_of_string Sys.argv.(1) with _ -> 42 in
+  Random.init seed;
+  let cases = try int_of_string Sys.argv.(2) with _ -> 2000 in
+  let bad = ref 0 in
+  for case = 1 to cases do
+    let n = 1 + Random.int 14 in
+    let nb = 2 + Random.int 6 in
+    let k = 1 + Random.int (min nb 4) in
+    let f = 1 + Random.int 5 in
+    let seq = Array.init n (fun _ -> Random.int nb) in
+    (* initial cache: random distinct subset of size <= k *)
+    let ic = ref [] in
+    let ics = ref 0 in
+    for b = 0 to nb - 1 do
+      if !ics < k && Random.bool () then begin
+        ic := b :: !ic;
+        incr ics
+      end
+    done;
+    let inst = Instance.single_disk ~k ~fetch_time:f ~initial_cache:!ic seq in
+    let dp = old_single_stall inst in
+    let ex = old_exhaustive_stall inst in
+    (match Opt.solve_single inst with
+     | Error _ -> (incr bad; Printf.printf "case %d: new single ERROR (old=%d)\n" case dp)
+     | Ok o ->
+       if o.Opt.stall <> dp then begin
+         incr bad;
+         Printf.printf "case %d: single mismatch old=%d new=%d n=%d nb=%d k=%d f=%d seq=[%s] ic=[%s]\n"
+           case dp o.Opt.stall n nb k f
+           (String.concat ";" (Array.to_list (Array.map string_of_int seq)))
+           (String.concat ";" (List.map string_of_int !ic))
+       end;
+       (* witness replay must match *)
+       (match o.Opt.schedule with
+        | Some sched ->
+          (match Simulate.stall_time inst sched with
+           | Ok r when r = o.Opt.stall -> ()
+           | Ok r ->
+             incr bad;
+             Printf.printf "case %d: witness stall %d <> claimed %d\n" case r o.Opt.stall
+           | Error e ->
+             incr bad;
+             Printf.printf "case %d: witness rejected t=%d %s\n" case e.Simulate.at_time
+               e.Simulate.reason)
+        | None -> ()));
+    (match Opt.solve_single ~free_evict:true inst with
+     | Error _ -> (incr bad; Printf.printf "case %d: new free-evict ERROR (old=%d)\n" case ex)
+     | Ok o ->
+       if o.Opt.stall <> ex then begin
+         incr bad;
+         Printf.printf "case %d: free-evict mismatch old=%d new=%d n=%d nb=%d k=%d f=%d seq=[%s] ic=[%s]\n"
+           case ex o.Opt.stall n nb k f
+           (String.concat ";" (Array.to_list (Array.map string_of_int seq)))
+           (String.concat ";" (List.map string_of_int !ic))
+       end)
+  done;
+  Printf.printf "done: %d cases, %d mismatches\n" cases !bad;
+  exit (if !bad = 0 then 0 else 1)
