@@ -157,7 +157,37 @@ let scaling_tests =
          (stage (fun () -> Opt_single.solve inst)))
     [ 3; 5; 7 ]
 
-let run_benchmarks () =
+(* The scale tier: driver-based schedulers on 10^5-10^6-request Zipf
+   traces (k = 64, F = 8, one block per 64 requests - the ipc scale
+   defaults).  These guard the PR-5 driver rework: the fast engine must
+   keep scale_driver_aggressive_n1000000 near 10x its n100000 twin
+   (near-linear scaling; CI asserts a generous 25x to absorb cache
+   effects from the 10x-larger block space).  A separate pass
+   (--scale-only) with a small sample limit: one call runs for
+   0.03-1 s, so the default micro quota would oversample. *)
+let scale_driver_tests =
+  let mk n =
+    lazy
+      (Workload.single_instance ~k:64 ~fetch_time:8
+         (Workload.zipf ~seed:13 ~alpha:0.9 ~n ~num_blocks:(n / 64)))
+  in
+  let w5 = mk 100_000 in
+  let w6 = mk 1_000_000 in
+  let d0_scale = Bounds.delay_opt_d ~f:8 in
+  [ Test.make ~name:"scale_driver_aggressive_n100000"
+      (stage (fun () -> Aggressive.schedule (Lazy.force w5)));
+    Test.make ~name:"scale_driver_aggressive_n1000000"
+      (stage (fun () -> Aggressive.schedule (Lazy.force w6)));
+    Test.make ~name:"scale_driver_delay_n100000"
+      (stage (fun () -> Delay.schedule ~d:d0_scale (Lazy.force w5)));
+    Test.make ~name:"scale_driver_fixed_horizon_n100000"
+      (stage (fun () -> Fixed_horizon.schedule (Lazy.force w5)));
+    Test.make ~name:"scale_driver_conservative_n100000"
+      (stage (fun () -> Conservative.schedule (Lazy.force w5)));
+    Test.make ~name:"scale_driver_online_n100000"
+      (stage (fun () -> Online.schedule (Online.aggressive ~lookahead:32) (Lazy.force w5))) ]
+
+let run_benchmarks ~micro ~scale () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let instances = [ Instance.monotonic_clock ] in
   let default_cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
@@ -178,8 +208,16 @@ let run_benchmarks () =
          rows := (name, ns, r2) :: !rows)
       results
   in
-  run_pass default_cfg (tests @ scaling_tests);
-  run_pass noisy_cfg noisy_tests;
+  if micro then begin
+    run_pass default_cfg (tests @ scaling_tests);
+    run_pass noisy_cfg noisy_tests
+  end;
+  if scale then begin
+    (* Bodies run 0.03-1 s each: a handful of samples without GC
+       stabilization is both representative and affordable. *)
+    let scale_cfg = Benchmark.cfg ~limit:10 ~quota:(Time.second 2.0) ~stabilize:false () in
+    run_pass scale_cfg scale_driver_tests
+  end;
   let rows = List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) !rows in
   Tablefmt.print
     (Tablefmt.make ~title:"Micro-benchmarks (monotonic clock, OLS estimate per call)"
@@ -221,15 +259,19 @@ let write_snapshot path rows =
 let () =
   let out = ref "BENCH_1.json" in
   let micro_only = ref false in
+  let scale_only = ref false in
   Arg.parse
     [ ("--out", Arg.Set_string out, "PATH write the JSON snapshot to PATH (default BENCH_1.json)");
-      ("--micro-only", Arg.Set micro_only, " run only the micro-benchmarks, skip the battery") ]
+      ("--micro-only", Arg.Set micro_only,
+       " run only the micro-benchmarks (no scale tier, no battery)");
+      ("--scale-only", Arg.Set scale_only,
+       " run only the scale_driver_* tier (no micro-benchmarks, no battery)") ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "main.exe [--out PATH] [--micro-only]";
+    "main.exe [--out PATH] [--micro-only] [--scale-only]";
   Printf.printf "=== Part 1: micro-benchmarks ===\n%!";
-  let rows = run_benchmarks () in
+  let rows = run_benchmarks ~micro:(not !scale_only) ~scale:(not !micro_only) () in
   write_snapshot !out rows;
-  if not !micro_only then begin
+  if (not !micro_only) && not !scale_only then begin
     Printf.printf "\n=== Part 2: experiment battery (E1-E15) ===\n%!";
     List.iter
       (fun t ->

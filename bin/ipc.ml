@@ -514,6 +514,90 @@ let lp_cmd =
   Cmd.v (Cmd.info "lp" ~doc:"Solve one instance with the synchronized LP and round it.")
     Term.(const run $ metrics_arg $ workload_arg $ seed_arg $ Arg.(value & opt int 16 & info [ "n" ]) $ blocks_arg $ k_arg $ f_arg $ d_arg)
 
+(* scale: the driver hot paths at production trace sizes, as a smoke
+   report.  Schedules each scale-tier family at n = 10^5 (and 10^6 with
+   --full) through every driver-based scheduler, reports wall time and
+   throughput, and with --check replays every schedule through the
+   executor so validity and stall accounting are asserted at scale. *)
+let scale_cmd =
+  let full_arg =
+    Arg.(value & flag & info [ "full" ] ~doc:"Run both tiers, n = 100000 and n = 1000000 (default: 100000 only).")
+  in
+  let check_arg =
+    Arg.(value & flag & info [ "check" ] ~doc:"Replay every schedule through the executor and report its stall time (fails on any invalid schedule).")
+  in
+  let run metrics seed k f full check =
+    with_metrics metrics @@ fun () ->
+    let sizes = if full then [ 100_000; 1_000_000 ] else [ 100_000 ] in
+    let d0 = Bounds.delay_opt_d ~f in
+    let algorithms =
+      [ ("aggressive", Aggressive.schedule);
+        ("conservative", Conservative.schedule);
+        ("delay", Delay.schedule ~d:d0);
+        ("fixed-horizon", Fixed_horizon.schedule);
+        ("online", Online.schedule (Online.aggressive ~lookahead:(4 * f))) ]
+    in
+    let failures = ref 0 in
+    Printf.printf "%-12s %9s %-14s %10s %9s %9s%s\n" "family" "n" "algorithm" "time" "Mreq/s"
+      "fetches" (if check then "  replay" else "");
+    let aggressive_times = Hashtbl.create 8 in
+    List.iter
+      (fun n ->
+         List.iter
+           (fun (fam : Workload.family) ->
+              let num_blocks = Stdlib.max 64 (n / 64) in
+              let seq = fam.Workload.generate ~seed ~n ~num_blocks in
+              let inst = Workload.single_instance ~k ~fetch_time:f seq in
+              List.iter
+                (fun (name, schedule) ->
+                   let t0 = Sys.time () in
+                   let sched = schedule inst in
+                   let dt = Sys.time () -. t0 in
+                   if name = "aggressive" then
+                     Hashtbl.replace aggressive_times (fam.Workload.name, n) dt;
+                   let replay =
+                     if not check then ""
+                     else
+                       match Simulate.run inst sched with
+                       | Ok s -> Printf.sprintf "  ok(stall=%d)" s.Simulate.stall_time
+                       | Error e ->
+                         incr failures;
+                         Printf.sprintf "  INVALID at t=%d: %s" e.Simulate.at_time e.Simulate.reason
+                   in
+                   Printf.printf "%-12s %9d %-14s %8.3f s %9.2f %9d%s\n%!" fam.Workload.name n
+                     name dt
+                     (float_of_int n /. dt /. 1e6)
+                     (List.length sched) replay)
+                algorithms)
+           Workload.scale_families)
+      sizes;
+    if full then
+      List.iter
+        (fun (fam : Workload.family) ->
+           match
+             ( Hashtbl.find_opt aggressive_times (fam.Workload.name, 100_000),
+               Hashtbl.find_opt aggressive_times (fam.Workload.name, 1_000_000) )
+           with
+           | Some t5, Some t6 when t5 > 0.0 ->
+             Printf.printf "scaling %-12s aggressive 1e5 -> 1e6: %.1fx (linear = 10x)\n"
+               fam.Workload.name (t6 /. t5)
+           | _ -> ())
+        Workload.scale_families;
+    if !failures > 0 then begin
+      Printf.printf "scale: FAILED (%d invalid schedules)\n" !failures;
+      exit 1
+    end
+    else Printf.printf "scale: ok\n"
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:"Smoke-report the driver hot paths on 10^5..10^6-request traces (Zipf, scan, phase-shift).")
+    Term.(
+      const run $ metrics_arg $ seed_arg
+      $ Arg.(value & opt int 64 & info [ "k"; "cache" ] ~doc:"Cache size k.")
+      $ Arg.(value & opt int 8 & info [ "f"; "fetch-time" ] ~doc:"Fetch time F.")
+      $ full_arg $ check_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let status =
@@ -523,7 +607,7 @@ let () =
            (Cmd.info "ipc" ~version:"1.0"
               ~doc:"Integrated prefetching and caching in single and parallel disk systems")
            [ simulate_cmd; compare_cmd; sweep_cmd; lower_cmd; delay_cmd; parallel_cmd; lp_cmd;
-             experiments_cmd; profile_cmd; faults_cmd; fuzz_cmd; opt_cmd ])
+             experiments_cmd; profile_cmd; faults_cmd; fuzz_cmd; opt_cmd; scale_cmd ])
     with
     | Sys_error msg | Failure msg ->
       Printf.eprintf "ipc: %s\n" msg;
@@ -536,6 +620,9 @@ let () =
       1
     | Driver.Invalid_schedule { algorithm; at_time; reason } ->
       Printf.eprintf "ipc: %s produced an invalid schedule at t=%d: %s\n" algorithm at_time reason;
+      1
+    | Simulate.Internal_error { component; reason } ->
+      Printf.eprintf "ipc: %s: internal error: %s\n" component reason;
       1
     | Opt.Solver_failure _ as e ->
       Printf.eprintf "ipc: %s\n" (Printexc.to_string e);

@@ -20,7 +20,6 @@ type pending = {
 let plan (inst : Instance.t) : pending list =
   let min_result = Paging.min_offline inst in
   let nr = Next_ref.of_instance inst in
-  ignore nr;
   List.map
     (fun (r : Paging.replacement) ->
        let eligible_cursor =
@@ -29,11 +28,9 @@ let plan (inst : Instance.t) : pending list =
          | Some e ->
            (* Last request to e strictly before the miss position; the
               eviction may only happen after it is served. *)
-           let rec last_before i acc =
-             if i >= r.Paging.position then acc
-             else last_before (i + 1) (if inst.Instance.seq.(i) = e then i + 1 else acc)
-           in
-           last_before 0 0
+           (match Next_ref.prev_before nr e r.Paging.position with
+            | -1 -> 0
+            | p -> p + 1)
        in
        { fetched = r.Paging.fetched;
          evicted = r.Paging.evicted;

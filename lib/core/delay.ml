@@ -35,11 +35,14 @@ let schedule ~d (inst : Instance.t) : Fetch_op.schedule =
           | None -> ()
           | Some j ->
             let nr = Driver.next_ref drv in
-            (* Is some cached block requested only at or after position j? *)
+            (* Is some cached block requested only at or after position j?
+               Equivalent to the furthest next reference (measured from
+               the cursor) landing past j - one heap peek instead of a
+               scan over the whole cache. *)
             let exists_late =
-              List.exists
-                (fun b -> Next_ref.next_at_or_after nr b i > j)
-                (Driver.cache_list drv)
+              match Driver.furthest_cached drv ~from:i with
+              | Some (_, nx) -> nx > j
+              | None -> false
             in
             if (not (Driver.cache_full drv)) then begin
               (* Spare capacity: fetch without eviction, no delay needed. *)
@@ -53,12 +56,11 @@ let schedule ~d (inst : Instance.t) : Fetch_op.schedule =
                | None -> ()
                | Some (b, _) ->
                  (* Earliest initiation: after b's last request before j. *)
-                 let rec last_before p acc =
-                   if p >= j then acc
-                   else
-                     last_before (p + 1) (if (Driver.instance drv).Instance.seq.(p) = b then p + 1 else acc)
+                 let eligible_cursor =
+                   match Next_ref.prev_before nr b j with
+                   | p when p >= i -> p + 1
+                   | _ -> i
                  in
-                 let eligible_cursor = last_before i i in
                  pending :=
                    Some { block = (Driver.instance drv).Instance.seq.(j); evict = b; eligible_cursor })
             end));

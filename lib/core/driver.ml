@@ -7,41 +7,127 @@
    decision rule.  The resulting schedule is replayed through
    {!Simulate.run} by callers, which keeps a single source of truth for
    timing semantics: if a driver-based algorithm and the executor ever
-   disagreed on stall time, tests would catch it. *)
+   disagreed on stall time, tests would catch it.
+
+   Two engines share this interface:
+
+   - [Reference]: the seed implementation.  Every query is a fresh scan
+     ([next_missing] rescans the sequence from the cursor,
+     [furthest_cached] scans all blocks with a binary search each) and
+     the clock ticks one instant at a time.  Quadratic, obviously
+     correct, kept as the oracle for the driver-equivalence tests.
+
+   - [Fast] (the default): the same observable behaviour in
+     O((n + fetches) log k) total.
+       * [next_missing] keeps a monotone frontier (global and per disk):
+         every position in [cursor, frontier) is known non-missing, so
+         scans resume at the frontier instead of the cursor.  The only
+         transition that makes a position missing again is an eviction,
+         which clamps the frontiers to the evicted block's next
+         reference.
+       * [furthest_cached] keeps a lazy-invalidation max-heap
+         ({!Evict_heap}) with one live entry per resident block, keyed
+         by the block's next reference measured from the cursor.  The
+         key invariant "live key = next reference at or after the
+         cursor" is maintained by re-keying the served block once per
+         serve (an O(1) [next_same] lookup).  Queries [~from] beyond the
+         cursor additionally scan the ≤ from - cursor window positions
+         whose blocks' heap keys may lag (Delay's d' window).
+       * the run loop skips uniform instants: serve runs while every
+         disk is busy (the decide contract below makes the callback a
+         no-op there) execute in a tight loop, and stall runs where the
+         last decide call was a no-op jump straight to the next fetch
+         completion.
+
+   The decide contract (all in-tree schedulers satisfy it, and the
+   equivalence suite in test/test_driver_equiv.ml checks them all):
+   a decide callback must (a) do nothing when every disk is busy, and
+   (b) depend on the driver state only through the cursor, cache,
+   in-flight and its own queue state - never on the raw clock - so that
+   repeating it at an identical state is a no-op.  Callbacks that need
+   recency information derive it from {!Next_ref.prev_before} rather
+   than by accumulating per-instant writes. *)
+
+type engine = Fast | Reference
+
+let default_engine = ref Fast
+
+let with_engine e f =
+  let old = !default_engine in
+  default_engine := e;
+  Fun.protect f ~finally:(fun () -> default_engine := old)
 
 type t = {
   inst : Instance.t;
   nr : Next_ref.t;
   n : int;
+  engine : engine;
   mutable time : int;
   mutable cursor : int;
   in_cache : bool array;
   mutable cache_count : int;
   in_flight : (int * int) option array;  (* per disk: block, end_time *)
   mutable in_flight_count : int;
+  in_flight_blocks : bool array;  (* membership mirror of [in_flight] *)
   reach : int array;  (* reach.(c) = first instant the cursor reached c *)
   mutable ops : Fetch_op.t list;  (* reversed *)
   mutable stall : int;
+  mutable fetch_count : int;
+  (* Fast-engine state (maintained by both engines, queried by Fast). *)
+  heap : Evict_heap.t;  (* live key = next ref of each resident block at or after the cursor *)
+  mutable missing_from : int;  (* [cursor, missing_from) holds no missing position *)
+  missing_from_disk : int array;  (* same, per disk *)
+  resident : int array;  (* dense resident-block set, for O(k) cache_list *)
+  resident_pos : int array;  (* block -> index in [resident], or -1 *)
 }
+
+(* Cache membership changes flow through these two helpers so the heap
+   and the resident set can never drift from [in_cache]. *)
+let cache_add d b =
+  d.in_cache.(b) <- true;
+  d.resident_pos.(b) <- d.cache_count;
+  d.resident.(d.cache_count) <- b;
+  d.cache_count <- d.cache_count + 1;
+  Evict_heap.add d.heap ~block:b ~key:(Next_ref.next_at_or_after d.nr b d.cursor)
+
+let cache_remove d b =
+  d.in_cache.(b) <- false;
+  d.cache_count <- d.cache_count - 1;
+  let i = d.resident_pos.(b) in
+  let last = d.resident.(d.cache_count) in
+  d.resident.(i) <- last;
+  d.resident_pos.(last) <- i;
+  d.resident_pos.(b) <- -1;
+  Evict_heap.remove d.heap ~block:b
 
 let create (inst : Instance.t) : t =
   let n = Instance.length inst in
   let num_blocks = Instance.num_blocks inst in
-  let in_cache = Array.make num_blocks false in
-  List.iter (fun b -> in_cache.(b) <- true) inst.Instance.initial_cache;
   let reach = Array.make (n + 1) 0 in
-  { inst;
-    nr = Next_ref.of_instance inst;
-    n;
-    time = 0;
-    cursor = 0;
-    in_cache;
-    cache_count = List.length inst.Instance.initial_cache;
-    in_flight = Array.make inst.Instance.num_disks None;
-    in_flight_count = 0;
-    reach;
-    ops = [];
-    stall = 0 }
+  let d =
+    { inst;
+      nr = Next_ref.of_instance inst;
+      n;
+      engine = !default_engine;
+      time = 0;
+      cursor = 0;
+      in_cache = Array.make num_blocks false;
+      cache_count = 0;
+      in_flight = Array.make inst.Instance.num_disks None;
+      in_flight_count = 0;
+      in_flight_blocks = Array.make num_blocks false;
+      reach;
+      ops = [];
+      stall = 0;
+      fetch_count = 0;
+      heap = Evict_heap.create ~num_blocks;
+      missing_from = 0;
+      missing_from_disk = Array.make inst.Instance.num_disks 0;
+      resident = Array.make (Stdlib.max 1 num_blocks) 0;
+      resident_pos = Array.make num_blocks (-1) }
+  in
+  List.iter (fun b -> cache_add d b) inst.Instance.initial_cache;
+  d
 
 let finished d = d.cursor >= d.n
 
@@ -50,6 +136,7 @@ let cursor d = d.cursor
 let next_ref d = d.nr
 let instance d = d.inst
 let stall_time d = d.stall
+let engine d = d.engine
 
 let in_cache d b = d.in_cache.(b)
 let cache_count d = d.cache_count
@@ -61,68 +148,128 @@ let cache_full d = not (has_free_slot d)
 let disk_busy d disk = d.in_flight.(disk) <> None
 let any_disk_busy d = d.in_flight_count > 0
 
-let block_in_flight d b =
-  Array.exists (function Some (b', _) -> b' = b | None -> false) d.in_flight
+let block_in_flight d b = d.in_flight_blocks.(b)
 
-(* Blocks currently resident, as a list (cache sizes are small). *)
+(* Blocks currently resident, as a sorted list.  O(k log k) from the
+   dense resident set; ascending block-id order is part of the contract
+   (Online's fold breaks score ties towards the earlier candidate). *)
 let cache_list d =
-  let acc = ref [] in
-  Array.iteri (fun b c -> if c then acc := b :: !acc) d.in_cache;
-  List.rev !acc
+  List.sort Stdlib.compare (Array.to_list (Array.sub d.resident 0 d.cache_count))
+
+let missing_at d i =
+  let b = d.inst.Instance.seq.(i) in
+  not (d.in_cache.(b) || d.in_flight_blocks.(b))
 
 (* First position >= [from] whose block is neither cached nor in flight,
-   or None. *)
+   or None.
+
+   Fast engine: every position in [cursor, missing_from) is known
+   non-missing, so a query from at or before that frontier resumes the
+   scan there and publishes the new frontier.  (Queries from beyond the
+   frontier - no in-tree caller - scan plainly and learn nothing.) *)
 let next_missing ?from d =
   let from = match from with Some f -> f | None -> d.cursor in
-  let rec scan i =
-    if i >= d.n then None
+  let rec scan i = if i >= d.n then None else if missing_at d i then Some i else scan (i + 1) in
+  match d.engine with
+  | Reference -> scan from
+  | Fast ->
+    if from < d.cursor then scan from
     else begin
-      let b = d.inst.Instance.seq.(i) in
-      if d.in_cache.(b) || block_in_flight d b then scan (i + 1) else Some i
+      let start = Stdlib.max d.missing_from d.cursor in
+      if from <= start then begin
+        let r = scan start in
+        d.missing_from <- (match r with Some p -> p | None -> d.n);
+        r
+      end
+      else scan from
     end
-  in
-  scan from
 
 (* First position >= [from] of a missing block that lives on [disk]. *)
 let next_missing_on_disk d ~disk ~from =
   let rec scan i =
     if i >= d.n then None
-    else begin
-      let b = d.inst.Instance.seq.(i) in
-      if (not (d.in_cache.(b) || block_in_flight d b)) && d.inst.Instance.disk_of.(b) = disk
-      then Some i
-      else scan (i + 1)
-    end
+    else if missing_at d i && d.inst.Instance.disk_of.(d.inst.Instance.seq.(i)) = disk then Some i
+    else scan (i + 1)
   in
-  scan from
+  match d.engine with
+  | Reference -> scan from
+  | Fast ->
+    if from < d.cursor then scan from
+    else begin
+      let start = Stdlib.max d.missing_from_disk.(disk) d.cursor in
+      if from <= start then begin
+        let r = scan start in
+        d.missing_from_disk.(disk) <- (match r with Some p -> p | None -> d.n);
+        r
+      end
+      else scan from
+    end
 
 (* The cached block whose next reference measured from [from] is furthest
-   in the future (ties: smallest id).  None if the cache is empty. *)
+   in the future (ties: smallest id).  None if the cache is empty.
+
+   Fast engine: the heap top answers queries at the cursor directly.  For
+   [from > cursor] (Delay's d' window) the live keys of blocks referenced
+   inside [cursor, from) undershoot their true next reference measured
+   from [from]; those are exactly the blocks requested at the ≤ from -
+   cursor window positions, so a linear pass over the window re-scores
+   them and the heap covers the rest (any entry with key < from belongs
+   to the window, and the valid top dominates all entries with key >=
+   from). *)
 let furthest_cached d ~from =
-  let best = ref (-1) in
-  let best_next = ref (-1) in
-  Array.iteri
-    (fun b c ->
-       if c then begin
-         let nx = Next_ref.next_at_or_after d.nr b from in
-         if nx > !best_next then begin
-           best_next := nx;
-           best := b
-         end
-       end)
-    d.in_cache;
-  if !best < 0 then None else Some (!best, !best_next)
+  let scan () =
+    let best = ref (-1) in
+    let best_next = ref (-1) in
+    Array.iteri
+      (fun b c ->
+         if c then begin
+           let nx = Next_ref.next_at_or_after d.nr b from in
+           if nx > !best_next then begin
+             best_next := nx;
+             best := b
+           end
+         end)
+      d.in_cache;
+    if !best < 0 then None else Some (!best, !best_next)
+  in
+  match d.engine with
+  | Reference -> scan ()
+  | Fast ->
+    if from < d.cursor then scan ()
+    else begin
+      let best = ref (-1) in
+      let best_next = ref (-1) in
+      let consider b nx =
+        if nx > !best_next || (nx = !best_next && b < !best) then begin
+          best_next := nx;
+          best := b
+        end
+      in
+      for p = d.cursor to Stdlib.min (from - 1) (d.n - 1) do
+        let b = d.inst.Instance.seq.(p) in
+        if d.in_cache.(b) then consider b (Next_ref.next_at_or_after d.nr b from)
+      done;
+      (match Evict_heap.peek d.heap with
+       | Some (b, key) when key >= from -> consider b key
+       | Some _ | None -> ());
+      if !best < 0 then None else Some (!best, !best_next)
+    end
 
 (* Initiate a fetch at the current instant. *)
 let start_fetch ?(disk = 0) d ~block ~evict =
   assert (not (disk_busy d disk));
   assert (not d.in_cache.(block));
-  assert (not (block_in_flight d block));
+  assert (not d.in_flight_blocks.(block));
   (match evict with
    | Some e ->
      assert d.in_cache.(e);
-     d.in_cache.(e) <- false;
-     d.cache_count <- d.cache_count - 1
+     (* The eviction re-opens e's references: clamp the missing
+        frontiers back to its next one. *)
+     let q = Next_ref.next_at_or_after d.nr e d.cursor in
+     if q < d.missing_from then d.missing_from <- q;
+     let ed = d.inst.Instance.disk_of.(e) in
+     if q < d.missing_from_disk.(ed) then d.missing_from_disk.(ed) <- q;
+     cache_remove d e
    | None -> ());
   let op =
     Fetch_op.make ~at_cursor:d.cursor
@@ -131,7 +278,9 @@ let start_fetch ?(disk = 0) d ~block ~evict =
   in
   d.ops <- op :: d.ops;
   d.in_flight.(disk) <- Some (block, d.time + d.inst.Instance.fetch_time);
-  d.in_flight_count <- d.in_flight_count + 1
+  d.in_flight_blocks.(block) <- true;
+  d.in_flight_count <- d.in_flight_count + 1;
+  d.fetch_count <- d.fetch_count + 1
 
 (* Process fetch completions due at the current instant.  Must be called
    once per instant, before decisions. *)
@@ -142,20 +291,26 @@ let tick_completions d =
        | Some (b, end_time) when end_time = d.time ->
          d.in_flight.(disk) <- None;
          d.in_flight_count <- d.in_flight_count - 1;
-         d.in_cache.(b) <- true;
-         d.cache_count <- d.cache_count + 1
+         d.in_flight_blocks.(b) <- false;
+         cache_add d b
        | _ -> ())
     d.in_flight
+
+(* One serve step: the cursor's block is resident.  Re-keys the served
+   block so its live heap key stays "next reference at or after the
+   cursor" - its next occurrence is an O(1) [next_same] lookup. *)
+let serve_one d =
+  Evict_heap.add d.heap ~block:(d.inst.Instance.seq.(d.cursor))
+    ~key:(Next_ref.next_after_same d.nr d.cursor);
+  d.cursor <- d.cursor + 1;
+  d.time <- d.time + 1;
+  d.reach.(d.cursor) <- d.time
 
 (* Serve the next request if its block is resident, otherwise record one
    stall unit; advances the clock either way. *)
 let advance d =
   let b = d.inst.Instance.seq.(d.cursor) in
-  if d.in_cache.(b) then begin
-    d.cursor <- d.cursor + 1;
-    d.time <- d.time + 1;
-    d.reach.(d.cursor) <- d.time
-  end
+  if d.in_cache.(b) then serve_one d
   else begin
     if d.in_flight_count = 0 then
       failwith
@@ -166,15 +321,72 @@ let advance d =
 
 let schedule d = List.rev d.ops
 
+(* Earliest in-flight completion, or max_int. *)
+let next_completion d =
+  let ne = ref max_int in
+  Array.iter
+    (function Some (_, end_time) -> if end_time < !ne then ne := end_time | None -> ())
+    d.in_flight;
+  !ne
+
+(* Event skipping: after a decide/advance step, run through instants
+   where the decide callback is provably a no-op, stopping at (never
+   past) the next completion so [tick_completions] fires on time.
+
+   - Serve steps while every disk is busy: the contract makes decide a
+     no-op, so serve in a tight loop.
+   - Stall steps where the previous decide call already saw this exact
+     (cursor, cache, in-flight) state and did nothing ([quiescent]), or
+     where every disk is busy: nothing can change until a completion, so
+     add the whole stall run at once. *)
+let fast_forward d ~quiescent =
+  let quiescent = ref quiescent in
+  let continue = ref true in
+  while !continue && not (finished d) do
+    let ne = next_completion d in
+    if d.time >= ne then continue := false
+    else if d.in_cache.(d.inst.Instance.seq.(d.cursor)) then begin
+      if d.in_flight_count = d.inst.Instance.num_disks then begin
+        serve_one d;
+        quiescent := false
+      end
+      else continue := false
+    end
+    else if d.in_flight_count = 0 then
+      (* Deadlock: return to the main loop, whose [advance] raises the
+         canonical diagnostic after one more (no-op) decide. *)
+      continue := false
+    else if d.in_flight_count = d.inst.Instance.num_disks || !quiescent then begin
+      d.stall <- d.stall + (ne - d.time);
+      d.time <- ne
+    end
+    else continue := false
+  done
+
 (* Run an algorithm defined by a per-instant decision callback.  The
    callback runs after completions and may call [start_fetch]. *)
 let run inst ~decide =
   let d = create inst in
-  while not (finished d) do
-    tick_completions d;
-    decide d;
-    advance d
-  done;
+  (match d.engine with
+   | Reference ->
+     while not (finished d) do
+       tick_completions d;
+       decide d;
+       advance d
+     done
+   | Fast ->
+     while not (finished d) do
+       tick_completions d;
+       let fetches_before = d.fetch_count in
+       decide d;
+       let cursor_before = d.cursor in
+       advance d;
+       (* Quiescent iff decide has already seen exactly this state and
+          made no move: it started no fetch, and the advance step was a
+          stall (a serve moves the cursor decide keyed its decision on). *)
+       fast_forward d
+         ~quiescent:(d.fetch_count = fetches_before && d.cursor = cursor_before)
+     done);
   d
 
 (* ------------------------------------------------------------------ *)

@@ -10,12 +10,39 @@
 
 type t
 
+(** {1 Engines}
+
+    [Fast] (the default) answers every query in O(log k) amortized - a
+    monotone next-missing frontier (global and per disk), a
+    lazy-invalidation max-heap of eviction candidates ({!Evict_heap}),
+    and an event-skipping clock - for O((n + fetches) log k) total per
+    run.  [Reference] is the seed implementation (fresh scans per query,
+    one instant per loop iteration), kept as the oracle the equivalence
+    suite replays every scheduler against: both engines produce
+    byte-identical schedules. *)
+
+type engine = Fast | Reference
+
+val with_engine : engine -> (unit -> 'a) -> 'a
+(** [with_engine e f] runs [f] with drivers created inside it using
+    engine [e] (restored on exit, including on exceptions). *)
+
+val engine : t -> engine
+
 val create : Instance.t -> t
 
 val run : Instance.t -> decide:(t -> unit) -> t
 (** [run inst ~decide] executes the timeline to completion, calling
-    [decide] once per instant after fetch completions are processed; the
-    callback may invoke {!start_fetch}.
+    [decide] after fetch completions whenever the state may have changed;
+    the callback may invoke {!start_fetch}.
+
+    Decide contract (required by the fast engine's event skipping, and
+    satisfied by every in-tree scheduler): the callback must do nothing
+    when every disk is busy, and must depend on the driver only through
+    the cursor, cache, and in-flight state - never on the raw clock - so
+    repeating it against an identical state is a no-op.  The reference
+    engine literally calls [decide] once per instant; the fast engine
+    skips only invocations that contract proves are no-ops.
     @raise Failure if the algorithm deadlocks (stall with empty pipeline). *)
 
 (** {1 State queries (valid inside [decide])} *)
@@ -44,14 +71,20 @@ val block_in_flight : t -> int -> bool
 
 val next_missing : ?from:int -> t -> int option
 (** First position at or after [from] (default: the cursor) whose block is
-    neither cached nor in flight. *)
+    neither cached nor in flight.  Fast engine: amortized O(1) via the
+    monotone frontier when [from <=] the last answer (the only pattern
+    schedulers use); evictions clamp the frontier back. *)
 
 val next_missing_on_disk : t -> disk:int -> from:int -> int option
+(** Per-disk variant with its own monotone frontier. *)
 
 val furthest_cached : t -> from:int -> (int * int) option
 (** The cached block whose next reference measured from [from] is furthest
     in the future (ties broken towards smaller ids), with that reference
-    position ([Instance.length] meaning "never again"). *)
+    position ([Instance.length] meaning "never again").  Fast engine:
+    O(log k) amortized from the eviction-candidate heap, plus an
+    O(from - cursor) re-scoring pass when querying beyond the cursor
+    (Delay's d' window). *)
 
 (** {1 Actions} *)
 

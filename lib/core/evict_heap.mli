@@ -1,0 +1,38 @@
+(** Lazy-invalidation max-heap of eviction candidates.
+
+    One live entry per block, keyed by the position of the block's next
+    reference; [peek] returns the entry with the largest key, ties broken
+    towards the smallest block id - exactly the winner of the seed
+    driver's ascending-id strict-[>] scan in [furthest_cached].
+
+    [remove] and re-keying [add]s invalidate lazily (a per-block stamp
+    bump); superseded entries are discarded when they surface at the top
+    during [peek], and an internal compaction keeps the heap at O(live)
+    entries under re-key-heavy workloads.  All operations are O(log live)
+    amortized. *)
+
+type t
+
+val create : num_blocks:int -> t
+
+val add : t -> block:int -> key:int -> unit
+(** Insert [block] with [key], superseding any previous entry for
+    [block] (re-keying is just another [add]). *)
+
+val remove : t -> block:int -> unit
+(** Drop [block]'s live entry, if any (lazy: the heap node dies later). *)
+
+val peek : t -> (int * int) option
+(** [(block, key)] with the maximum key (ties: smallest block), or
+    [None] if no live entries remain. *)
+
+val mem : t -> int -> bool
+val key_of : t -> int -> int
+(** The block's live key, or [-1] if it has no live entry. *)
+
+val size : t -> int
+(** Number of live entries. *)
+
+val heap_load : t -> int
+(** Physical heap length including not-yet-collected stale entries
+    (exposed for the lazy-invalidation unit tests). *)

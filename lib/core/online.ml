@@ -24,28 +24,24 @@ let schedule (cfg : config) (inst : Instance.t) : Fetch_op.schedule =
   if cfg.lookahead < 1 then invalid_arg "Online.schedule: lookahead must be >= 1";
   let n = Instance.length inst in
   let seq = inst.Instance.seq in
-  let num_blocks = Instance.num_blocks inst in
-  let last_use = Array.make num_blocks (-1) in
-  (* LRU recency for invisible blocks. *)
   let decide d =
-    let c = Driver.cursor d in
-    let horizon = Stdlib.min n (c + cfg.lookahead) in
-    (* Next reference within the visible window, or max_int sentinel. *)
-    let _next_in_window b =
-      let nx = Next_ref.next_at_or_after (Driver.next_ref d) b c in
-      if nx < horizon then nx else max_int
-    in
     if not (Driver.disk_busy d 0) then begin
-      (* Next missing block within the window only. *)
-      let rec scan i =
-        if i >= horizon then None
-        else begin
-          let b = seq.(i) in
-          if Driver.in_cache d b then scan (i + 1) else Some i
-        end
-      in
-      match scan c with
+      let c = Driver.cursor d in
+      let horizon = Stdlib.min n (c + cfg.lookahead) in
+      let nr = Driver.next_ref d in
+      (* LRU recency for invisible blocks: the last request strictly
+         before the cursor, or -1 if none yet - queried on demand rather
+         than accumulated per instant, which also keeps this callback a
+         pure function of the cursor/cache state (the driver's decide
+         contract). *)
+      let last_use b = Next_ref.prev_before nr b c in
+      (* Next missing block, visible-window only.  With the disk idle on
+         a single disk nothing is in flight, so the driver query's
+         in-flight exclusion is vacuous and this matches a plain
+         is-it-cached scan. *)
+      match Driver.next_missing d with
       | None -> ()
+      | Some j when j >= horizon -> ()
       | Some j ->
         let i = c in
         let d' = Stdlib.min cfg.delay (j - i) in
@@ -54,8 +50,8 @@ let schedule (cfg : config) (inst : Instance.t) : Fetch_op.schedule =
            first. *)
         let candidates = Driver.cache_list d in
         let score b =
-          let nx = Next_ref.next_at_or_after (Driver.next_ref d) b (i + d') in
-          if nx < horizon then (0, nx, 0) else (1, - last_use.(b), b)
+          let nx = Next_ref.next_at_or_after nr b (i + d') in
+          if nx < horizon then (0, nx, 0) else (1, - (last_use b), b)
           (* visible blocks score below invisible; among invisible, older
              last use = better victim *)
         in
@@ -78,9 +74,7 @@ let schedule (cfg : config) (inst : Instance.t) : Fetch_op.schedule =
              if vk = 1 || vnx > j then
                (* victim not requested before the miss (as far as we can see) *)
                Driver.start_fetch d ~block:seq.(j) ~evict:(Some victim))
-    end;
-    (* Track recency of the request being served. *)
-    if c < n then last_use.(seq.(c)) <- c
+    end
   in
   Driver.schedule (Driver.run inst ~decide)
 

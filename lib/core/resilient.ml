@@ -339,13 +339,11 @@ let execute ?(record_events = false) ?(extra_slots = 0) ~(faults : Faults.t) (in
   while !cursor < n do
     if !t > horizon then begin
       let b = inst.Instance.seq.(!cursor) in
-      failwith
-        (Printf.sprintf
-           "Resilient.execute: exceeded time horizon %d at r%d (fault plan pathology) \
-            [b=%d cached=%b pending=%b armed=%b following=%b reserved=%d cache=%d inflight=%d \
-            retryq=%d waiting=%d]"
-           horizon (!cursor + 1) b in_cache.(b) (block_pending b) (plan_will_supply b) !following
-           !reserved !cache_count !in_flight_count (List.length !retryq) !waiting_count)
+      Simulate.internal_error ~component:"Resilient.execute"
+        "exceeded time horizon %d at r%d (fault plan pathology) [b=%d cached=%b pending=%b \
+         armed=%b following=%b reserved=%d cache=%d inflight=%d retryq=%d waiting=%d]"
+        horizon (!cursor + 1) b in_cache.(b) (block_pending b) (plan_will_supply b) !following
+        !reserved !cache_count !in_flight_count (List.length !retryq) !waiting_count
     end;
     (* 0. Outage transition events. *)
     List.iter

@@ -19,5 +19,5 @@ let solve ?(node_limit = 2000) (inst : Instance.t) : outcome =
   match o.Ilp.result with
   | Lp_problem.Optimal { objective_value; _ } ->
     { stall = objective_value; nodes = o.Ilp.nodes_explored; proved_optimal = o.Ilp.proved_optimal }
-  | Lp_problem.Infeasible -> failwith "Sync_ilp: infeasible (model bug)"
-  | Lp_problem.Unbounded -> failwith "Sync_ilp: unbounded (model bug)"
+  | Lp_problem.Infeasible -> Simulate.internal_error ~component:"Sync_ilp" "infeasible (model bug)"
+  | Lp_problem.Unbounded -> Simulate.internal_error ~component:"Sync_ilp" "unbounded (model bug)"

@@ -328,7 +328,7 @@ let solve ?(solver = Simplex.solve_exact) (inst : Instance.t) : solve_result =
     let frac = extract bt values in
     { frac; lp_value = objective_value }
   | Lp_problem.Infeasible -> raise Lp_infeasible
-  | Lp_problem.Unbounded -> failwith "Sync_lp: unbounded (model bug)"
+  | Lp_problem.Unbounded -> Simulate.internal_error ~component:"Sync_lp" "unbounded (model bug)"
 
 (* The LP optimum is a lower bound on the best synchronized schedule with
    k + D - 1 cache locations, hence (Lemma 3) on s_OPT(sigma, k). *)

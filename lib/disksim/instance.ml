@@ -76,13 +76,20 @@ let parallel ~k ~fetch_time ~num_disks ~disk_of ~initial_cache seq =
 let warm_initial_cache ~k seq =
   let seen = Hashtbl.create 16 in
   let acc = ref [] in
-  Array.iter
-    (fun b ->
-       if List.length !acc < k && not (Hashtbl.mem seen b) then begin
-         Hashtbl.add seen b ();
-         acc := b :: !acc
-       end)
-    seq;
+  let count = ref 0 in
+  (* A counter, not [List.length !acc]: this runs over million-request
+     scale-tier sequences where the per-element length scan is O(n k). *)
+  (try
+     Array.iter
+       (fun b ->
+          if !count >= k then raise Exit;
+          if not (Hashtbl.mem seen b) then begin
+            Hashtbl.add seen b ();
+            acc := b :: !acc;
+            incr count
+          end)
+       seq
+   with Exit -> ());
   List.rev !acc
 
 let disk_blocks t d =

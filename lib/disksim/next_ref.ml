@@ -50,6 +50,16 @@ let next_at_or_after t b pos =
 (* Smallest position > pos at which block b is requested, or n if none. *)
 let next_strictly_after t b pos = next_at_or_after t b (pos + 1)
 
+(* Largest position < pos at which block b is requested, or -1 if none. *)
+let prev_before t b pos =
+  let ps = t.first_at_or_after.(b) in
+  let lo = ref 0 and hi = ref (Array.length ps) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if ps.(mid) >= pos then hi := mid else lo := mid + 1
+  done;
+  if !lo = 0 then -1 else ps.(!lo - 1)
+
 let is_requested_at_or_after t b pos = next_at_or_after t b pos < t.n
 
 (* Number of requests to block b. *)

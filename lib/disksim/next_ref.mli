@@ -23,6 +23,12 @@ val next_at_or_after : t -> int -> int -> int
 
 val next_strictly_after : t -> int -> int -> int
 
+val prev_before : t -> int -> int -> int
+(** [prev_before t b pos]: largest position [< pos] requesting [b], or
+    [-1] if there is none.  Replaces the O(n) last-occurrence scans in
+    Conservative/Delay eligible-cursor computation and Online's LRU
+    recency with an O(log n) query. *)
+
 val is_requested_at_or_after : t -> int -> int -> bool
 val count : t -> int -> int
 val first_request : t -> int -> int

@@ -754,6 +754,22 @@ let () =
 let reject ~algorithm (e : error) =
   raise (Invalid_schedule { algorithm; at_time = e.at_time; reason = e.reason })
 
+(* Typed channel for "a solver or executor hit a state its own model says
+   is impossible" - distinct from [Invalid_schedule] (a bad schedule) and
+   from user errors.  One exception instead of per-module [failwith]s, so
+   the CLI and Measure can catch internal bugs uniformly without also
+   swallowing every [Failure] in sight. *)
+exception Internal_error of { component : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Internal_error { component; reason } ->
+      Some (Printf.sprintf "%s: internal error: %s" component reason)
+    | _ -> None)
+
+let internal_error ~component fmt =
+  Printf.ksprintf (fun reason -> raise (Internal_error { component; reason })) fmt
+
 (* Convenience wrappers. *)
 
 let stall_time ?extra_slots inst schedule =

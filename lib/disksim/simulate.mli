@@ -96,6 +96,18 @@ val reject : algorithm:string -> error -> 'a
 (** [reject ~algorithm e] raises {!Invalid_schedule} carrying [e]'s
     position and reason. *)
 
+exception Internal_error of { component : string; reason : string }
+(** A solver or executor reached a state its own model rules out - e.g.
+    the synchronized LP reporting "unbounded", or {!Resilient} blowing
+    its time horizon under a pathological fault plan.  Not a bad
+    schedule ({!Invalid_schedule}) and not a user error.  A printer is
+    registered, so an uncaught raise renders as
+    ["%s: internal error: %s"]. *)
+
+val internal_error : component:string -> ('a, unit, string, 'b) format4 -> 'a
+(** [internal_error ~component fmt ...] raises {!Internal_error} with the
+    formatted reason. *)
+
 val stall_time : ?extra_slots:int -> Instance.t -> Fetch_op.schedule -> (int, error) Result.t
 
 val stall_time_exn : ?name:string -> ?extra_slots:int -> Instance.t -> Fetch_op.schedule -> int

@@ -26,6 +26,18 @@ let run_stats (inst : Instance.t) (alg : algorithm) : Simulate.stats =
 let elapsed (inst : Instance.t) (alg : algorithm) : int = (run_stats inst alg).Simulate.elapsed_time
 let stall (inst : Instance.t) (alg : algorithm) : int = (run_stats inst alg).Simulate.stall_time
 
+(* Like [run_stats], but turn the two typed internal-failure channels
+   (a rejected schedule, a solver/executor invariant violation) into a
+   result, so sweeps over many instances can report one bad cell
+   instead of dying. *)
+let run_protected (inst : Instance.t) (alg : algorithm) : (Simulate.stats, string) result =
+  match run_stats inst alg with
+  | s -> Ok s
+  | exception Simulate.Invalid_schedule { algorithm; at_time; reason } ->
+    Error (Printf.sprintf "%s produced an invalid schedule at t=%d: %s" algorithm at_time reason)
+  | exception Simulate.Internal_error { component; reason } ->
+    Error (Printf.sprintf "%s: internal error: %s" component reason)
+
 type ratio_stats = {
   max_ratio : float;
   mean_ratio : float;

@@ -21,6 +21,11 @@ val run_stats : Instance.t -> algorithm -> Simulate.stats
     {!elapsed} and {!stall} separately, which each pay a full run.
     @raise Failure if the algorithm emits an invalid schedule. *)
 
+val run_protected : Instance.t -> algorithm -> (Simulate.stats, string) result
+(** {!run_stats} with the typed failure channels
+    ({!Simulate.Invalid_schedule}, {!Simulate.Internal_error}) caught and
+    rendered, for sweeps that should report a bad cell rather than die. *)
+
 val elapsed : Instance.t -> algorithm -> int
 (** @raise Failure if the algorithm emits an invalid schedule. *)
 

@@ -91,6 +91,26 @@ let interleaved_streams ~n ~num_streams ~blocks_per_stream =
       pos.(s) <- pos.(s) + 1;
       b)
 
+(* Phase-shift locality: the working set slides by half its width every
+   [phase_len] requests, wrapping around the block space.  Within a
+   phase, requests are skewed towards the low end of the window (min of
+   two uniform draws), so there is real reuse for the cache and a steady
+   stream of compulsory misses for the prefetcher - the scale-tier
+   workload whose shifting frontier exercises the driver's monotone
+   next-missing cursor and eviction-heap re-keying. *)
+let phase_shift ~seed ~n ~num_blocks ~phase_len ~working_set =
+  if phase_len < 1 then invalid_arg "Workload.phase_shift: phase_len must be >= 1";
+  if working_set < 1 || working_set > num_blocks then
+    invalid_arg "Workload.phase_shift: working_set must be in [1, num_blocks]";
+  let st = rng seed in
+  let stride = Stdlib.max 1 (working_set / 2) in
+  Array.init n (fun i ->
+      let phase = i / phase_len in
+      let offset = phase * stride mod num_blocks in
+      let a = Random.State.int st working_set in
+      let b = Random.State.int st working_set in
+      (offset + Stdlib.min a b) mod num_blocks)
+
 (* ------------------------------------------------------------------ *)
 (* Theorem 2: the explicit family on which Aggressive's ratio approaches
    min{1 + F/(k + (k-1)/(F-1)), 2}.
@@ -188,3 +208,17 @@ let families =
            let hot = Stdlib.max 1 (num_blocks / 4) in
            scan_with_hot_set ~seed ~n ~scan_blocks:(num_blocks - hot) ~hot_blocks:hot
              ~hot_fraction:0.3) } ]
+
+(* The scale tier (ipc scale, the scale_driver benchmarks): families
+   sized for n = 10^5..10^6 request traces.  A separate list - not
+   appended to [families] - so the fuzz corpus and the sweep pools stay
+   unchanged. *)
+let scale_families =
+  [ { name = "zipf"; generate = (fun ~seed ~n ~num_blocks -> zipf ~seed ~alpha:0.9 ~n ~num_blocks) };
+    { name = "scan"; generate = (fun ~seed:_ ~n ~num_blocks -> sequential_scan ~n ~num_blocks) };
+    { name = "phase_shift";
+      generate =
+        (fun ~seed ~n ~num_blocks ->
+           phase_shift ~seed ~n ~num_blocks
+             ~phase_len:(Stdlib.max 1 (n / 200))
+             ~working_set:(Stdlib.max 4 (num_blocks / 8))) } ]

@@ -35,6 +35,14 @@ val interleaved_streams : n:int -> num_streams:int -> blocks_per_stream:int -> i
     blocks [s*blocks_per_stream ..]; with a partitioned layout each stream
     lives on its own disk. *)
 
+val phase_shift :
+  seed:int -> n:int -> num_blocks:int -> phase_len:int -> working_set:int -> int array
+(** Sliding working set: every [phase_len] requests the [working_set]-wide
+    window shifts by half its width (wrapping), with skew towards the
+    window's low end.  The scale-tier locality pattern.
+    @raise Invalid_argument if [phase_len < 1] or [working_set] is not in
+    [[1, num_blocks]]. *)
+
 (** {1 The Theorem 2 construction} *)
 
 val theorem2_params : k:int -> fetch_time:int -> int
@@ -82,3 +90,8 @@ type family = {
 
 val families : family list
 (** uniform, zipf(0.9), scan, lru_stack(0.5), scan+hot. *)
+
+val scale_families : family list
+(** zipf(0.9), scan, phase_shift - the n = 10^5..10^6 tier driven by
+    [ipc scale] and the [scale_driver_*] benchmarks.  Kept separate from
+    {!families} so the fuzz corpus and sweep pools are unaffected. *)

@@ -1,0 +1,176 @@
+(* Driver-equivalence suite (PR 5).
+
+   The fast driver engine (monotone next-missing frontiers, the
+   lazy-invalidation eviction heap, the event-skipping clock) must be
+   observationally identical to the seed implementation, which lives on
+   as Driver.Reference.  "Identical" here is the strongest available
+   check: byte-identical Fetch_op.schedules - same fetches, same
+   anchors, same delays, same evictions, same order - for every
+   driver-based scheduler across the conformance fuzzer's tiered corpus
+   plus a scale-ish smoke, with stall accounting cross-checked through
+   the executor.
+
+   Also the unit tests for Evict_heap's lazy invalidation. *)
+
+let fail_diff ~descr ~alg (fast : Fetch_op.schedule) (ref_ : Fetch_op.schedule) =
+  let pp sched =
+    String.concat "; "
+      (List.map (fun op -> Format.asprintf "%a" Fetch_op.pp op) sched)
+  in
+  Alcotest.failf "%s: %s schedules diverge@.fast: %s@.ref:  %s" alg descr (pp fast) (pp ref_)
+
+(* Schedulers under test.  Delay at several d (0 = Aggressive's twin,
+   large = Conservative-ish), Online at several lookaheads; the parallel
+   entries only run on multi-disk instances, the single-disk-only ones
+   skip them. *)
+let single_disk_algorithms =
+  [ ("aggressive", Aggressive.schedule);
+    ("conservative", Conservative.schedule);
+    ("delay(0)", Delay.schedule ~d:0);
+    ("delay(1)", Delay.schedule ~d:1);
+    ("delay(3)", Delay.schedule ~d:3);
+    ("combination", Combination.schedule);
+    ("online(1)", Online.schedule (Online.aggressive ~lookahead:1));
+    ("online(4)", Online.schedule (Online.aggressive ~lookahead:4));
+    ("online(8)", Online.schedule (Online.aggressive ~lookahead:8)) ]
+
+let any_disk_algorithms =
+  [ ("fixed-horizon", Fixed_horizon.schedule);
+    ("reverse-aggressive", Reverse_aggressive.schedule) ]
+
+let parallel_algorithms =
+  [ ("aggressive-D", Parallel_greedy.aggressive_schedule);
+    ("conservative-D", Parallel_greedy.conservative_schedule) ]
+
+let algorithms_for (inst : Instance.t) =
+  if inst.Instance.num_disks = 1 then single_disk_algorithms @ any_disk_algorithms
+  else any_disk_algorithms @ parallel_algorithms
+
+let check_instance ~descr inst =
+  List.iter
+    (fun (alg, schedule) ->
+       let fast = schedule inst in
+       let ref_ = Driver.with_engine Driver.Reference (fun () -> schedule inst) in
+       if fast <> ref_ then fail_diff ~descr ~alg fast ref_;
+       (* Replay sanity: the shared schedule must be executor-valid. *)
+       match Simulate.run inst fast with
+       | Ok _ -> ()
+       | Error e -> Alcotest.failf "%s: %s invalid at t=%d: %s" descr alg e.Simulate.at_time e.Simulate.reason)
+    (algorithms_for inst)
+
+(* The ck_gen tiered corpus: deterministic cases cycling Tiny / Single /
+   Parallel, exactly what ipc fuzz feeds its oracles. *)
+let test_corpus_equivalence () =
+  for index = 0 to 89 do
+    let case = Ck_gen.generate ~seed:7 ~index in
+    check_instance
+      ~descr:(Printf.sprintf "case %d (%s)" index case.Ck_gen.descr)
+      case.Ck_gen.inst
+  done
+
+(* Medium-size single-disk instances: large enough for real frontier
+   movement, eviction-heap churn and long stall runs, small enough that
+   the quadratic reference engine stays fast. *)
+let test_medium_equivalence () =
+  List.iter
+    (fun (fam : Workload.family) ->
+       List.iter
+         (fun (k, f) ->
+            let seq = fam.Workload.generate ~seed:5 ~n:2_000 ~num_blocks:64 in
+            let inst = Workload.single_instance ~k ~fetch_time:f seq in
+            check_instance
+              ~descr:(Printf.sprintf "%s n=2000 k=%d F=%d" fam.Workload.name k f)
+              inst)
+         [ (4, 7); (16, 4) ])
+    Workload.scale_families
+
+(* The paper's own lower-bound family: adversarial for Aggressive's
+   eviction choice, so a good frontier-clamping stress. *)
+let test_theorem2_equivalence () =
+  let inst = Workload.theorem2_lower_bound ~k:9 ~fetch_time:3 ~phases:12 in
+  check_instance ~descr:"theorem2 k=9 F=3" inst
+
+(* Driver-level stall accounting must agree between engines too (the
+   schedules being equal makes it so unless the event-skipping clock
+   miscounts bulk stalls). *)
+let test_stall_accounting () =
+  let inst =
+    Workload.single_instance ~k:6 ~fetch_time:9
+      (Workload.sequential_scan ~n:500 ~num_blocks:50)
+  in
+  let fast = Driver.run inst ~decide:Aggressive.decide in
+  let ref_ = Driver.with_engine Driver.Reference (fun () -> Driver.run inst ~decide:Aggressive.decide) in
+  Alcotest.(check int) "stall" (Driver.stall_time ref_) (Driver.stall_time fast);
+  Alcotest.(check int) "elapsed clock" (Driver.time ref_) (Driver.time fast);
+  match Simulate.run inst (Driver.schedule fast) with
+  | Ok s -> Alcotest.(check int) "executor stall" s.Simulate.stall_time (Driver.stall_time fast)
+  | Error e -> Alcotest.failf "invalid: %s" e.Simulate.reason
+
+(* ------------------------------------------------------------------ *)
+(* Evict_heap unit tests. *)
+
+let test_heap_basic () =
+  let h = Evict_heap.create ~num_blocks:8 in
+  Alcotest.(check (option (pair int int))) "empty" None (Evict_heap.peek h);
+  Evict_heap.add h ~block:3 ~key:10;
+  Evict_heap.add h ~block:1 ~key:25;
+  Evict_heap.add h ~block:5 ~key:17;
+  Alcotest.(check (option (pair int int))) "max" (Some (1, 25)) (Evict_heap.peek h);
+  Evict_heap.remove h ~block:1;
+  Alcotest.(check (option (pair int int))) "after remove" (Some (5, 17)) (Evict_heap.peek h);
+  Alcotest.(check int) "live" 2 (Evict_heap.size h);
+  Alcotest.(check bool) "mem" false (Evict_heap.mem h 1);
+  Alcotest.(check int) "key_of" 10 (Evict_heap.key_of h 3)
+
+let test_heap_tie_break () =
+  (* Equal keys resolve towards the smallest block id - the seed scan's
+     tie-break, load-bearing for byte-identical schedules. *)
+  let h = Evict_heap.create ~num_blocks:8 in
+  Evict_heap.add h ~block:6 ~key:9;
+  Evict_heap.add h ~block:2 ~key:9;
+  Evict_heap.add h ~block:4 ~key:9;
+  Alcotest.(check (option (pair int int))) "smallest id wins" (Some (2, 9)) (Evict_heap.peek h)
+
+let test_heap_lazy_invalidation () =
+  let h = Evict_heap.create ~num_blocks:4 in
+  Evict_heap.add h ~block:0 ~key:5;
+  Evict_heap.add h ~block:1 ~key:9;
+  (* Re-keying pushes a fresh entry and leaves the old one in place...  *)
+  Evict_heap.add h ~block:1 ~key:2;
+  Evict_heap.add h ~block:0 ~key:7;
+  Alcotest.(check int) "stale entries accumulate" 4 (Evict_heap.heap_load h);
+  Alcotest.(check int) "but live count tracks blocks" 2 (Evict_heap.size h);
+  (* ... and peek discards the superseded top (0,5)/(1,9) lazily. *)
+  Alcotest.(check (option (pair int int))) "peek sees only live keys" (Some (0, 7)) (Evict_heap.peek h);
+  Alcotest.(check bool) "stale top collected" true (Evict_heap.heap_load h < 4);
+  Evict_heap.remove h ~block:0;
+  Alcotest.(check (option (pair int int))) "removal is lazy too" (Some (1, 2)) (Evict_heap.peek h);
+  Evict_heap.remove h ~block:1;
+  Alcotest.(check (option (pair int int))) "drained" None (Evict_heap.peek h);
+  Alcotest.(check int) "no live entries" 0 (Evict_heap.size h)
+
+let test_heap_compaction () =
+  (* Serve-style churn: re-key one block thousands of times without
+     peeking.  Compaction must keep the physical heap O(live), not O(m). *)
+  let h = Evict_heap.create ~num_blocks:4 in
+  Evict_heap.add h ~block:2 ~key:1_000_000;
+  for i = 0 to 9_999 do
+    Evict_heap.add h ~block:0 ~key:i
+  done;
+  Alcotest.(check bool) "heap stays compact"
+    true (Evict_heap.heap_load h <= 64 * 2);
+  Alcotest.(check (option (pair int int))) "peek correct after churn"
+    (Some (2, 1_000_000)) (Evict_heap.peek h)
+
+let () =
+  Alcotest.run "driver-equiv"
+    [ ("fast-vs-reference",
+       [ Alcotest.test_case "ck_gen corpus, all schedulers" `Quick test_corpus_equivalence;
+         Alcotest.test_case "medium scale families" `Quick test_medium_equivalence;
+         Alcotest.test_case "theorem-2 family" `Quick test_theorem2_equivalence;
+         Alcotest.test_case "stall accounting" `Quick test_stall_accounting ]);
+      ("evict-heap",
+       [ Alcotest.test_case "basic order" `Quick test_heap_basic;
+         Alcotest.test_case "tie-break towards smaller id" `Quick test_heap_tie_break;
+         Alcotest.test_case "lazy invalidation" `Quick test_heap_lazy_invalidation;
+         Alcotest.test_case "compaction bounds the heap" `Quick test_heap_compaction ]) ]
