@@ -97,7 +97,7 @@ let tests =
          (let inst = Lazy.force opt_workload in
           let sched = Conservative.schedule inst in
           fun () -> Peephole.optimize ~max_passes:2 inst sched));
-    (* Ablations (DESIGN.md section 7). *)
+    (* Ablations (DESIGN.md section 7b). *)
     Test.make ~name:"ablation_lp_exact_hybrid"
       (stage (fun () -> Simplex.solve_exact (Lazy.force lp_problem)));
     Test.make ~name:"ablation_lp_float" (stage (fun () -> Simplex.solve_float (Lazy.force lp_problem)));
@@ -185,7 +185,18 @@ let scale_driver_tests =
     Test.make ~name:"scale_driver_conservative_n100000"
       (stage (fun () -> Conservative.schedule (Lazy.force w5)));
     Test.make ~name:"scale_driver_online_n100000"
-      (stage (fun () -> Online.schedule (Online.aggressive ~lookahead:32) (Lazy.force w5))) ]
+      (stage (fun () -> Online.schedule (Online.aggressive ~lookahead:32) (Lazy.force w5)));
+    (* Telemetry-enabled twin of scale_driver_aggressive_n100000: CI
+       compares the pair and asserts the counters + streaming-histogram
+       overhead stays under 10% (the zero-cost-when-disabled contract,
+       measured rather than assumed).  The provenance event log stays
+       off: it is opt-in (--events) and not part of the guard. *)
+    Test.make ~name:"scale_driver_aggressive_n100000_telemetry"
+      (stage (fun () ->
+           Telemetry.set_enabled true;
+           Fun.protect
+             ~finally:(fun () -> Telemetry.set_enabled false)
+             (fun () -> Aggressive.schedule (Lazy.force w5)))) ]
 
 let run_benchmarks ~micro ~scale () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in

@@ -19,9 +19,18 @@
                  differential oracles, with shrunk counterexamples
      opt         solve one instance exactly with the branch-and-bound
                  engine and print the optimum (and --stats: node counts)
+     scale       smoke-report the driver hot paths at 10^5..10^6 requests
+     explain     run one workload with the provenance event log on and
+                 print the decision events (filtered by --at T / --block B)
+     report      render a metrics JSONL dump (and optional event log) as
+                 a self-contained HTML report
+     bench-diff  compare two bench snapshots and gate on per-benchmark
+                 slowdown ratios
 
    Every subcommand also accepts --metrics[=PATH]: enable the telemetry
-   registry for the run and dump it as JSONL when the command finishes. *)
+   registry for the run and dump it as JSONL when the command finishes.
+   simulate/profile/scale additionally accept --events[=PATH]: enable
+   the decision-provenance event log and dump it as JSONL. *)
 
 open Cmdliner
 
@@ -45,8 +54,37 @@ let with_metrics metrics f =
            Metrics_export.write_file path (Telemetry.snapshot ());
            Printf.eprintf "metrics: wrote %s\n%!" path
          with Sys_error msg ->
-           (* A failed dump should not mask the command's own result. *)
+           (* A failed dump should not mask the command's own result:
+              record a structured note (any later report or event dump
+              will carry it) as well as telling the user. *)
+           Event_log.note ~component:"metrics" "failed to write %s: %s" path msg;
            Printf.eprintf "metrics: %s\n%!" msg))
+
+(* --events[=PATH], the decision-provenance log (simulate/profile/scale). *)
+let events_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "events.jsonl") (some string) None
+    & info [ "events" ] ~docv:"PATH"
+        ~doc:
+          "Enable the decision-provenance event log and, when the command finishes, dump the \
+           retained events as JSON-lines to $(docv) (default $(b,events.jsonl)).")
+
+let with_events events f =
+  (match events with
+   | Some _ ->
+     Event_log.set_enabled true;
+     Event_log.clear ()
+   | None -> ());
+  Fun.protect f ~finally:(fun () ->
+      match events with
+      | None -> ()
+      | Some path ->
+        (try
+           Event_log.write_file path (Event_log.contents ());
+           Printf.eprintf "events: wrote %s (%d recorded, %d lost to the ring bound)\n%!" path
+             (Event_log.recorded ()) (Event_log.dropped ())
+         with Sys_error msg -> Printf.eprintf "events: %s\n%!" msg))
 
 let workload_conv =
   let parse s =
@@ -94,8 +132,9 @@ let simulate_cmd =
   let file_arg =
     Arg.(value & opt (some string) None & info [ "file" ] ~doc:"Load the instance from a trace file instead of generating it.")
   in
-  let run metrics wname seed n blocks k f alg trace gantt file =
+  let run metrics events wname seed n blocks k f alg trace gantt file =
     with_metrics metrics @@ fun () ->
+    with_events events @@ fun () ->
     let inst =
       match file with
       | Some path -> Trace_io.load_instance path
@@ -110,21 +149,26 @@ let simulate_cmd =
       if gantt then Gantt.print inst schedule
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run one algorithm on a generated workload.")
-    Term.(const run $ metrics_arg $ workload_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg $ f_arg $ alg_arg $ trace_arg $ gantt_arg $ file_arg)
+    Term.(const run $ metrics_arg $ events_arg $ workload_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg $ f_arg $ alg_arg $ trace_arg $ gantt_arg $ file_arg)
 
 (* profile: one run, exported as a Chrome trace-event timeline. *)
 let profile_cmd =
   let out_arg =
     Arg.(value & opt string "trace.json" & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Trace output file.")
   in
-  let run metrics wname seed n blocks k f alg out =
+  let run metrics events wname seed n blocks k f alg out =
     with_metrics metrics @@ fun () ->
+    with_events events @@ fun () ->
     let inst = mk_instance wname ~seed ~n ~blocks ~k ~f in
     let schedule = schedule_of alg inst in
     match Simulate.run ~record_events:true ~attribution:true inst schedule with
     | Error e -> Printf.printf "invalid schedule at t=%d: %s\n" e.Simulate.at_time e.Simulate.reason
     | Ok stats ->
-      Sim_trace.write_file out inst stats;
+      (* With --events the trace gains a "decisions" lane: scheduler
+         decisions (from the driver) and executor stalls on the same
+         simulated clock as the disk lanes. *)
+      let provenance = if events <> None then Some (Event_log.contents ()) else None in
+      Sim_trace.write_file ?provenance out inst stats;
       Format.printf "%a@.%a@." Instance.pp inst Simulate.pp_stats stats;
       let invol = List.fold_left (fun a fs -> a + fs.Simulate.involuntary_stall) 0 stats.Simulate.stall_by_fetch in
       let vol = List.fold_left (fun a fs -> a + fs.Simulate.voluntary_stall) 0 stats.Simulate.stall_by_fetch in
@@ -135,7 +179,7 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Run one algorithm and write a Chrome trace-event (Perfetto) timeline of the simulation.")
-    Term.(const run $ metrics_arg $ workload_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg $ f_arg $ alg_arg $ out_arg)
+    Term.(const run $ metrics_arg $ events_arg $ workload_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg $ f_arg $ alg_arg $ out_arg)
 
 (* compare *)
 let compare_cmd =
@@ -526,8 +570,9 @@ let scale_cmd =
   let check_arg =
     Arg.(value & flag & info [ "check" ] ~doc:"Replay every schedule through the executor and report its stall time (fails on any invalid schedule).")
   in
-  let run metrics seed k f full check =
+  let run metrics events seed k f full check =
     with_metrics metrics @@ fun () ->
+    with_events events @@ fun () ->
     let sizes = if full then [ 100_000; 1_000_000 ] else [ 100_000 ] in
     let d0 = Bounds.delay_opt_d ~f in
     let algorithms =
@@ -555,6 +600,13 @@ let scale_cmd =
                    let dt = Sys.time () -. t0 in
                    if name = "aggressive" then
                      Hashtbl.replace aggressive_times (fam.Workload.name, n) dt;
+                   (* Per-(family, n, scheduler) wall clock, the data the
+                      report's scheduler section renders. *)
+                   if Telemetry.enabled () then
+                     Telemetry.set
+                       (Telemetry.gauge
+                          (Printf.sprintf "scale.seconds.%s.n%d.%s" fam.Workload.name n name))
+                       dt;
                    let replay =
                      if not check then ""
                      else
@@ -593,10 +645,172 @@ let scale_cmd =
     (Cmd.info "scale"
        ~doc:"Smoke-report the driver hot paths on 10^5..10^6-request traces (Zipf, scan, phase-shift).")
     Term.(
-      const run $ metrics_arg $ seed_arg
+      const run $ metrics_arg $ events_arg $ seed_arg
       $ Arg.(value & opt int 64 & info [ "k"; "cache" ] ~doc:"Cache size k.")
       $ Arg.(value & opt int 8 & info [ "f"; "fetch-time" ] ~doc:"Fetch time F.")
       $ full_arg $ check_arg)
+
+(* explain: run one workload with the provenance log on and print the
+   decision events, optionally filtered to one instant or one block.
+   Driver-based schedulers emit during scheduling; for algorithms that
+   bypass the driver (opt) the schedule is replayed through the executor
+   with the log enabled, so there is always something to show. *)
+let explain_cmd =
+  let at_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "at" ] ~docv:"T"
+          ~doc:"Only events touching simulated instant $(docv) (instants match exactly, \
+                stall/skip intervals when they contain $(docv)).")
+  in
+  let block_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "block" ] ~docv:"B" ~doc:"Only events mentioning block $(docv).")
+  in
+  let limit_arg =
+    Arg.(value & opt int 200 & info [ "limit" ] ~docv:"N" ~doc:"Print at most $(docv) events.")
+  in
+  let run wname seed n blocks k f alg at block limit =
+    Event_log.set_enabled true;
+    Event_log.clear ();
+    let inst = mk_instance wname ~seed ~n ~blocks ~k ~f in
+    let schedule = schedule_of alg inst in
+    if Event_log.recorded () = 0 then (
+      match Simulate.run inst schedule with
+      | Ok _ -> ()
+      | Error e ->
+        Printf.printf "invalid schedule at t=%d: %s\n" e.Simulate.at_time e.Simulate.reason);
+    let span = function
+      | Event_log.Stall_interval { from_time; until_time; _ }
+      | Event_log.Clock_skip { from_time; until_time; _ } -> (from_time, until_time)
+      | Event_log.Fetch_issue { time; _ }
+      | Event_log.Fetch_complete { time; _ }
+      | Event_log.Evict { time; _ }
+      | Event_log.Frontier_clamp { time; _ }
+      | Event_log.Note { time; _ } -> (time, time + 1)
+    in
+    let blocks_of = function
+      | Event_log.Fetch_issue { block; evict; _ } ->
+        block :: (match evict with Some e -> [ e ] | None -> [])
+      | Event_log.Fetch_complete { block; _ }
+      | Event_log.Stall_interval { block; _ }
+      | Event_log.Frontier_clamp { block; _ } -> [ block ]
+      | Event_log.Evict { block; runner_up; _ } ->
+        block :: (match runner_up with Some (b, _) -> [ b ] | None -> [])
+      | Event_log.Clock_skip _ | Event_log.Note _ -> []
+    in
+    let selected =
+      List.filter
+        (fun ev ->
+           (match at with
+            | None -> true
+            | Some t ->
+              let t0, t1 = span ev in
+              t0 <= t && t < t1)
+           &&
+           match block with None -> true | Some b -> List.mem b (blocks_of ev))
+        (Event_log.contents ())
+    in
+    Format.printf "%a@." Instance.pp inst;
+    Printf.printf "%d event(s) match (%d recorded)\n" (List.length selected)
+      (Event_log.recorded ());
+    List.iteri
+      (fun i ev -> if i < limit then Format.printf "%a@." Event_log.pp ev)
+      selected;
+    if List.length selected > limit then
+      Printf.printf "... %d more (raise --limit or narrow --at/--block)\n"
+        (List.length selected - limit)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Run one workload with the decision-provenance log enabled and print why the \
+             scheduler stalled, evicted and fetched (filter with --at / --block).")
+    Term.(
+      const run $ workload_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg $ f_arg $ alg_arg
+      $ at_arg $ block_arg $ limit_arg)
+
+(* report: metrics JSONL (+ optional event JSONL) -> one HTML file. *)
+let report_cmd =
+  let metrics_in_arg =
+    Arg.(
+      value & pos 0 string "metrics.jsonl"
+      & info [] ~docv:"METRICS" ~doc:"Metrics JSONL dump (written by --metrics).")
+  in
+  let events_in_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "events" ] ~docv:"PATH" ~doc:"Provenance-event JSONL dump (written by --events).")
+  in
+  let out_arg =
+    Arg.(value & opt string "report.html" & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output file.")
+  in
+  let title_arg =
+    Arg.(value & opt string "ipc telemetry report" & info [ "title" ] ~doc:"Report title.")
+  in
+  let run metrics_in events_in out title =
+    let read path = In_channel.with_open_bin path In_channel.input_all in
+    let metrics = read metrics_in in
+    let events = Option.map read events_in in
+    Report.write_file ~title ~metrics ?events out;
+    Printf.printf "wrote %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render a metrics JSONL dump (and optional event log) as a self-contained HTML \
+             report: metric tables, histogram sparklines, stall timeline, per-scheduler \
+             wall-clock tables.")
+    Term.(const run $ metrics_in_arg $ events_in_arg $ out_arg $ title_arg)
+
+(* bench-diff: the regression gate over two bench snapshots. *)
+let bench_diff_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc:"Baseline snapshot.")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"Candidate snapshot.")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float Bench_diff.default_config.Bench_diff.threshold
+      & info [ "threshold" ] ~docv:"R" ~doc:"Flag benchmarks whose new/old ratio exceeds $(docv).")
+  in
+  let hard_arg =
+    Arg.(
+      value & opt float Bench_diff.default_config.Bench_diff.hard
+      & info [ "hard" ] ~docv:"R"
+          ~doc:"Fail outright on any ratio over $(docv), regardless of --allow.")
+  in
+  let allow_arg =
+    Arg.(
+      value & opt int Bench_diff.default_config.Bench_diff.allow
+      & info [ "allow" ] ~docv:"N"
+          ~doc:"Tolerate up to $(docv) flagged benchmarks (micro-benchmark noise quota).")
+  in
+  let normalize_arg =
+    Arg.(
+      value & flag
+      & info [ "normalize" ]
+          ~doc:"Divide every ratio by the median ratio first, so a baseline from a different \
+                machine gates only relative regressions.")
+  in
+  let run old_path new_path threshold hard allow normalize =
+    let config = { Bench_diff.threshold; hard; allow; normalize } in
+    match (Bench_diff.parse_file old_path, Bench_diff.parse_file new_path) with
+    | Error e, _ | _, Error e ->
+      Printf.eprintf "ipc: bench-diff: %s\n" e;
+      exit 1
+    | Ok old_, Ok new_ ->
+      let outcome = Bench_diff.compare_snapshots ~config ~old_ ~new_ () in
+      Format.printf "%a@?" (Bench_diff.pp_outcome ~config) outcome;
+      if outcome.Bench_diff.failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:"Compare two bench snapshots (bench/main.ml --json) and fail on per-benchmark \
+             slowdowns - the CI bench-regression gate.")
+    Term.(
+      const run $ old_arg $ new_arg $ threshold_arg $ hard_arg $ allow_arg $ normalize_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -607,7 +821,8 @@ let () =
            (Cmd.info "ipc" ~version:"1.0"
               ~doc:"Integrated prefetching and caching in single and parallel disk systems")
            [ simulate_cmd; compare_cmd; sweep_cmd; lower_cmd; delay_cmd; parallel_cmd; lp_cmd;
-             experiments_cmd; profile_cmd; faults_cmd; fuzz_cmd; opt_cmd; scale_cmd ])
+             experiments_cmd; profile_cmd; faults_cmd; fuzz_cmd; opt_cmd; scale_cmd;
+             explain_cmd; report_cmd; bench_diff_cmd ])
     with
     | Sys_error msg | Failure msg ->
       Printf.eprintf "ipc: %s\n" msg;

@@ -79,6 +79,20 @@ type t = {
   missing_from_disk : int array;  (* same, per disk *)
   resident : int array;  (* dense resident-block set, for O(k) cache_list *)
   resident_pos : int array;  (* block -> index in [resident], or -1 *)
+  (* Observability: cheap local aggregates flushed to telemetry counters
+     once per run (plain int increments, never a registry lookup on the
+     hot path), plus stall-interval tracking for the stall histogram and
+     the provenance event log. *)
+  mutable frontier_advances : int;
+  mutable frontier_clamps : int;
+  mutable clock_skips : int;
+  mutable clock_units_skipped : int;
+  mutable stall_from : int;  (* start of the open stall interval, or -1 *)
+  track_stalls : bool;  (* interval tracking wanted (metrics or events on) *)
+  stall_hist : Telemetry.histogram option;
+      (* handle cached at creation: interval closes must not pay a
+         registry (string-hash) lookup each, there can be one per stall
+         run *)
 }
 
 (* Cache membership changes flow through these two helpers so the heap
@@ -124,7 +138,15 @@ let create (inst : Instance.t) : t =
       missing_from = 0;
       missing_from_disk = Array.make inst.Instance.num_disks 0;
       resident = Array.make (Stdlib.max 1 num_blocks) 0;
-      resident_pos = Array.make num_blocks (-1) }
+      resident_pos = Array.make num_blocks (-1);
+      frontier_advances = 0;
+      frontier_clamps = 0;
+      clock_skips = 0;
+      clock_units_skipped = 0;
+      stall_from = -1;
+      track_stalls = Telemetry.enabled () || Event_log.enabled ();
+      stall_hist =
+        (if Telemetry.enabled () then Some (Telemetry.histogram "driver.stall_interval") else None) }
   in
   List.iter (fun b -> cache_add d b) inst.Instance.initial_cache;
   d
@@ -178,7 +200,9 @@ let next_missing ?from d =
       let start = Stdlib.max d.missing_from d.cursor in
       if from <= start then begin
         let r = scan start in
-        d.missing_from <- (match r with Some p -> p | None -> d.n);
+        let nf = match r with Some p -> p | None -> d.n in
+        if nf > d.missing_from then d.frontier_advances <- d.frontier_advances + 1;
+        d.missing_from <- nf;
         r
       end
       else scan from
@@ -199,7 +223,9 @@ let next_missing_on_disk d ~disk ~from =
       let start = Stdlib.max d.missing_from_disk.(disk) d.cursor in
       if from <= start then begin
         let r = scan start in
-        d.missing_from_disk.(disk) <- (match r with Some p -> p | None -> d.n);
+        let nf = match r with Some p -> p | None -> d.n in
+        if nf > d.missing_from_disk.(disk) then d.frontier_advances <- d.frontier_advances + 1;
+        d.missing_from_disk.(disk) <- nf;
         r
       end
       else scan from
@@ -266,10 +292,26 @@ let start_fetch ?(disk = 0) d ~block ~evict =
      (* The eviction re-opens e's references: clamp the missing
         frontiers back to its next one. *)
      let q = Next_ref.next_at_or_after d.nr e d.cursor in
-     if q < d.missing_from then d.missing_from <- q;
+     if q < d.missing_from then begin
+       d.frontier_clamps <- d.frontier_clamps + 1;
+       if Event_log.enabled () then
+         Event_log.record
+           (Event_log.Frontier_clamp
+              { time = d.time; cursor = d.cursor; from_pos = d.missing_from; to_pos = q;
+                block = e });
+       d.missing_from <- q
+     end;
      let ed = d.inst.Instance.disk_of.(e) in
      if q < d.missing_from_disk.(ed) then d.missing_from_disk.(ed) <- q;
-     cache_remove d e
+     cache_remove d e;
+     if Event_log.enabled () then
+       (* The runner-up is whatever now tops the heap: the candidate the
+          evicted block beat.  [peek]'s lazy-invalidation cleanup is
+          semantically transparent, so querying it here is safe. *)
+       Event_log.record
+         (Event_log.Evict
+            { time = d.time; cursor = d.cursor; block = e; next_ref = q;
+              runner_up = Evict_heap.peek d.heap })
    | None -> ());
   let op =
     Fetch_op.make ~at_cursor:d.cursor
@@ -280,7 +322,10 @@ let start_fetch ?(disk = 0) d ~block ~evict =
   d.in_flight.(disk) <- Some (block, d.time + d.inst.Instance.fetch_time);
   d.in_flight_blocks.(block) <- true;
   d.in_flight_count <- d.in_flight_count + 1;
-  d.fetch_count <- d.fetch_count + 1
+  d.fetch_count <- d.fetch_count + 1;
+  if Event_log.enabled () then
+    Event_log.record
+      (Event_log.Fetch_issue { time = d.time; cursor = d.cursor; block; disk; evict })
 
 (* Process fetch completions due at the current instant.  Must be called
    once per instant, before decisions. *)
@@ -292,14 +337,32 @@ let tick_completions d =
          d.in_flight.(disk) <- None;
          d.in_flight_count <- d.in_flight_count - 1;
          d.in_flight_blocks.(b) <- false;
-         cache_add d b
+         cache_add d b;
+         if Event_log.enabled () then
+           Event_log.record (Event_log.Fetch_complete { time = d.time; block = b; disk })
        | _ -> ())
     d.in_flight
+
+(* The serve that ends a stall interval attributes it to the block the
+   executor was waiting on (the cursor's block) and reports it to the
+   stall histogram and the provenance log.  Cold path: only reached when
+   interval tracking is on and an interval is open. *)
+let close_stall d =
+  let b = d.inst.Instance.seq.(d.cursor) in
+  (match d.stall_hist with
+   | Some h -> Telemetry.observe_int h (d.time - d.stall_from)
+   | None -> ());
+  if Event_log.enabled () then
+    Event_log.record
+      (Event_log.Stall_interval
+         { from_time = d.stall_from; until_time = d.time; cursor = d.cursor; block = b });
+  d.stall_from <- -1
 
 (* One serve step: the cursor's block is resident.  Re-keys the served
    block so its live heap key stays "next reference at or after the
    cursor" - its next occurrence is an O(1) [next_same] lookup. *)
 let serve_one d =
+  if d.stall_from >= 0 then close_stall d;
   Evict_heap.add d.heap ~block:(d.inst.Instance.seq.(d.cursor))
     ~key:(Next_ref.next_after_same d.nr d.cursor);
   d.cursor <- d.cursor + 1;
@@ -313,8 +376,9 @@ let advance d =
   if d.in_cache.(b) then serve_one d
   else begin
     if d.in_flight_count = 0 then
-      failwith
-        (Printf.sprintf "driver: stall with empty pipeline at r%d (algorithm bug)" (d.cursor + 1));
+      Simulate.internal_error ~component:"driver"
+        "stall with empty pipeline at r%d (algorithm bug)" (d.cursor + 1);
+    if d.track_stalls && d.stall_from < 0 then d.stall_from <- d.time;
     d.stall <- d.stall + 1;
     d.time <- d.time + 1
   end
@@ -357,11 +421,37 @@ let fast_forward d ~quiescent =
          canonical diagnostic after one more (no-op) decide. *)
       continue := false
     else if d.in_flight_count = d.inst.Instance.num_disks || !quiescent then begin
+      d.clock_skips <- d.clock_skips + 1;
+      d.clock_units_skipped <- d.clock_units_skipped + (ne - d.time);
+      if d.track_stalls && d.stall_from < 0 then d.stall_from <- d.time;
+      if Event_log.enabled () then
+        Event_log.record
+          (Event_log.Clock_skip { from_time = d.time; until_time = ne; cursor = d.cursor });
       d.stall <- d.stall + (ne - d.time);
       d.time <- ne
     end
     else continue := false
   done
+
+(* One registry flush per run: the hot loops above only touch plain int
+   fields; this is where they become counters.  Totals accumulate across
+   runs (sweeps sum naturally); per-run values are recoverable from the
+   run counter. *)
+let flush_stats d =
+  if Telemetry.enabled () then begin
+    let c name v = Telemetry.add (Telemetry.counter name) v in
+    c "driver.runs" 1;
+    c "driver.fetches" d.fetch_count;
+    c "driver.stall_units" d.stall;
+    c "driver.frontier_advances" d.frontier_advances;
+    c "driver.frontier_clamps" d.frontier_clamps;
+    c "driver.clock_skips" d.clock_skips;
+    c "driver.clock_units_skipped" d.clock_units_skipped;
+    c "driver.heap_pushes" (Evict_heap.pushes d.heap);
+    c "driver.heap_stale_pops" (Evict_heap.stale_pops d.heap);
+    c "driver.heap_compactions" (Evict_heap.compactions d.heap);
+    Telemetry.observe_int (Telemetry.histogram "driver.heap_load") (Evict_heap.heap_load d.heap)
+  end
 
 (* Run an algorithm defined by a per-instant decision callback.  The
    callback runs after completions and may call [start_fetch]. *)
@@ -387,6 +477,7 @@ let run inst ~decide =
        fast_forward d
          ~quiescent:(d.fetch_count = fetches_before && d.cursor = cursor_before)
      done);
+  flush_stats d;
   d
 
 (* ------------------------------------------------------------------ *)

@@ -21,6 +21,11 @@ type t = {
   stamp : int array;         (* block -> current stamp; entries with an older stamp are stale *)
   key_of : int array;        (* block -> its live key, or -1 if not in the heap *)
   mutable live : int;        (* number of blocks with a live entry *)
+  (* Lifetime stats, unconditionally maintained (plain int increments);
+     the driver flushes them into telemetry counters once per run. *)
+  mutable pushes : int;
+  mutable stale_pops : int;
+  mutable compactions : int;
 }
 
 let create ~num_blocks =
@@ -30,7 +35,10 @@ let create ~num_blocks =
     len = 0;
     stamp = Array.make (Stdlib.max 1 num_blocks) 0;
     key_of = Array.make (Stdlib.max 1 num_blocks) (-1);
-    live = 0 }
+    live = 0;
+    pushes = 0;
+    stale_pops = 0;
+    compactions = 0 }
 
 let size t = t.live
 let heap_load t = t.len
@@ -74,6 +82,7 @@ let grow t =
   t.stp <- resize t.stp
 
 let push t ~key ~block ~stamp =
+  t.pushes <- t.pushes + 1;
   if t.len = Array.length t.key then grow t;
   let i = t.len in
   t.key.(i) <- key; t.blk.(i) <- block; t.stp.(i) <- stamp;
@@ -85,6 +94,7 @@ let is_stale t i = t.stamp.(t.blk.(i)) <> t.stp.(i)
 (* Drop superseded entries in place and re-heapify; keeps the heap at
    O(live) entries when pushes (per-serve re-keys) outnumber peeks. *)
 let compact t =
+  t.compactions <- t.compactions + 1;
   let w = ref 0 in
   for r = 0 to t.len - 1 do
     if not (is_stale t r) then begin
@@ -125,7 +135,12 @@ let pop_top t =
 let rec peek t =
   if t.len = 0 then None
   else if is_stale t 0 then begin
+    t.stale_pops <- t.stale_pops + 1;
     pop_top t;
     peek t
   end
   else Some (t.blk.(0), t.key.(0))
+
+let pushes t = t.pushes
+let stale_pops t = t.stale_pops
+let compactions t = t.compactions

@@ -36,3 +36,17 @@ val size : t -> int
 val heap_load : t -> int
 (** Physical heap length including not-yet-collected stale entries
     (exposed for the lazy-invalidation unit tests). *)
+
+(** {1 Lifetime stats}
+
+    Unconditionally maintained (a plain int increment each); the driver
+    flushes them into telemetry counters once per run. *)
+
+val pushes : t -> int
+(** Heap pushes, counting both fresh inserts and re-keying [add]s. *)
+
+val stale_pops : t -> int
+(** Superseded entries discarded when they surfaced during [peek]. *)
+
+val compactions : t -> int
+(** In-place compactions triggered by the stale-entry bound. *)

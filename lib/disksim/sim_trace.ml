@@ -114,8 +114,8 @@ let fault_lane ~tid (report : Faults.report) : Trace_event.t list =
   :: Trace_event.thread_sort_index ~tid tid
   :: convert report.Faults.events
 
-let events ?(faults : Faults.report option) (inst : Instance.t) (stats : Simulate.stats) :
-  Trace_event.t list =
+let events ?(faults : Faults.report option) ?(provenance : Event_log.event list option)
+    (inst : Instance.t) (stats : Simulate.stats) : Trace_event.t list =
   let meta =
     Trace_event.process_name "ipc simulation"
     :: Trace_event.thread_name ~tid:0 "cpu"
@@ -169,12 +169,22 @@ let events ?(faults : Faults.report option) (inst : Instance.t) (stats : Simulat
            ())
       stats.Simulate.occupancy
   in
-  meta @ serves @ stalls_and_fetches @ occupancy @ faults
+  (* The decision-provenance lane sits past the fault lane so the two
+     never collide; when [provenance] is absent the output is unchanged
+     byte for byte (a golden-tested property). *)
+  let provenance =
+    match provenance with
+    | Some (_ :: _ as evs) -> Event_log.trace_lane ~tid:(inst.Instance.num_disks + 2) evs
+    | Some [] | None -> []
+  in
+  meta @ serves @ stalls_and_fetches @ occupancy @ faults @ provenance
 
-let to_string ?faults inst stats = Trace_event.to_string (events ?faults inst stats)
+let to_string ?faults ?provenance inst stats =
+  Trace_event.to_string (events ?faults ?provenance inst stats)
 
-let write ?faults oc inst stats = Trace_event.write oc (events ?faults inst stats)
+let write ?faults ?provenance oc inst stats =
+  Trace_event.write oc (events ?faults ?provenance inst stats)
 
-let write_file ?faults path inst stats =
+let write_file ?faults ?provenance path inst stats =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write ?faults oc inst stats)
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write ?faults ?provenance oc inst stats)

@@ -10,12 +10,26 @@
     Passing [?faults] (a report from {!Simulate.run_faulty} or the
     Resilient executor) adds a "faults" lane at tid [num_disks + 1]:
     outage windows as duration events, every other injected fault
-    (slow/fail/retry/abandon/interrupt/replan) as an instant. *)
+    (slow/fail/retry/abandon/interrupt/replan) as an instant.
 
-val events : ?faults:Faults.report -> Instance.t -> Simulate.stats -> Trace_event.t list
+    Passing [?provenance] (decision events captured by {!Event_log})
+    adds a "decisions" lane at tid [num_disks + 2]: stall intervals and
+    clock skips as duration events, issues/completions/evictions/clamps
+    as instants.  Omitting it (or passing []) leaves the output
+    byte-identical to the pre-provenance format. *)
 
-val to_string : ?faults:Faults.report -> Instance.t -> Simulate.stats -> string
+val events :
+  ?faults:Faults.report -> ?provenance:Event_log.event list -> Instance.t -> Simulate.stats ->
+  Trace_event.t list
 
-val write : ?faults:Faults.report -> out_channel -> Instance.t -> Simulate.stats -> unit
+val to_string :
+  ?faults:Faults.report -> ?provenance:Event_log.event list -> Instance.t -> Simulate.stats ->
+  string
 
-val write_file : ?faults:Faults.report -> string -> Instance.t -> Simulate.stats -> unit
+val write :
+  ?faults:Faults.report -> ?provenance:Event_log.event list -> out_channel -> Instance.t ->
+  Simulate.stats -> unit
+
+val write_file :
+  ?faults:Faults.report -> ?provenance:Event_log.event list -> string -> Instance.t ->
+  Simulate.stats -> unit

@@ -272,6 +272,34 @@ let exec ~extra_slots ~record_events ~attribution ~(faults : Faults.t) (inst : I
       let peak = ref !cache_count in
       let cursor = ref 0 in
       let t = ref 0 in
+      (* Provenance events (opt-in, {!Event_log}): executor-side fetch
+         issue/complete plus stall intervals aggregated from unit stalls
+         and attributed to the block the cursor is waiting on. *)
+      let prov_stall_from = ref (-1) in
+      let prov_issue (f : Fetch_op.t) =
+        if Event_log.enabled () then
+          Event_log.record
+            (Event_log.Fetch_issue
+               { time = !t; cursor = !cursor; block = f.Fetch_op.block; disk = f.Fetch_op.disk;
+                 evict = f.Fetch_op.evict })
+      in
+      let prov_complete ~disk (f : Fetch_op.t) =
+        if Event_log.enabled () then
+          Event_log.record
+            (Event_log.Fetch_complete { time = !t; block = f.Fetch_op.block; disk })
+      in
+      let prov_serve b =
+        (* [prov_stall_from] is only ever set while the log is enabled. *)
+        if !prov_stall_from >= 0 then begin
+          Event_log.record
+            (Event_log.Stall_interval
+               { from_time = !prov_stall_from; until_time = !t; cursor = !cursor; block = b });
+          prov_stall_from := -1
+        end
+      in
+      let prov_stall () =
+        if Event_log.enabled () && !prov_stall_from < 0 then prov_stall_from := !t
+      in
       arm 0 0;
       sample_occ 0;
       (* Upper bound on total time: every fetch costs at most F (+delays);
@@ -347,6 +375,7 @@ let exec ~extra_slots ~record_events ~attribution ~(faults : Faults.t) (inst : I
               disk_busy.(f.disk) <- disk_busy.(f.disk) + d.Faults.duration;
               incr started;
               push (Fetch_start { time = !t; fetch = f });
+              prov_issue f;
               true
             end
           end
@@ -386,6 +415,7 @@ let exec ~extra_slots ~record_events ~attribution ~(faults : Faults.t) (inst : I
           block_in_flight.(f.block) <- true;
           disk_busy.(f.disk) <- disk_busy.(f.disk) + d.Faults.duration;
           push (Fetch_start { time = !t; fetch = f });
+          prov_issue f;
           true
         end
       in
@@ -435,7 +465,8 @@ let exec ~extra_slots ~record_events ~attribution ~(faults : Faults.t) (inst : I
                 incr cache_count
               end;
               incr completed;
-              push (Fetch_complete { time = !t; fetch = f })
+              push (Fetch_complete { time = !t; fetch = f });
+              prov_complete ~disk:d f
             end
           | _ -> ()
         done;
@@ -496,6 +527,7 @@ let exec ~extra_slots ~record_events ~attribution ~(faults : Faults.t) (inst : I
               disk_busy.(f.disk) <- disk_busy.(f.disk) + fetch_time;
               incr started;
               push (Fetch_start { time = !t; fetch = f });
+              prov_issue f;
               start_due ()
             | (start_time, _) :: _ when start_time < !t -> assert false
             | _ -> ()
@@ -556,6 +588,7 @@ let exec ~extra_slots ~record_events ~attribution ~(faults : Faults.t) (inst : I
         (* 3. Serve or stall during [t, t+1). *)
         let b = inst.Instance.seq.(!cursor) in
         if in_cache.(b) then begin
+          prov_serve b;
           push (Serve { time = !t; index = !cursor; block = b });
           incr cursor;
           incr t;
@@ -647,6 +680,7 @@ let exec ~extra_slots ~record_events ~attribution ~(faults : Faults.t) (inst : I
                  | None, [] -> assert false (* rejected above *))
             end
           end;
+          prov_stall ();
           push (Stall { time = !t });
           incr stall;
           incr t

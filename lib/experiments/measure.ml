@@ -29,14 +29,20 @@ let stall (inst : Instance.t) (alg : algorithm) : int = (run_stats inst alg).Sim
 (* Like [run_stats], but turn the two typed internal-failure channels
    (a rejected schedule, a solver/executor invariant violation) into a
    result, so sweeps over many instances can report one bad cell
-   instead of dying. *)
+   instead of dying.  Each failure is also recorded as a structured
+   note in the provenance log (when enabled), so an event dump or `ipc
+   report` still carries it even if the table cell scrolls by. *)
 let run_protected (inst : Instance.t) (alg : algorithm) : (Simulate.stats, string) result =
+  let fail msg =
+    Event_log.note ~component:"measure" "%s (n=%d)" msg (Instance.length inst);
+    Error msg
+  in
   match run_stats inst alg with
   | s -> Ok s
   | exception Simulate.Invalid_schedule { algorithm; at_time; reason } ->
-    Error (Printf.sprintf "%s produced an invalid schedule at t=%d: %s" algorithm at_time reason)
+    fail (Printf.sprintf "%s produced an invalid schedule at t=%d: %s" algorithm at_time reason)
   | exception Simulate.Internal_error { component; reason } ->
-    Error (Printf.sprintf "%s: internal error: %s" component reason)
+    fail (Printf.sprintf "%s: internal error: %s" component reason)
 
 type ratio_stats = {
   max_ratio : float;

@@ -1,0 +1,157 @@
+(* Bench-snapshot comparison: the regression gate behind `ipc
+   bench-diff`.
+
+   Inputs are two "ipc-bench/1" snapshots (bench/main.ml --json).  Each
+   benchmark present in both contributes a ratio new/old of ns_per_call;
+   the gate fails when too many ratios exceed the threshold.
+
+   Raw ratios only compare like with like when both snapshots come from
+   the same machine.  CI compares against a committed baseline measured
+   elsewhere, so [normalize] divides every ratio by the median ratio
+   first: a uniformly faster or slower machine moves every benchmark by
+   the same factor and the median absorbs it, leaving only *relative*
+   regressions - a benchmark that got slower than its peers.
+
+   [allow] tolerates that many above-threshold benchmarks (micro-bench
+   noise: one flaky timing shouldn't turn CI red), but nothing escapes
+   the [hard] ceiling. *)
+
+type config = {
+  threshold : float;  (* per-benchmark ratio above which a benchmark is flagged *)
+  hard : float;  (* ratio no benchmark may exceed, noisy-pass quota or not *)
+  allow : int;  (* flagged benchmarks tolerated before the gate fails *)
+  normalize : bool;  (* divide ratios by the median ratio (cross-machine mode) *)
+}
+
+let default_config = { threshold = 1.5; hard = 3.0; allow = 0; normalize = false }
+
+type entry = {
+  name : string;
+  old_ns : float;
+  new_ns : float;
+  ratio : float;  (* new/old, after normalization when enabled *)
+  flagged : bool;  (* ratio > threshold *)
+  over_hard : bool;  (* ratio > hard *)
+}
+
+type outcome = {
+  entries : entry list;  (* snapshot order of the new file *)
+  only_old : string list;  (* benchmarks that disappeared *)
+  only_new : string list;  (* benchmarks with no baseline *)
+  median_ratio : float;  (* 1.0 when not normalizing or no common benchmarks *)
+  violations : int;  (* flagged count *)
+  failed : bool;  (* violations > allow, or any ratio over hard *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot parsing. *)
+
+let schema = "ipc-bench/1"
+
+let parse_snapshot (s : string) : ((string * float) list, string) Result.t =
+  match Tjson.of_string s with
+  | Error e -> Error (Printf.sprintf "invalid JSON: %s" e)
+  | Ok json ->
+    (match Tjson.member "schema" json with
+     | Some (Tjson.String v) when v = schema -> (
+         match Tjson.member "benchmarks" json with
+         | Some (Tjson.List bs) ->
+           let parse_one b =
+             match (Tjson.member "name" b, Tjson.member "ns_per_call" b) with
+             | Some (Tjson.String name), Some (Tjson.Float ns) -> Ok (name, ns)
+             | Some (Tjson.String name), Some (Tjson.Int ns) -> Ok (name, float_of_int ns)
+             | _ -> Error "benchmark entry missing name/ns_per_call"
+           in
+           List.fold_left
+             (fun acc b ->
+                match (acc, parse_one b) with
+                | Error _, _ -> acc
+                | Ok xs, Ok x -> Ok (x :: xs)
+                | Ok _, Error e -> Error e)
+             (Ok []) bs
+           |> Result.map List.rev
+         | _ -> Error "missing \"benchmarks\" list")
+     | Some (Tjson.String v) -> Error (Printf.sprintf "unsupported schema %S (want %S)" v schema)
+     | _ -> Error (Printf.sprintf "missing \"schema\" field (want %S)" schema))
+
+let parse_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> (
+      match parse_snapshot s with
+      | Ok v -> Ok v
+      | Error e -> Error (Printf.sprintf "%s: %s" path e))
+  | exception Sys_error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+
+let median xs =
+  match xs with
+  | [] -> 1.0
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let compare_snapshots ?(config = default_config) ~(old_ : (string * float) list)
+    ~(new_ : (string * float) list) () : outcome =
+  let old_tbl = Hashtbl.create 16 in
+  List.iter (fun (name, ns) -> Hashtbl.replace old_tbl name ns) old_;
+  let common =
+    List.filter_map
+      (fun (name, new_ns) ->
+         match Hashtbl.find_opt old_tbl name with
+         | Some old_ns when old_ns > 0.0 -> Some (name, old_ns, new_ns)
+         | Some _ | None -> None)
+      new_
+  in
+  let median_ratio =
+    if config.normalize then median (List.map (fun (_, o, n) -> n /. o) common) else 1.0
+  in
+  let median_ratio = if median_ratio > 0.0 then median_ratio else 1.0 in
+  let entries =
+    List.map
+      (fun (name, old_ns, new_ns) ->
+         let ratio = new_ns /. old_ns /. median_ratio in
+         { name; old_ns; new_ns; ratio;
+           flagged = ratio > config.threshold;
+           over_hard = ratio > config.hard })
+      common
+  in
+  let new_names = List.map fst new_ in
+  let only_old =
+    List.filter_map
+      (fun (name, _) -> if List.mem_assoc name new_ then None else Some name)
+      old_
+  in
+  let only_new =
+    List.filter (fun name -> not (Hashtbl.mem old_tbl name)) new_names
+  in
+  let violations = List.length (List.filter (fun e -> e.flagged) entries) in
+  let failed = violations > config.allow || List.exists (fun e -> e.over_hard) entries in
+  { entries; only_old; only_new; median_ratio; violations; failed }
+
+(* ------------------------------------------------------------------ *)
+
+let pp_outcome ?(config = default_config) fmt (o : outcome) =
+  let ms ns = ns /. 1e6 in
+  Format.fprintf fmt "%-52s %12s %12s %8s@." "benchmark" "old (ms)" "new (ms)" "ratio";
+  List.iter
+    (fun e ->
+       Format.fprintf fmt "%-52s %12.3f %12.3f %7.2fx%s@." e.name (ms e.old_ns) (ms e.new_ns)
+         e.ratio
+         (if e.over_hard then "  HARD-FAIL" else if e.flagged then "  SLOW" else ""))
+    o.entries;
+  if config.normalize then
+    Format.fprintf fmt "(ratios normalized by median machine-speed ratio %.3f)@." o.median_ratio;
+  List.iter (fun n -> Format.fprintf fmt "only in old snapshot: %s@." n) o.only_old;
+  List.iter (fun n -> Format.fprintf fmt "only in new snapshot: %s@." n) o.only_new;
+  if o.failed then
+    Format.fprintf fmt "FAIL: %d benchmark(s) over %.2fx (allowed %d)%s@." o.violations
+      config.threshold config.allow
+      (if List.exists (fun e -> e.over_hard) o.entries then
+         Printf.sprintf ", or over the %.2fx hard ceiling" config.hard
+       else "")
+  else
+    Format.fprintf fmt "OK: %d/%d benchmark(s) over %.2fx (allowed %d)@." o.violations
+      (List.length o.entries) config.threshold config.allow

@@ -1,0 +1,52 @@
+(** Bench-snapshot comparison - the regression gate behind
+    [ipc bench-diff].
+
+    Compares two "ipc-bench/1" snapshots (from [bench/main.ml --json])
+    benchmark by benchmark on [ns_per_call] ratios.  With [normalize]
+    every ratio is divided by the median ratio first, so a committed
+    baseline from a different machine gates only *relative* regressions
+    (a benchmark that slowed down more than its peers), not absolute
+    machine speed. *)
+
+type config = {
+  threshold : float;  (** per-benchmark ratio above which a benchmark is flagged *)
+  hard : float;  (** ratio no benchmark may exceed, noisy-pass quota or not *)
+  allow : int;  (** flagged benchmarks tolerated before the gate fails *)
+  normalize : bool;  (** divide ratios by the median ratio (cross-machine mode) *)
+}
+
+val default_config : config
+(** threshold 1.5, hard 3.0, allow 0, normalize false. *)
+
+type entry = {
+  name : string;
+  old_ns : float;
+  new_ns : float;
+  ratio : float;  (** new/old, after normalization when enabled *)
+  flagged : bool;
+  over_hard : bool;
+}
+
+type outcome = {
+  entries : entry list;
+  only_old : string list;  (** benchmarks that disappeared *)
+  only_new : string list;  (** benchmarks with no baseline *)
+  median_ratio : float;  (** 1.0 when not normalizing or nothing in common *)
+  violations : int;
+  failed : bool;  (** [violations > allow], or any entry over [hard] *)
+}
+
+val schema : string
+(** The accepted snapshot schema tag, "ipc-bench/1". *)
+
+val parse_snapshot : string -> ((string * float) list, string) Result.t
+(** [(name, ns_per_call)] pairs from a snapshot's JSON text. *)
+
+val parse_file : string -> ((string * float) list, string) Result.t
+
+val compare_snapshots :
+  ?config:config -> old_:(string * float) list -> new_:(string * float) list -> unit -> outcome
+
+val pp_outcome : ?config:config -> Format.formatter -> outcome -> unit
+(** Human-readable table plus a final OK/FAIL line; pass the same
+    [config] used for the comparison so the summary text matches. *)

@@ -1,0 +1,241 @@
+(* Decision-provenance event log: a bounded, optionally-sampled ring
+   buffer of typed scheduler/executor events.
+
+   The metrics registry answers "how much" (counters, histograms); this
+   log answers "why" - why did this stall happen, why was this block
+   evicted, what did the fast engine's clock skip.  Producers
+   (lib/core's Driver, lib/disksim's Simulate) emit plain-int events at
+   decision points; consumers export them as JSONL, render them as a
+   "decisions" lane in the Chrome trace, or query them from
+   `ipc explain`.
+
+   Design constraints, mirroring the registry:
+   - Zero cost when disabled: one flag read per emission site.
+   - Bounded memory: a fixed-capacity ring keeps the newest events and
+     counts what it dropped, so million-request runs cannot blow memory
+     no matter how chatty the producers are.
+   - Deterministic: events carry only simulated-time ints (never wall
+     clock), and sampling is a deterministic counter thinning, so the
+     JSONL from a fixed seed is byte-identical across runs - a tested
+     invariant.
+   - Enabled independently of the metrics registry (`--events` vs
+     `--metrics`): counters are cheap enough for every metered run,
+     per-event records are opt-in. *)
+
+type event =
+  | Fetch_issue of { time : int; cursor : int; block : int; disk : int; evict : int option }
+  | Fetch_complete of { time : int; block : int; disk : int }
+  | Evict of {
+      time : int;
+      cursor : int;
+      block : int;
+      next_ref : int;  (* the victim's next reference at eviction time *)
+      runner_up : (int * int) option;  (* best surviving candidate (block, next_ref) *)
+    }
+  | Stall_interval of { from_time : int; until_time : int; cursor : int; block : int }
+    (* [from_time, until_time) stalled waiting for [block] at request [cursor]. *)
+  | Frontier_clamp of { time : int; cursor : int; from_pos : int; to_pos : int; block : int }
+    (* An eviction re-opened [block]'s references: the next-missing
+       frontier fell from [from_pos] to [to_pos]. *)
+  | Clock_skip of { from_time : int; until_time : int; cursor : int }
+    (* The event-skipping clock jumped a uniform stall run at once. *)
+  | Note of { time : int; component : string; message : string }
+    (* Structured diagnostic (e.g. an export failure, a protected-run
+       error) so reports never lose a failure to stderr. *)
+
+(* ------------------------------------------------------------------ *)
+(* Global ring. *)
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let default_capacity = 65_536
+
+let dummy = Note { time = 0; component = ""; message = "" }
+
+type ring = {
+  mutable buf : event array;
+  mutable kept : int;  (* total events written into the ring *)
+  mutable seen : int;  (* total events offered (before sampling) *)
+  mutable every : int;  (* keep one event in [every]; 1 = keep all *)
+}
+
+let ring = { buf = Array.make default_capacity dummy; kept = 0; seen = 0; every = 1 }
+
+let capacity () = Array.length ring.buf
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Event_log.set_capacity: capacity must be >= 1";
+  ring.buf <- Array.make n dummy;
+  ring.kept <- 0;
+  ring.seen <- 0
+
+let set_sample_every n =
+  if n < 1 then invalid_arg "Event_log.set_sample_every: must be >= 1";
+  ring.every <- n
+
+let clear () =
+  Array.fill ring.buf 0 (Array.length ring.buf) dummy;
+  ring.kept <- 0;
+  ring.seen <- 0
+
+let record ev =
+  if !enabled_flag then begin
+    ring.seen <- ring.seen + 1;
+    if ring.every = 1 || (ring.seen - 1) mod ring.every = 0 then begin
+      ring.buf.(ring.kept mod Array.length ring.buf) <- ev;
+      ring.kept <- ring.kept + 1
+    end
+  end
+
+let note ?(time = 0) ~component fmt =
+  Printf.ksprintf (fun message -> record (Note { time; component; message })) fmt
+
+let seen () = ring.seen
+let recorded () = ring.kept
+let dropped () = Stdlib.max 0 (ring.kept - Array.length ring.buf)
+
+(* Retained events, oldest first. *)
+let contents () =
+  let cap = Array.length ring.buf in
+  let n = Stdlib.min ring.kept cap in
+  let start = ring.kept - n in
+  List.init n (fun i -> ring.buf.((start + i) mod cap))
+
+(* ------------------------------------------------------------------ *)
+(* JSONL export: one event per line, in ring order; fields in a fixed
+   order per event type, so output is deterministic byte-for-byte. *)
+
+let json_of_event ev : Tjson.t =
+  let opt_int = function None -> Tjson.Null | Some b -> Tjson.Int b in
+  match ev with
+  | Fetch_issue { time; cursor; block; disk; evict } ->
+    Tjson.Obj
+      [ ("event", Tjson.String "fetch_issue"); ("time", Tjson.Int time);
+        ("cursor", Tjson.Int cursor); ("block", Tjson.Int block); ("disk", Tjson.Int disk);
+        ("evict", opt_int evict) ]
+  | Fetch_complete { time; block; disk } ->
+    Tjson.Obj
+      [ ("event", Tjson.String "fetch_complete"); ("time", Tjson.Int time);
+        ("block", Tjson.Int block); ("disk", Tjson.Int disk) ]
+  | Evict { time; cursor; block; next_ref; runner_up } ->
+    Tjson.Obj
+      ([ ("event", Tjson.String "evict"); ("time", Tjson.Int time);
+         ("cursor", Tjson.Int cursor); ("block", Tjson.Int block);
+         ("next_ref", Tjson.Int next_ref) ]
+       @
+       match runner_up with
+       | None -> [ ("runner_up", Tjson.Null) ]
+       | Some (b, nx) -> [ ("runner_up", Tjson.Int b); ("runner_up_next_ref", Tjson.Int nx) ])
+  | Stall_interval { from_time; until_time; cursor; block } ->
+    Tjson.Obj
+      [ ("event", Tjson.String "stall_interval"); ("from", Tjson.Int from_time);
+        ("until", Tjson.Int until_time); ("cursor", Tjson.Int cursor);
+        ("block", Tjson.Int block) ]
+  | Frontier_clamp { time; cursor; from_pos; to_pos; block } ->
+    Tjson.Obj
+      [ ("event", Tjson.String "frontier_clamp"); ("time", Tjson.Int time);
+        ("cursor", Tjson.Int cursor); ("from_pos", Tjson.Int from_pos);
+        ("to_pos", Tjson.Int to_pos); ("block", Tjson.Int block) ]
+  | Clock_skip { from_time; until_time; cursor } ->
+    Tjson.Obj
+      [ ("event", Tjson.String "clock_skip"); ("from", Tjson.Int from_time);
+        ("until", Tjson.Int until_time); ("cursor", Tjson.Int cursor) ]
+  | Note { time; component; message } ->
+    Tjson.Obj
+      [ ("event", Tjson.String "note"); ("time", Tjson.Int time);
+        ("component", Tjson.String component); ("message", Tjson.String message) ]
+
+let to_jsonl events =
+  String.concat "" (List.map (fun ev -> Tjson.to_string (json_of_event ev) ^ "\n") events)
+
+let write_file path events =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_jsonl events))
+
+(* ------------------------------------------------------------------ *)
+(* Human-readable rendering (ipc explain). *)
+
+let pp fmt = function
+  | Fetch_issue { time; cursor; block; disk; evict } ->
+    Format.fprintf fmt "t=%-5d issue fetch of b%d on disk %d at r%d%s" time block disk (cursor + 1)
+      (match evict with None -> "" | Some e -> Printf.sprintf " evicting b%d" e)
+  | Fetch_complete { time; block; disk } ->
+    Format.fprintf fmt "t=%-5d fetch of b%d completes on disk %d" time block disk
+  | Evict { time; cursor; block; next_ref; runner_up } ->
+    (* next_ref positions use the producer's "never again" sentinel (one
+       past the sequence), printed as-is. *)
+    Format.fprintf fmt "t=%-5d evict b%d at r%d (next ref pos %d)%s" time block (cursor + 1)
+      next_ref
+      (match runner_up with
+       | None -> ""
+       | Some (b, nx) -> Printf.sprintf ", beat b%d (next ref pos %d)" b nx)
+  | Stall_interval { from_time; until_time; cursor; block } ->
+    Format.fprintf fmt "t=%-5d stall [%d,%d) waiting for b%d at r%d (%d units)" from_time
+      from_time until_time block (cursor + 1) (until_time - from_time)
+  | Frontier_clamp { time; cursor; from_pos; to_pos; block } ->
+    Format.fprintf fmt "t=%-5d frontier clamp %d -> %d (b%d re-opened) at r%d" time from_pos
+      to_pos block (cursor + 1)
+  | Clock_skip { from_time; until_time; cursor } ->
+    Format.fprintf fmt "t=%-5d clock skips [%d,%d) at r%d (%d units)" from_time from_time
+      until_time (cursor + 1) (until_time - from_time)
+  | Note { time; component; message } ->
+    Format.fprintf fmt "t=%-5d note [%s] %s" time component message
+
+(* ------------------------------------------------------------------ *)
+(* Chrome-trace lane: stall intervals and clock skips as duration
+   events, everything else as instants, on one dedicated thread. *)
+
+let trace_lane ~tid events : Tjson.t list =
+  let us = Trace_event.us_per_unit in
+  let convert = function
+    | Stall_interval { from_time; until_time; cursor; block } ->
+      Some
+        (Trace_event.duration ~cat:"provenance"
+           ~name:(Printf.sprintf "stall on b%d" block)
+           ~args:[ ("block", Tjson.Int block); ("request", Tjson.Int (cursor + 1)) ]
+           ~ts:(from_time * us)
+           ~dur:((until_time - from_time) * us)
+           ~tid ())
+    | Clock_skip { from_time; until_time; cursor } ->
+      Some
+        (Trace_event.duration ~cat:"provenance" ~name:"clock skip"
+           ~args:[ ("request", Tjson.Int (cursor + 1)) ]
+           ~ts:(from_time * us)
+           ~dur:((until_time - from_time) * us)
+           ~tid ())
+    | Fetch_issue { time; block; cursor; _ } ->
+      Some
+        (Trace_event.instant ~cat:"provenance"
+           ~name:(Printf.sprintf "issue b%d" block)
+           ~args:[ ("request", Tjson.Int (cursor + 1)) ]
+           ~ts:(time * us) ~tid ())
+    | Fetch_complete { time; block; _ } ->
+      Some
+        (Trace_event.instant ~cat:"provenance"
+           ~name:(Printf.sprintf "complete b%d" block)
+           ~ts:(time * us) ~tid ())
+    | Evict { time; block; runner_up; _ } ->
+      Some
+        (Trace_event.instant ~cat:"provenance"
+           ~name:(Printf.sprintf "evict b%d" block)
+           ~args:
+             (match runner_up with
+              | None -> []
+              | Some (b, _) -> [ ("beat", Tjson.Int b) ])
+           ~ts:(time * us) ~tid ())
+    | Frontier_clamp { time; from_pos; to_pos; _ } ->
+      Some
+        (Trace_event.instant ~cat:"provenance" ~name:"frontier clamp"
+           ~args:[ ("from", Tjson.Int from_pos); ("to", Tjson.Int to_pos) ]
+           ~ts:(time * us) ~tid ())
+    | Note { time; component; message } ->
+      Some
+        (Trace_event.instant ~cat:"provenance" ~name:"note"
+           ~args:[ ("component", Tjson.String component); ("message", Tjson.String message) ]
+           ~ts:(time * us) ~tid ())
+  in
+  Trace_event.thread_name ~tid "decisions"
+  :: Trace_event.thread_sort_index ~tid tid
+  :: List.filter_map convert events

@@ -1,0 +1,102 @@
+(** Decision-provenance event log: a bounded, optionally-sampled ring
+    buffer of typed scheduler/executor events.
+
+    Where the metrics registry ({!Telemetry}) answers "how much", this
+    log answers "why": why a stall happened (which block the executor
+    was waiting on), why a block was evicted (and which candidate it
+    beat), where the fast engine clamped its next-missing frontier or
+    bulk-skipped its clock.  Producers emit plain-int events at
+    decision points; consumers export JSONL, add a "decisions" lane to
+    the Chrome trace, or answer [ipc explain] queries.
+
+    Process-global and single-threaded, like the registry, with its own
+    enabled flag (events are opt-in even when metrics are on).  Memory
+    is bounded by {!set_capacity}: the ring keeps the newest events and
+    counts what it overwrote.  Events carry only simulated-time ints,
+    so exports from a fixed seed are byte-identical across runs. *)
+
+type event =
+  | Fetch_issue of { time : int; cursor : int; block : int; disk : int; evict : int option }
+      (** A fetch of [block] started on [disk] while serving request
+          [cursor] (0-based), evicting [evict] if the cache was full. *)
+  | Fetch_complete of { time : int; block : int; disk : int }
+  | Evict of {
+      time : int;
+      cursor : int;
+      block : int;
+      next_ref : int;
+          (** the victim's next reference position, using the producer's
+              "never again" sentinel (one past the sequence) *)
+      runner_up : (int * int) option;
+          (** best surviving candidate as (block, next_ref): the block
+              the victim beat for eviction, when one exists *)
+    }
+  | Stall_interval of { from_time : int; until_time : int; cursor : int; block : int }
+      (** The executor stalled over [[from_time, until_time)) waiting
+          for [block] to arrive before serving request [cursor]. *)
+  | Frontier_clamp of { time : int; cursor : int; from_pos : int; to_pos : int; block : int }
+      (** An eviction re-opened references to [block]: the fast
+          engine's next-missing frontier fell from [from_pos] to
+          [to_pos]. *)
+  | Clock_skip of { from_time : int; until_time : int; cursor : int }
+      (** The event-skipping clock jumped a uniform stall run in one
+          step instead of ticking through it. *)
+  | Note of { time : int; component : string; message : string }
+      (** Structured diagnostic (export failure, protected-run error)
+          so reports never lose a failure to stderr. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val default_capacity : int
+(** 65536 events. *)
+
+val capacity : unit -> int
+
+val set_capacity : int -> unit
+(** Re-allocate the ring with the given capacity and clear it.
+    @raise Invalid_argument on capacities < 1. *)
+
+val set_sample_every : int -> unit
+(** Keep one event in [n] (deterministic counter thinning, not random);
+    [1] (the default) keeps everything.
+    @raise Invalid_argument on [n] < 1. *)
+
+val clear : unit -> unit
+(** Drop all retained events and reset the seen/recorded counts. *)
+
+val record : event -> unit
+(** No-op when disabled; otherwise offer the event to the ring (it may
+    be thinned by sampling or later overwritten by wraparound). *)
+
+val note : ?time:int -> component:string -> ('a, unit, string, unit) format4 -> 'a
+(** [note ~component fmt ...] records a {!Note} event (printf-style). *)
+
+val seen : unit -> int
+(** Events offered to {!record} while enabled, before sampling. *)
+
+val recorded : unit -> int
+(** Events actually written into the ring (after sampling, before
+    wraparound). *)
+
+val dropped : unit -> int
+(** Recorded events lost to ring wraparound ([recorded () - capacity ()]
+    when positive). *)
+
+val contents : unit -> event list
+(** Retained events, oldest first. *)
+
+val json_of_event : event -> Tjson.t
+
+val to_jsonl : event list -> string
+(** One JSON object per line, deterministic field order. *)
+
+val write_file : string -> event list -> unit
+
+val pp : Format.formatter -> event -> unit
+(** One-line human rendering (the [ipc explain] format). *)
+
+val trace_lane : tid:int -> event list -> Tjson.t list
+(** Chrome-trace events for a dedicated "decisions" thread lane:
+    stalls and clock skips as duration events, the rest as instants,
+    preceded by thread metadata for [tid]. *)

@@ -12,6 +12,16 @@ let json_of_metric (name, value) : Tjson.t =
     Tjson.Obj
       [ ("metric", Tjson.String name); ("type", Tjson.String "gauge"); ("value", Tjson.Float v) ]
   | Telemetry.Histogram s ->
+    (* The bucket list (representative value, count) rides along so
+       downstream consumers (ipc report sparklines) see the
+       distribution, not just the summary; it is bounded by the fixed
+       bucket count of {!Streaming_hist}, never by the observations. *)
+    let buckets =
+      Tjson.List
+        (List.map
+           (fun (v, c) -> Tjson.List [ Tjson.Float v; Tjson.Int c ])
+           (Telemetry.buckets name))
+    in
     Tjson.Obj
       [ ("metric", Tjson.String name);
         ("type", Tjson.String "histogram");
@@ -21,7 +31,8 @@ let json_of_metric (name, value) : Tjson.t =
         ("min", Tjson.Float s.Stats.minimum);
         ("median", Tjson.Float s.Stats.median);
         ("p90", Tjson.Float s.Stats.p90);
-        ("max", Tjson.Float s.Stats.maximum) ]
+        ("max", Tjson.Float s.Stats.maximum);
+        ("buckets", buckets) ]
 
 let to_jsonl snapshot =
   String.concat "" (List.map (fun m -> Tjson.to_string (json_of_metric m) ^ "\n") snapshot)

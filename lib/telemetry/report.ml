@@ -1,0 +1,449 @@
+(* Self-contained HTML report over a metrics JSONL dump and an optional
+   provenance-event JSONL dump (`ipc report`).
+
+   Everything is inlined - styles and SVG - so the file can be archived
+   as a CI artifact and opened anywhere with no external fetches.  The
+   output is deterministic: it embeds no wall-clock timestamps, no
+   absolute paths and no hostnames (a golden-tested property), only what
+   the input files contain.
+
+   Sections: metric tables (counters, gauges, histograms with bucket
+   sparklines), a stall timeline built from Stall_interval events, a
+   per-scheduler wall-clock section built from the scale.seconds.*
+   gauges that `ipc scale --metrics` publishes, diagnostics from Note
+   events, and an event-type census. *)
+
+(* ------------------------------------------------------------------ *)
+(* Input parsing.  Malformed lines are collected, not fatal: a report
+   over a partially-written dump should render what it can and say what
+   it skipped. *)
+
+type histogram = {
+  h_count : int;
+  h_mean : float;
+  h_min : float;
+  h_median : float;
+  h_p90 : float;
+  h_max : float;
+  h_buckets : (float * int) list;
+}
+
+type metric =
+  | Counter of string * int
+  | Gauge of string * float
+  | Histogram of string * histogram
+
+let num = function
+  | Tjson.Int i -> Some (float_of_int i)
+  | Tjson.Float f -> Some f
+  | _ -> None
+
+let parse_metric_line line : (metric, string) Result.t =
+  match Tjson.of_string line with
+  | Error e -> Error e
+  | Ok json -> (
+      let str k = match Tjson.member k json with Some (Tjson.String s) -> Some s | _ -> None in
+      let fnum k = Option.bind (Tjson.member k json) num in
+      match (str "metric", str "type") with
+      | Some name, Some "counter" -> (
+          match Tjson.member "value" json with
+          | Some (Tjson.Int v) -> Ok (Counter (name, v))
+          | _ -> Error "counter without integer value")
+      | Some name, Some "gauge" -> (
+          match fnum "value" with
+          | Some v -> Ok (Gauge (name, v))
+          | None -> Error "gauge without numeric value")
+      | Some name, Some "histogram" -> (
+          match
+            (Tjson.member "count" json, fnum "mean", fnum "min", fnum "median", fnum "p90",
+             fnum "max")
+          with
+          | Some (Tjson.Int c), Some mean, Some mn, Some md, Some p90, Some mx ->
+            let buckets =
+              match Tjson.member "buckets" json with
+              | Some (Tjson.List bs) ->
+                List.filter_map
+                  (function
+                    | Tjson.List [ v; Tjson.Int c ] -> Option.map (fun v -> (v, c)) (num v)
+                    | _ -> None)
+                  bs
+              | _ -> []
+            in
+            Ok
+              (Histogram
+                 ( name,
+                   { h_count = c; h_mean = mean; h_min = mn; h_median = md; h_p90 = p90;
+                     h_max = mx; h_buckets = buckets } ))
+          | _ -> Error "histogram missing summary fields")
+      | _ -> Error "line is not a metric object")
+
+type event = {
+  e_kind : string;
+  e_json : Tjson.t;
+}
+
+let parse_event_line line : (event, string) Result.t =
+  match Tjson.of_string line with
+  | Error e -> Error e
+  | Ok json -> (
+      match Tjson.member "event" json with
+      | Some (Tjson.String kind) -> Ok { e_kind = kind; e_json = json }
+      | _ -> Error "line is not an event object")
+
+let parse_lines parse text =
+  let ok = ref [] and bad = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if String.trim line <> "" then
+           match parse line with Ok v -> ok := v :: !ok | Error _ -> incr bad);
+  (List.rev !ok, !bad)
+
+(* ------------------------------------------------------------------ *)
+(* HTML helpers. *)
+
+let escape_html s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       match c with
+       | '&' -> Buffer.add_string buf "&amp;"
+       | '<' -> Buffer.add_string buf "&lt;"
+       | '>' -> Buffer.add_string buf "&gt;"
+       | '"' -> Buffer.add_string buf "&quot;"
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+let fmt_int n =
+  (* Thousands separators for readability: 1234567 -> 1,234,567. *)
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+       if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+       Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Sparklines: tiny inline bar charts over histogram buckets. *)
+
+let spark_width = 160
+let spark_height = 28
+let spark_max_bars = 64
+
+(* Group consecutive buckets so at most [spark_max_bars] bars remain. *)
+let downsample buckets =
+  let n = List.length buckets in
+  if n <= spark_max_bars then buckets
+  else begin
+    let group = (n + spark_max_bars - 1) / spark_max_bars in
+    let arr = Array.of_list buckets in
+    List.init
+      ((n + group - 1) / group)
+      (fun g ->
+         let lo = g * group in
+         let hi = Stdlib.min (lo + group) n - 1 in
+         let total = ref 0 in
+         for i = lo to hi do
+           total := !total + snd arr.(i)
+         done;
+         (fst arr.(lo), !total))
+  end
+
+let sparkline buckets =
+  (* Trim zero-count tails so the drawn span is the occupied one. *)
+  let rec drop_zeros = function (_, 0) :: rest -> drop_zeros rest | l -> l in
+  let buckets = drop_zeros (List.rev (drop_zeros (List.rev buckets))) in
+  match buckets with
+  | [] -> "<span class=\"dim\">(empty)</span>"
+  | _ ->
+    let buckets = downsample buckets in
+    let n = List.length buckets in
+    let maxc = List.fold_left (fun a (_, c) -> Stdlib.max a c) 1 buckets in
+    let bar_w = float_of_int spark_width /. float_of_int n in
+    let bars =
+      List.mapi
+        (fun i (v, c) ->
+           let h =
+             if c = 0 then 0.0
+             else
+               Stdlib.max 1.0
+                 (float_of_int spark_height *. float_of_int c /. float_of_int maxc)
+           in
+           Printf.sprintf
+             "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\"><title>&ge;%s: %s</title></rect>"
+             (float_of_int i *. bar_w)
+             (float_of_int spark_height -. h)
+             (Stdlib.max 0.5 (bar_w -. 0.5))
+             h (fmt_float v) (fmt_int c))
+        buckets
+    in
+    Printf.sprintf
+      "<svg class=\"spark\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">%s</svg>"
+      spark_width spark_height spark_width spark_height (String.concat "" bars)
+
+(* ------------------------------------------------------------------ *)
+(* Stall timeline: Stall_interval events as rectangles over one time
+   axis.  Bounded: at most [timeline_max] intervals are drawn, with a
+   visible note when the cap truncates. *)
+
+let timeline_max = 2000
+let timeline_width = 900
+
+let stall_timeline events =
+  let intervals =
+    List.filter_map
+      (fun e ->
+         if e.e_kind <> "stall_interval" then None
+         else
+           match
+             ( Option.bind (Tjson.member "from" e.e_json) num,
+               Option.bind (Tjson.member "until" e.e_json) num,
+               Tjson.member "block" e.e_json )
+           with
+           | Some f, Some u, Some (Tjson.Int b) when u > f -> Some (f, u, b)
+           | _ -> None)
+      events
+  in
+  match intervals with
+  | [] -> None
+  | _ ->
+    let total = List.length intervals in
+    let drawn = List.filteri (fun i _ -> i < timeline_max) intervals in
+    let t_end =
+      List.fold_left (fun a (_, u, _) -> Float.max a u) 1.0 drawn
+    in
+    let x t = t /. t_end *. float_of_int timeline_width in
+    let rects =
+      List.map
+        (fun (f, u, b) ->
+           Printf.sprintf
+             "<rect x=\"%.2f\" y=\"4\" width=\"%.2f\" height=\"16\"><title>b%d: [%s, %s)</title></rect>"
+             (x f)
+             (Stdlib.max 0.5 (x u -. x f))
+             b (fmt_float f) (fmt_float u))
+        drawn
+    in
+    let svg =
+      Printf.sprintf
+        "<svg class=\"timeline\" width=\"%d\" height=\"24\" viewBox=\"0 0 %d 24\"><line x1=\"0\" y1=\"22\" x2=\"%d\" y2=\"22\"/>%s</svg>"
+        timeline_width timeline_width timeline_width (String.concat "" rects)
+    in
+    let note =
+      if total > timeline_max then
+        Printf.sprintf "<p class=\"dim\">showing the first %s of %s stall intervals</p>"
+          (fmt_int timeline_max) (fmt_int total)
+      else Printf.sprintf "<p class=\"dim\">%s stall intervals, time axis 0&ndash;%s</p>"
+             (fmt_int total) (fmt_float t_end)
+    in
+    Some (svg ^ note)
+
+(* ------------------------------------------------------------------ *)
+(* Per-scheduler section from scale.seconds.<family>.n<n>.<alg> gauges
+   (published by `ipc scale --metrics`). *)
+
+type scale_point = { family : string; n : int; alg : string; seconds : float }
+
+let parse_scale_gauge name v =
+  match String.split_on_char '.' name with
+  | [ "scale"; "seconds"; family; n_part; alg ]
+    when String.length n_part > 1 && n_part.[0] = 'n' -> (
+      match int_of_string_opt (String.sub n_part 1 (String.length n_part - 1)) with
+      | Some n -> Some { family; n; alg; seconds = v }
+      | None -> None)
+  | _ -> None
+
+let scheduler_section points =
+  match points with
+  | [] -> None
+  | _ ->
+    let families = List.sort_uniq compare (List.map (fun p -> p.family) points) in
+    let html_of_family family =
+      let pts = List.filter (fun p -> p.family = family) points in
+      let ns = List.sort_uniq compare (List.map (fun p -> p.n) pts) in
+      let algs = List.sort_uniq compare (List.map (fun p -> p.alg) pts) in
+      let cell alg n =
+        match List.find_opt (fun p -> p.alg = alg && p.n = n) pts with
+        | Some p -> Printf.sprintf "<td>%.3f</td>" p.seconds
+        | None -> "<td class=\"dim\">&ndash;</td>"
+      in
+      let spark alg =
+        let series = List.filter_map
+            (fun n -> Option.map (fun p -> p.seconds)
+                (List.find_opt (fun p -> p.alg = alg && p.n = n) pts))
+            ns
+        in
+        match series with
+        | [] | [ _ ] -> ""
+        | _ ->
+          let maxv = List.fold_left Float.max 1e-9 series in
+          let k = List.length series in
+          let pts_attr =
+            String.concat " "
+              (List.mapi
+                 (fun i v ->
+                    Printf.sprintf "%.1f,%.1f"
+                      (float_of_int i /. float_of_int (k - 1) *. 76.0 +. 2.0)
+                      (18.0 -. (v /. maxv *. 16.0)))
+                 series)
+          in
+          Printf.sprintf
+            "<svg class=\"line\" width=\"80\" height=\"20\" viewBox=\"0 0 80 20\"><polyline points=\"%s\"/></svg>"
+            pts_attr
+      in
+      let header =
+        String.concat ""
+          (List.map (fun n -> Printf.sprintf "<th>n=%s</th>" (fmt_int n)) ns)
+      in
+      let rows =
+        String.concat ""
+          (List.map
+             (fun alg ->
+                Printf.sprintf "<tr><td>%s</td>%s<td>%s</td></tr>" (escape_html alg)
+                  (String.concat "" (List.map (cell alg) ns))
+                  (spark alg))
+             algs)
+      in
+      Printf.sprintf
+        "<h3>%s</h3><table><tr><th>scheduler</th>%s<th>trend</th></tr>%s</table>"
+        (escape_html family) header rows
+    in
+    Some
+      ("<h2>Scheduler wall-clock (seconds)</h2>"
+       ^ String.concat "" (List.map html_of_family families))
+
+(* ------------------------------------------------------------------ *)
+
+let style =
+  "body{font-family:system-ui,sans-serif;margin:2em;max-width:70em;color:#1a1a2e}\n\
+   h1{border-bottom:2px solid #1a1a2e;padding-bottom:.3em}\n\
+   table{border-collapse:collapse;margin:.8em 0}\n\
+   th,td{border:1px solid #c8c8d4;padding:.25em .6em;text-align:right;\
+   font-variant-numeric:tabular-nums}\n\
+   th{background:#ececf4}\n\
+   td:first-child,th:first-child{text-align:left;font-family:ui-monospace,monospace}\n\
+   .dim{color:#7a7a8c}\n\
+   .spark rect{fill:#4a5fb5}\n\
+   .timeline rect{fill:#b54a4a}\n\
+   .timeline line{stroke:#c8c8d4}\n\
+   .line polyline{fill:none;stroke:#4a5fb5;stroke-width:1.5}\n\
+   pre{background:#f4f4f8;padding:.6em;overflow-x:auto}"
+
+let render ?(title = "ipc telemetry report") ~metrics ?events () =
+  let metric_list, bad_metrics = parse_lines parse_metric_line metrics in
+  let event_list, bad_events =
+    match events with None -> ([], 0) | Some text -> parse_lines parse_event_line text
+  in
+  let buf = Buffer.create 16_384 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n<title>%s</title>\n<style>%s</style>\n</head>\n<body>\n"
+    (escape_html title) style;
+  out "<h1>%s</h1>\n" (escape_html title);
+  if bad_metrics > 0 then
+    out "<p class=\"dim\">skipped %s unparseable metric line(s)</p>\n" (fmt_int bad_metrics);
+  if bad_events > 0 then
+    out "<p class=\"dim\">skipped %s unparseable event line(s)</p>\n" (fmt_int bad_events);
+
+  let counters = List.filter_map (function Counter (n, v) -> Some (n, v) | _ -> None) metric_list in
+  let gauges = List.filter_map (function Gauge (n, v) -> Some (n, v) | _ -> None) metric_list in
+  let hists =
+    List.filter_map (function Histogram (n, h) -> Some (n, h) | _ -> None) metric_list
+  in
+
+  let scale_points = List.filter_map (fun (n, v) -> parse_scale_gauge n v) gauges in
+  let plain_gauges =
+    List.filter (fun (n, v) -> parse_scale_gauge n v = None) gauges
+  in
+
+  if counters <> [] then begin
+    out "<h2>Counters</h2>\n<table><tr><th>counter</th><th>value</th></tr>\n";
+    List.iter
+      (fun (n, v) -> out "<tr><td>%s</td><td>%s</td></tr>\n" (escape_html n) (fmt_int v))
+      counters;
+    out "</table>\n"
+  end;
+
+  if plain_gauges <> [] then begin
+    out "<h2>Gauges</h2>\n<table><tr><th>gauge</th><th>value</th></tr>\n";
+    List.iter
+      (fun (n, v) -> out "<tr><td>%s</td><td>%s</td></tr>\n" (escape_html n) (fmt_float v))
+      plain_gauges;
+    out "</table>\n"
+  end;
+
+  if hists <> [] then begin
+    out
+      "<h2>Histograms</h2>\n\
+       <table><tr><th>histogram</th><th>count</th><th>mean</th><th>min</th><th>median</th><th>p90</th><th>max</th><th>distribution</th></tr>\n";
+    List.iter
+      (fun (n, h) ->
+         out "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n"
+           (escape_html n) (fmt_int h.h_count) (fmt_float h.h_mean) (fmt_float h.h_min)
+           (fmt_float h.h_median) (fmt_float h.h_p90) (fmt_float h.h_max)
+           (sparkline h.h_buckets))
+      hists;
+    out "</table>\n"
+  end;
+
+  (match scheduler_section scale_points with
+   | Some html -> out "%s\n" html
+   | None -> ());
+
+  (match stall_timeline event_list with
+   | Some html -> out "<h2>Stall timeline</h2>\n%s\n" html
+   | None -> ());
+
+  let notes =
+    List.filter_map
+      (fun e ->
+         if e.e_kind <> "note" then None
+         else
+           match (Tjson.member "component" e.e_json, Tjson.member "message" e.e_json) with
+           | Some (Tjson.String c), Some (Tjson.String m) -> Some (c, m)
+           | _ -> None)
+      event_list
+  in
+  if notes <> [] then begin
+    out "<h2>Diagnostics</h2>\n<table><tr><th>component</th><th>message</th></tr>\n";
+    List.iter
+      (fun (c, m) ->
+         out "<tr><td>%s</td><td style=\"text-align:left\">%s</td></tr>\n" (escape_html c)
+           (escape_html m))
+      notes;
+    out "</table>\n"
+  end;
+
+  if event_list <> [] then begin
+    let census = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+         Hashtbl.replace census e.e_kind
+           (1 + Option.value ~default:0 (Hashtbl.find_opt census e.e_kind)))
+      event_list;
+    let kinds = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) census []) in
+    out "<h2>Event census</h2>\n<table><tr><th>event</th><th>count</th></tr>\n";
+    List.iter
+      (fun (k, v) -> out "<tr><td>%s</td><td>%s</td></tr>\n" (escape_html k) (fmt_int v))
+      kinds;
+    out "</table>\n"
+  end;
+
+  if metric_list = [] && event_list = [] then
+    out "<p class=\"dim\">no metrics or events to report</p>\n";
+
+  out "</body>\n</html>\n";
+  Buffer.contents buf
+
+let write_file ?title ~metrics ?events path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?title ~metrics ?events ()))

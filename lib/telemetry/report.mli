@@ -1,0 +1,18 @@
+(** Self-contained HTML report over telemetry dumps ([ipc report]).
+
+    Input is the raw text of a metrics JSONL dump ({!Metrics_export})
+    and optionally of a provenance-event JSONL dump ({!Event_log}).
+    Output is one HTML document with all styles and SVG inline - no
+    external fetches - containing counter/gauge/histogram tables with
+    bucket sparklines, a bounded stall-timeline SVG, per-scheduler
+    wall-clock tables from the [scale.seconds.*] gauges, diagnostics
+    from note events and an event census.
+
+    The render is deterministic and embeds no wall-clock timestamps,
+    hostnames or absolute paths (golden-tested), so reports from fixed
+    seeds can be diffed across commits.  Malformed input lines are
+    skipped and counted, never fatal. *)
+
+val render : ?title:string -> metrics:string -> ?events:string -> unit -> string
+
+val write_file : ?title:string -> metrics:string -> ?events:string -> string -> unit

@@ -12,10 +12,12 @@ type summary = {
 
 let empty = { count = 0; mean = 0.; stddev = 0.; minimum = 0.; maximum = 0.; median = 0.; p90 = 0. }
 
-(* Linear-interpolation percentile on the sorted sample, q in [0, 1]. *)
+(* Linear-interpolation percentile on the sorted sample, q in [0, 1].
+   The empty case is 0, matching [summarize []] = [empty] (whose every
+   field is 0) - one uniform convention for "no data". *)
 let percentile_sorted (sorted : float array) (q : float) : float =
   let n = Array.length sorted in
-  if n = 0 then invalid_arg "Stats.percentile: empty sample"
+  if n = 0 then 0.0
   else if n = 1 then sorted.(0)
   else begin
     let pos = q *. float_of_int (n - 1) in

@@ -16,7 +16,9 @@ val summarize : float list -> summary
 (** [summarize []] is {!empty}. *)
 
 val percentile : float list -> float -> float
-(** Linear-interpolation percentile, [q] in [[0, 1]].
-    @raise Invalid_argument on an empty sample or [q] outside [[0, 1]]. *)
+(** Linear-interpolation percentile, [q] in [[0, 1]].  The empty sample
+    yields [0.], the same "no data" convention as [summarize [] =
+    empty] (whose every field is 0).
+    @raise Invalid_argument on [q] outside [[0, 1]]. *)
 
 val pp : Format.formatter -> summary -> unit

@@ -1,0 +1,158 @@
+(* Constant-memory streaming histogram (log-bucketed, HDR-style).
+
+   Replaces the list-backed histogram that buffered every observation:
+   at million-request scale the old representation held O(observations)
+   floats per metric and its snapshot sort skewed the very hot paths the
+   metric was measuring.  This one is a fixed bucket array - memory and
+   snapshot cost are independent of the number of observations - with
+   exact count/sum/min/max and quantiles carrying a bounded relative
+   error.
+
+   Bucket layout: [sub] = 2^[sub_bits] geometric sub-buckets per octave
+   (power-of-two interval), covering octaves [min_oct, max_oct).  An
+   observation v in [2^o, 2^(o+1)) with o in range lands in bucket
+   (o - min_oct) * sub + floor((v/2^o - 1) * sub); each bucket spans a
+   relative width of 2^(1/sub) - 1, so reporting the bucket midpoint
+   bounds the relative quantile error by [relative_error] (~2.2% at
+   sub_bits = 5).  Observations below 2^min_oct (including zero and any
+   negatives) are counted exactly in a dedicated underflow bucket whose
+   representative is 0; observations at or above 2^max_oct clamp into
+   the top bucket.  min/max are tracked exactly, and every reported
+   quantile is clamped into [min, max], so the error bound degrades
+   gracefully (to the distance from the clamped edge) even outside the
+   bucketed range.
+
+   Mean and standard deviation use Welford's online algorithm - exact
+   mean, numerically stable variance - so the {!summary} matches
+   {!Stats.summarize} on those fields to floating-point accuracy. *)
+
+let sub_bits = 5
+let sub = 1 lsl sub_bits
+
+(* 2^-20 ~ 1e-6 .. 2^44 ~ 1.8e13: covers sub-microsecond span times in
+   milliseconds up to stall totals of million-request traces with slack. *)
+let min_oct = -20
+let max_oct = 44
+let num_buckets = (max_oct - min_oct) * sub
+
+(* Half the relative bucket width would be the midpoint bound; quote the
+   full width to absorb the nearest-rank rounding in [quantile]. *)
+let relative_error = Float.pow 2.0 (1.0 /. float_of_int sub) -. 1.0
+
+type t = {
+  counts : int array;  (* geometric buckets; fixed size, never grows *)
+  mutable under : int;  (* observations < 2^min_oct, including <= 0 *)
+  mutable count : int;
+  mutable mean : float;  (* Welford running mean *)
+  mutable m2 : float;  (* Welford sum of squared deviations *)
+  mutable minimum : float;
+  mutable maximum : float;
+}
+
+let create () =
+  { counts = Array.make num_buckets 0;
+    under = 0;
+    count = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    minimum = Float.infinity;
+    maximum = Float.neg_infinity }
+
+let reset t =
+  Array.fill t.counts 0 num_buckets 0;
+  t.under <- 0;
+  t.count <- 0;
+  t.mean <- 0.0;
+  t.m2 <- 0.0;
+  t.minimum <- Float.infinity;
+  t.maximum <- Float.neg_infinity
+
+let count t = t.count
+let sum t = t.mean *. float_of_int t.count
+
+(* Bucket index for v >= 2^min_oct; clamps the top octave. *)
+let bucket_of v =
+  let m, e = Float.frexp v in
+  (* v = m * 2^e with m in [0.5, 1), i.e. v in [2^(e-1), 2^e). *)
+  let oct = e - 1 in
+  if oct >= max_oct then num_buckets - 1
+  else begin
+    let s = int_of_float ((m *. 2.0 -. 1.0) *. float_of_int sub) in
+    let s = if s < 0 then 0 else if s >= sub then sub - 1 else s in
+    ((oct - min_oct) lsl sub_bits) lor s
+  end
+
+let bucket_lower idx =
+  let oct = min_oct + (idx lsr sub_bits) in
+  let s = idx land (sub - 1) in
+  Float.ldexp (1.0 +. (float_of_int s /. float_of_int sub)) oct
+
+let representative idx =
+  let lower = bucket_lower idx in
+  let upper =
+    if idx + 1 >= num_buckets then Float.ldexp 1.0 max_oct else bucket_lower (idx + 1)
+  in
+  (lower +. upper) /. 2.0
+
+let lower_threshold = Float.ldexp 1.0 min_oct
+
+let observe t v =
+  t.count <- t.count + 1;
+  let delta = v -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (v -. t.mean));
+  if v < t.minimum then t.minimum <- v;
+  if v > t.maximum then t.maximum <- v;
+  if v < lower_threshold then t.under <- t.under + 1
+  else t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1
+
+let clamp t v = Float.min t.maximum (Float.max t.minimum v)
+
+(* Nearest-rank quantile over the buckets: the returned value is the
+   representative of the bucket holding the order statistic at
+   round(q * (count - 1)), clamped into [min, max].  That order
+   statistic lies between the floor and ceiling order statistics the
+   interpolating {!Stats.percentile} blends, so the result is within
+   [relative_error] of that bracket - the property the tests assert. *)
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Streaming_hist.quantile: q outside [0,1]";
+  if t.count = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.round (q *. float_of_int (t.count - 1))) in
+    if rank < t.under then clamp t 0.0
+    else begin
+      let cum = ref t.under in
+      let result = ref t.maximum in
+      (try
+         for i = 0 to num_buckets - 1 do
+           cum := !cum + t.counts.(i);
+           if rank < !cum then begin
+             result := clamp t (representative i);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+  end
+
+let summary t : Stats.summary =
+  if t.count = 0 then Stats.empty
+  else
+    { Stats.count = t.count;
+      mean = t.mean;
+      stddev = Float.sqrt (t.m2 /. float_of_int t.count);
+      minimum = t.minimum;
+      maximum = t.maximum;
+      median = quantile t 0.5;
+      p90 = quantile t 0.9 }
+
+(* Non-empty buckets as (representative value, count), ascending; the
+   underflow bucket reports representative 0.  Bounded by the fixed
+   bucket array, so exports stay O(1) regardless of observations. *)
+let buckets t =
+  let acc = ref [] in
+  for i = num_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (representative i, t.counts.(i)) :: !acc
+  done;
+  if t.under > 0 then (0.0, t.under) :: !acc else !acc

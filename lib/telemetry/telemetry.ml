@@ -22,10 +22,11 @@
 type counter = { mutable count : int }
 type gauge = { mutable gvalue : float }
 
-type histogram = {
-  mutable samples : float list;  (* newest first; summarized on snapshot *)
-  mutable nsamples : int;
-}
+(* Histograms are constant-memory streaming log-bucketed accumulators
+   (see {!Streaming_hist}): at million-request scale the old list-backed
+   representation held every observation and its snapshot sort skewed
+   the hot paths being measured. *)
+type histogram = Streaming_hist.t
 
 type metric = C of counter | G of gauge | H of histogram
 
@@ -49,9 +50,7 @@ let reset () =
        match m with
        | C c -> c.count <- 0
        | G g -> g.gvalue <- 0.0
-       | H h ->
-         h.samples <- [];
-         h.nsamples <- 0)
+       | H h -> Streaming_hist.reset h)
     registry
 
 let clear () = Hashtbl.reset registry
@@ -85,19 +84,14 @@ let histogram name : histogram =
   | Some (H h) -> h
   | Some _ -> kind_error name
   | None ->
-    let h = { samples = []; nsamples = 0 } in
+    let h = Streaming_hist.create () in
     Hashtbl.replace registry name (H h);
     h
 
 let incr c = if !enabled_flag then c.count <- c.count + 1
 let add c n = if !enabled_flag then c.count <- c.count + n
 let set g v = if !enabled_flag then g.gvalue <- v
-
-let observe h v =
-  if !enabled_flag then begin
-    h.samples <- v :: h.samples;
-    h.nsamples <- h.nsamples + 1
-  end
+let observe h v = if !enabled_flag then Streaming_hist.observe h v
 
 let observe_int h v = observe h (float_of_int v)
 
@@ -129,13 +123,21 @@ let with_span name f =
 let value_of_metric = function
   | C c -> Counter c.count
   | G g -> Gauge g.gvalue
-  | H h -> Histogram (Stats.summarize h.samples)
+  | H h -> Histogram (Streaming_hist.summary h)
 
 let snapshot () : (string * value) list =
   Hashtbl.fold (fun name m acc -> (name, value_of_metric m) :: acc) registry []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let find name = Option.map value_of_metric (Hashtbl.find_opt registry name)
+
+(* Bucket-level view of a histogram, for exports that want the
+   distribution (report sparklines) rather than just the summary.
+   Empty for unknown names and non-histogram metrics. *)
+let buckets name =
+  match Hashtbl.find_opt registry name with
+  | Some (H h) -> Streaming_hist.buckets h
+  | Some (C _ | G _) | None -> []
 
 let pp_value fmt = function
   | Counter n -> Format.fprintf fmt "%d" n

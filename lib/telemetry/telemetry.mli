@@ -7,6 +7,10 @@
     Handles may be created eagerly (registration happens once per name);
     {!snapshot} returns metrics sorted by name with histograms summarized
     into the {!Stats.summary} shape the experiment tables already use.
+    Histograms are constant-memory streaming accumulators
+    ({!Streaming_hist}): O(1) per observation and per snapshot, exact
+    count/mean/min/max, quantiles within
+    {!Streaming_hist.relative_error}.
 
     Process-global and single-threaded, like the rest of the
     reproduction. *)
@@ -67,5 +71,10 @@ val snapshot : unit -> (string * value) list
 (** All registered metrics, sorted by name. *)
 
 val find : string -> value option
+
+val buckets : string -> (float * int) list
+(** Bucket-level view of a registered histogram as (representative
+    value, count) pairs, ascending; empty for unknown names and
+    non-histogram metrics. *)
 
 val pp_value : Format.formatter -> value -> unit

@@ -1,0 +1,165 @@
+(* Tests for the HTML report renderer and the bench-diff regression
+   gate: a golden-style check that [ipc report] output is deterministic,
+   self-contained and survives malformed input, plus unit coverage of
+   the comparison/normalization logic behind [ipc bench-diff]. *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let check_contains what needle hay =
+  Alcotest.(check bool) (Printf.sprintf "%s (looking for %S)" what needle) true
+    (contains ~needle hay)
+
+let check_absent what needle hay =
+  Alcotest.(check bool) (Printf.sprintf "%s (must not contain %S)" what needle) false
+    (contains ~needle hay)
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering.  The metrics/events text is generated through the
+   real telemetry pipeline (not hand-written JSON) so the test also
+   pins the export -> report contract. *)
+
+let capture_dumps () =
+  Telemetry.clear ();
+  Telemetry.set_enabled true;
+  Event_log.set_capacity Event_log.default_capacity;
+  Event_log.set_sample_every 1;
+  Event_log.clear ();
+  Event_log.set_enabled true;
+  let inst =
+    Workload.single_instance ~k:4 ~fetch_time:7
+      (Workload.zipf ~seed:9 ~alpha:0.9 ~n:250 ~num_blocks:20)
+  in
+  let (_ : Fetch_op.schedule) = Aggressive.schedule inst in
+  Telemetry.set (Telemetry.gauge "scale.seconds.zipf.n250.aggressive") 0.0125;
+  Telemetry.set (Telemetry.gauge "scale.seconds.zipf.n500.aggressive") 0.031;
+  Event_log.note ~time:3 ~component:"measure" "synthetic diagnostic";
+  let metrics = Metrics_export.to_jsonl (Telemetry.snapshot ()) in
+  let events = Event_log.to_jsonl (Event_log.contents ()) in
+  Event_log.set_enabled false;
+  Event_log.clear ();
+  Telemetry.set_enabled false;
+  Telemetry.clear ();
+  (metrics, events)
+
+let test_report_renders () =
+  let metrics, events = capture_dumps () in
+  let html = Report.render ~title:"test report" ~metrics ~events () in
+  check_contains "document shell" "<html" html;
+  check_contains "title survives" "test report" html;
+  check_contains "counters section" "driver.stall_units" html;
+  check_contains "histogram section" "driver.stall_interval" html;
+  check_contains "scheduler wall-clock section" "aggressive" html;
+  check_contains "diagnostics carry note events" "synthetic diagnostic" html;
+  check_contains "event census" "stall_interval" html;
+  (* Self-contained and relocatable: no external fetches, no build or
+     invocation paths baked into the artifact. *)
+  check_absent "no external fetches" "http://" html;
+  check_absent "no https fetches" "https://" html;
+  check_absent "no absolute paths" (Sys.getcwd ()) html
+
+let test_report_deterministic () =
+  let metrics, events = capture_dumps () in
+  let a = Report.render ~metrics ~events () in
+  let b = Report.render ~metrics ~events () in
+  Alcotest.(check string) "same input renders byte-identically" a b;
+  let metrics2, events2 = capture_dumps () in
+  let c = Report.render ~metrics:metrics2 ~events:events2 () in
+  Alcotest.(check string) "same seed renders byte-identically across captures" a c
+
+let test_report_tolerates_garbage () =
+  let metrics, events = capture_dumps () in
+  let mangled = "not json at all\n" ^ metrics ^ "{\"metric\":\"half\n" in
+  let html = Report.render ~metrics:mangled ~events () in
+  check_contains "good lines still render" "driver.stall_units" html;
+  check_contains "bad lines are counted, not fatal" "skipped 2 unparseable metric line(s)" html
+
+let test_report_without_events () =
+  let metrics, _ = capture_dumps () in
+  let html = Report.render ~metrics () in
+  check_contains "metrics-only report renders" "driver.stall_units" html
+
+(* ------------------------------------------------------------------ *)
+(* Bench-diff. *)
+
+let snap entries =
+  Printf.sprintf "{\"schema\":\"ipc-bench/1\",\"benchmarks\":[%s]}"
+    (String.concat ","
+       (List.map
+          (fun (name, ns) -> Printf.sprintf "{\"name\":%S,\"ns_per_call\":%g,\"r_square\":0.99}" name ns)
+          entries))
+
+let test_bench_diff_parse () =
+  (match Bench_diff.parse_snapshot (snap [ ("a", 100.0); ("b", 250.5) ]) with
+   | Error e -> Alcotest.fail e
+   | Ok rows ->
+     Alcotest.(check (list (pair string (float 1e-9)))) "rows"
+       [ ("a", 100.0); ("b", 250.5) ] rows);
+  (match Bench_diff.parse_snapshot "{\"schema\":\"other/9\",\"benchmarks\":[]}" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "wrong schema accepted");
+  (match Bench_diff.parse_snapshot "nonsense" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "malformed snapshot accepted")
+
+let test_bench_diff_gate () =
+  let old_ = [ ("a", 100.0); ("b", 100.0); ("gone", 5.0) ] in
+  let new_ = [ ("a", 104.0); ("b", 180.0); ("fresh", 7.0) ] in
+  let o = Bench_diff.compare_snapshots ~old_ ~new_ () in
+  Alcotest.(check int) "one flagged benchmark" 1 o.Bench_diff.violations;
+  Alcotest.(check bool) "gate fails at allow=0" true o.Bench_diff.failed;
+  Alcotest.(check (list string)) "disappeared benchmarks listed" [ "gone" ] o.Bench_diff.only_old;
+  Alcotest.(check (list string)) "baseline-less benchmarks listed" [ "fresh" ] o.Bench_diff.only_new;
+  let lenient = { Bench_diff.default_config with Bench_diff.allow = 1 } in
+  let o2 = Bench_diff.compare_snapshots ~config:lenient ~old_ ~new_ () in
+  Alcotest.(check bool) "noisy-pass quota absorbs it" false o2.Bench_diff.failed;
+  (* The hard bound ignores the quota. *)
+  let worse = [ ("a", 104.0); ("b", 400.0); ("fresh", 7.0) ] in
+  let o3 = Bench_diff.compare_snapshots ~config:lenient ~old_ ~new_:worse () in
+  Alcotest.(check bool) "hard x3 bound still fails" true o3.Bench_diff.failed
+
+let test_bench_diff_normalize () =
+  (* Every benchmark 2x slower: a machine-speed shift, not a regression.
+     Raw mode flags everything; normalized mode flags nothing. *)
+  let old_ = [ ("a", 100.0); ("b", 200.0); ("c", 50.0) ] in
+  let new_ = [ ("a", 200.0); ("b", 400.0); ("c", 100.0) ] in
+  let raw = Bench_diff.compare_snapshots ~old_ ~new_ () in
+  Alcotest.(check bool) "raw mode fails on uniform slowdown" true raw.Bench_diff.failed;
+  let cfg = { Bench_diff.default_config with Bench_diff.normalize = true } in
+  let norm = Bench_diff.compare_snapshots ~config:cfg ~old_ ~new_ () in
+  Alcotest.(check (float 1e-9)) "median ratio found" 2.0 norm.Bench_diff.median_ratio;
+  Alcotest.(check bool) "normalized mode passes" false norm.Bench_diff.failed;
+  Alcotest.(check int) "no violations after normalization" 0 norm.Bench_diff.violations;
+  (* A genuine relative regression still fails under normalization. *)
+  let skew = [ ("a", 200.0); ("b", 400.0); ("c", 400.0) ] in
+  let skewed = Bench_diff.compare_snapshots ~config:cfg ~old_ ~new_:skew () in
+  Alcotest.(check bool) "relative regression caught" true skewed.Bench_diff.failed
+
+let test_bench_diff_pp () =
+  let o =
+    Bench_diff.compare_snapshots ~old_:[ ("a", 1e6); ("b", 1e6) ]
+      ~new_:[ ("a", 1e6); ("b", 5e6) ] ()
+  in
+  let txt = Format.asprintf "%a" (Bench_diff.pp_outcome ?config:None) o in
+  check_contains "table lists benchmarks" "b" txt;
+  check_contains "verdict line" "FAIL" txt;
+  let ok =
+    Bench_diff.compare_snapshots ~old_:[ ("a", 1e6) ] ~new_:[ ("a", 1.01e6) ] ()
+  in
+  let txt_ok = Format.asprintf "%a" (Bench_diff.pp_outcome ?config:None) ok in
+  check_contains "passing verdict line" "OK" txt_ok
+
+let () =
+  Alcotest.run "report"
+    [ ("report",
+       [ Alcotest.test_case "renders every section" `Quick test_report_renders;
+         Alcotest.test_case "deterministic" `Quick test_report_deterministic;
+         Alcotest.test_case "tolerates malformed lines" `Quick test_report_tolerates_garbage;
+         Alcotest.test_case "metrics-only" `Quick test_report_without_events ]);
+      ("bench-diff",
+       [ Alcotest.test_case "snapshot parsing" `Quick test_bench_diff_parse;
+         Alcotest.test_case "gate and quotas" `Quick test_bench_diff_gate;
+         Alcotest.test_case "median normalization" `Quick test_bench_diff_normalize;
+         Alcotest.test_case "outcome printing" `Quick test_bench_diff_pp ]) ]

@@ -25,6 +25,11 @@ let test_percentile () =
   close "p0" 1.0 (Stats.percentile [ 3.0; 1.0; 2.0 ] 0.0);
   close "p100" 3.0 (Stats.percentile [ 3.0; 1.0; 2.0 ] 1.0);
   close "p50 interp" 1.5 (Stats.percentile [ 1.0; 2.0 ] 0.5);
+  (* The empty sample follows the same "no data = 0" convention as
+     [summarize [] = empty], for every q. *)
+  close "empty p0" 0.0 (Stats.percentile [] 0.0);
+  close "empty p50" 0.0 (Stats.percentile [] 0.5);
+  close "empty p100" 0.0 (Stats.percentile [] 1.0);
   Alcotest.check_raises "bad q" (Invalid_argument "Stats.percentile: q outside [0,1]")
     (fun () -> ignore (Stats.percentile [ 1.0 ] 1.5))
 

@@ -240,6 +240,194 @@ let test_attribution_sums () =
          [ 1; 2 ])
     Workload.families
 
+(* ------------------------------------------------------------------ *)
+(* Streaming histograms: exact scalar fields, and the quantile-error
+   contract against the exact order statistics. *)
+
+let test_streaming_exact_fields () =
+  let h = Streaming_hist.create () in
+  let xs = [ 0.5; 3.0; 100.25; 7.0; 3.0 ] in
+  List.iter (Streaming_hist.observe h) xs;
+  Alcotest.(check int) "count" 5 (Streaming_hist.count h);
+  Alcotest.(check (float 1e-9)) "sum is exact" 113.75 (Streaming_hist.sum h);
+  (* Extreme quantiles land in the min/max buckets: within the relative
+     error bound of the exact extremes, and never outside [min, max]. *)
+  let q0 = Streaming_hist.quantile h 0.0 and q1 = Streaming_hist.quantile h 1.0 in
+  let eps = Streaming_hist.relative_error in
+  Alcotest.(check bool) "q0 within eps of min" true
+    (q0 >= 0.5 && q0 <= 0.5 *. (1.0 +. eps));
+  Alcotest.(check bool) "q1 within eps of max" true
+    (q1 <= 100.25 && q1 >= 100.25 *. (1.0 -. eps));
+  let s = Streaming_hist.summary h in
+  Alcotest.(check (float 1e-9)) "summary mean is exact" 22.75 s.Stats.mean;
+  Alcotest.(check bool) "bounded bucket list" true
+    (List.length (Streaming_hist.buckets h) <= Streaming_hist.num_buckets);
+  Streaming_hist.reset h;
+  Alcotest.(check int) "reset empties" 0 (Streaming_hist.count h);
+  Alcotest.(check (float 1e-9)) "empty quantile is 0" 0.0 (Streaming_hist.quantile h 0.5)
+
+(* Samples inside the bucketed range [2^-20, 2^44). *)
+let gen_hist_sample =
+  QCheck2.Gen.(list_size (int_range 1 400)
+                 (map (fun x -> (float_of_int x /. 16.0) +. 0.001) (int_range 0 2_000_000)))
+
+(* The rank-bracket form of the quantile guarantee: within relative
+   slack eps (the documented ~2.2% bucket error, rounded up to 2.5%),
+   no more than q*n samples sit strictly below the answer and at least
+   q*n sit at or below it - i.e. the answer is a legitimate q-quantile
+   once values are blurred by one bucket width.  One rank of slack
+   absorbs the nearest-rank rounding at the bracket edges. *)
+let prop_streaming_quantile =
+  QCheck2.Test.make ~count:300 ~name:"streaming quantile stays inside the 2.5% rank bracket"
+    QCheck2.Gen.(pair gen_hist_sample (float_bound_inclusive 1.0))
+    (fun (xs, q) ->
+       let h = Streaming_hist.create () in
+       List.iter (Streaming_hist.observe h) xs;
+       let approx = Streaming_hist.quantile h q in
+       let eps = 0.025 in
+       let n = float_of_int (List.length xs) in
+       let target = q *. n in
+       let below = List.length (List.filter (fun x -> x < approx *. (1.0 -. eps)) xs) in
+       let at_or_below = List.length (List.filter (fun x -> x <= approx *. (1.0 +. eps)) xs) in
+       let mn = List.fold_left min infinity xs and mx = List.fold_left max neg_infinity xs in
+       float_of_int below <= target +. 1.0
+       && float_of_int at_or_below >= target -. 1.0
+       && approx >= mn -. 1e-9
+       && approx <= mx +. 1e-9)
+
+let prop_streaming_count_sum_exact =
+  QCheck2.Test.make ~count:200 ~name:"streaming count and sum stay exact"
+    gen_hist_sample
+    (fun xs ->
+       let h = Streaming_hist.create () in
+       List.iter (Streaming_hist.observe h) xs;
+       Streaming_hist.count h = List.length xs
+       && Float.abs (Streaming_hist.sum h -. List.fold_left ( +. ) 0.0 xs)
+          <= 1e-6 *. (1.0 +. Float.abs (Streaming_hist.sum h)))
+
+(* ------------------------------------------------------------------ *)
+(* Decision-provenance event log: ring bound, deterministic sampling,
+   byte-identical exports from a fixed seed, and the stall-interval
+   accounting invariant against both the driver counter and the
+   reference executor. *)
+
+let fresh_log () =
+  Event_log.set_enabled false;
+  Event_log.set_capacity Event_log.default_capacity;
+  Event_log.set_sample_every 1;
+  Event_log.clear ()
+
+let test_event_log_disabled () =
+  fresh_log ();
+  Event_log.record (Event_log.Note { time = 0; component = "t"; message = "x" });
+  Event_log.note ~component:"t" "formatted %d" 7;
+  Alcotest.(check int) "nothing seen while disabled" 0 (Event_log.seen ());
+  Alcotest.(check int) "nothing recorded while disabled" 0 (Event_log.recorded ());
+  Alcotest.(check int) "contents empty" 0 (List.length (Event_log.contents ()))
+
+let test_event_log_ring_bound () =
+  fresh_log ();
+  Event_log.set_enabled true;
+  Event_log.set_capacity 16;
+  for i = 1 to 100 do
+    Event_log.note ~time:i ~component:"t" "m%d" i
+  done;
+  Alcotest.(check int) "seen" 100 (Event_log.seen ());
+  Alcotest.(check int) "recorded" 100 (Event_log.recorded ());
+  Alcotest.(check int) "dropped to wraparound" 84 (Event_log.dropped ());
+  let evs = Event_log.contents () in
+  Alcotest.(check int) "ring keeps exactly its capacity" 16 (List.length evs);
+  let times =
+    List.filter_map (function Event_log.Note { time; _ } -> Some time | _ -> None) evs
+  in
+  Alcotest.(check (list int)) "newest events survive, oldest first"
+    [ 85; 86; 87; 88; 89; 90; 91; 92; 93; 94; 95; 96; 97; 98; 99; 100 ] times;
+  fresh_log ()
+
+let test_event_log_sampling () =
+  fresh_log ();
+  Event_log.set_enabled true;
+  Event_log.set_sample_every 3;
+  for i = 1 to 10 do
+    Event_log.note ~time:i ~component:"t" "m%d" i
+  done;
+  Alcotest.(check int) "all offered events counted" 10 (Event_log.seen ());
+  Alcotest.(check int) "kept 1-in-3" 4 (Event_log.recorded ());
+  let times =
+    List.filter_map
+      (function Event_log.Note { time; _ } -> Some time | _ -> None)
+      (Event_log.contents ())
+  in
+  Alcotest.(check (list int)) "counter thinning is deterministic" [ 1; 4; 7; 10 ] times;
+  fresh_log ()
+
+let zipf_instance ~seed ~n =
+  Workload.single_instance ~k:4 ~fetch_time:7
+    (Workload.zipf ~seed ~alpha:0.9 ~n ~num_blocks:(max 8 (n / 12)))
+
+let test_event_log_deterministic () =
+  fresh ();
+  fresh_log ();
+  let inst = zipf_instance ~seed:11 ~n:300 in
+  let capture () =
+    Event_log.clear ();
+    Event_log.set_enabled true;
+    let (_ : Fetch_op.schedule) = Aggressive.schedule inst in
+    let out = Event_log.to_jsonl (Event_log.contents ()) in
+    Event_log.set_enabled false;
+    out
+  in
+  let a = capture () in
+  let b = capture () in
+  Alcotest.(check bool) "the run produced events" true (String.length a > 0);
+  Alcotest.(check string) "same seed exports byte-identically" a b;
+  List.iter
+    (fun line ->
+       match Tjson.of_string line with
+       | Error e -> Alcotest.fail (Printf.sprintf "line %S does not parse: %s" line e)
+       | Ok v ->
+         (match Tjson.member "event" v with
+          | Some (Tjson.String _) -> ()
+          | _ -> Alcotest.fail "event kind field missing"))
+    (String.split_on_char '\n' (String.trim a));
+  fresh_log ()
+
+(* The driver's stall-interval events must partition its stall time: the
+   interval lengths sum to the driver.stall_units counter, which in turn
+   must agree with the reference executor's stall_time for the same
+   schedule.  The event log is disabled before the executor replay so
+   executor-side Stall_interval events cannot leak into the sum. *)
+let test_stall_intervals_sum () =
+  fresh ();
+  fresh_log ();
+  Telemetry.set_enabled true;
+  Event_log.set_enabled true;
+  let inst = zipf_instance ~seed:5 ~n:400 in
+  let sched = Aggressive.schedule inst in
+  let interval_sum =
+    List.fold_left
+      (fun acc -> function
+         | Event_log.Stall_interval { from_time; until_time; _ } -> acc + (until_time - from_time)
+         | _ -> acc)
+      0 (Event_log.contents ())
+  in
+  Event_log.set_enabled false;
+  Telemetry.set_enabled false;
+  let counter =
+    match Telemetry.find "driver.stall_units" with
+    | Some (Telemetry.Counter n) -> n
+    | _ -> Alcotest.fail "driver.stall_units not registered"
+  in
+  Alcotest.(check bool) "the workload actually stalls" true (counter > 0);
+  Alcotest.(check int) "intervals sum to the driver's stall units" counter interval_sum;
+  (match Simulate.run inst sched with
+   | Error e ->
+     Alcotest.fail (Printf.sprintf "schedule rejected at t=%d: %s" e.Simulate.at_time e.Simulate.reason)
+   | Ok stats ->
+     Alcotest.(check int) "fast driver agrees with the executor" stats.Simulate.stall_time counter);
+  fresh_log ();
+  fresh ()
+
 (* Disabled telemetry leaves the registry untouched even when the
    instrumented paths run. *)
 let test_disabled_is_silent () =
@@ -273,6 +461,16 @@ let () =
       ("trace",
        [ Alcotest.test_case "golden chrome trace" `Quick test_golden_trace;
          Alcotest.test_case "golden attribution" `Quick test_golden_attribution ]);
+      ("streaming-hist",
+       Alcotest.test_case "exact fields" `Quick test_streaming_exact_fields
+       :: List.map QCheck_alcotest.to_alcotest
+            [ prop_streaming_quantile; prop_streaming_count_sum_exact ]);
+      ("event-log",
+       [ Alcotest.test_case "disabled is silent" `Quick test_event_log_disabled;
+         Alcotest.test_case "ring bound" `Quick test_event_log_ring_bound;
+         Alcotest.test_case "deterministic sampling" `Quick test_event_log_sampling;
+         Alcotest.test_case "byte-identical export" `Quick test_event_log_deterministic;
+         Alcotest.test_case "stall intervals partition stall time" `Quick test_stall_intervals_sum ]);
       ("attribution",
        [ Alcotest.test_case "sums to stall time" `Quick test_attribution_sums;
          Alcotest.test_case "disabled is silent" `Quick test_disabled_is_silent ]) ]
