@@ -127,6 +127,23 @@ let noisy_tests =
          (let inst = Lazy.force single_workload in
           let sched = Aggressive.schedule inst in
           fun () -> Simulate.run_faulty ~faults:Faults.none inst sched));
+    (* Paired with simulate_replay: the delayed-hit executor under the
+       degenerate plan (window 0, no faults) takes its strict path, which
+       must stay within noise of the classic executor; the replay twin
+       exercises the queueing machinery (stochastic latency, parking). *)
+    Test.make ~name:"delayed_hit_degenerate"
+      (stage
+         (let inst = Lazy.force single_workload in
+          let sched = Aggressive.schedule inst in
+          fun () -> Delayed.run inst sched));
+    Test.make ~name:"delayed_hit_replay"
+      (stage
+         (let inst = Lazy.force single_workload in
+          let sched = Aggressive.schedule inst in
+          let faults =
+            Faults.make ~seed:11 ~latency:(Faults.Uniform { lo = 2; hi = 8 }) ()
+          in
+          fun () -> Delayed.run ~window:8 ~faults inst sched));
     Test.make ~name:"ablation_opt_restricted_dp"
       (stage
          (let inst = Workload.single_instance ~k:3 ~fetch_time:3 (Workload.uniform ~seed:1 ~n:12 ~num_blocks:6) in
@@ -283,11 +300,12 @@ let () =
   let rows = run_benchmarks ~micro:(not !scale_only) ~scale:(not !micro_only) () in
   write_snapshot !out rows;
   if (not !micro_only) && not !scale_only then begin
-    Printf.printf "\n=== Part 2: experiment battery (E1-E15) ===\n%!";
+    Printf.printf "\n=== Part 2: experiment battery (E1-E16) ===\n%!";
     List.iter
       (fun t ->
          Tablefmt.print t;
          print_newline ())
-      (Experiments_single.all () @ Experiments_parallel.all () @ Experiments_faults.all ());
+      (Experiments_single.all () @ Experiments_parallel.all () @ Experiments_faults.all ()
+       @ Experiments_delayed.all ());
     Printf.printf "done.\n"
   end

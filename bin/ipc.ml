@@ -225,8 +225,51 @@ let parallel_cmd =
          Experiments_parallel.e11 () ])
 
 let experiments_cmd =
-  table_cmd "experiments" "Run the complete E1-E15 battery."
-    (fun () -> Experiments_single.all () @ Experiments_parallel.all () @ Experiments_faults.all ())
+  table_cmd "experiments" "Run the complete E1-E16 battery."
+    (fun () ->
+       Experiments_single.all () @ Experiments_parallel.all () @ Experiments_faults.all ()
+       @ Experiments_delayed.all ())
+
+(* Stochastic fetch-latency plan syntax, shared by faults and delayed:
+   planned | const:C | uniform:LO:HI | pareto:XM:ALPHA:CAP. *)
+let latency_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "planned" ] -> Ok Faults.Planned
+    | [ "const"; c ] ->
+      (match int_of_string_opt c with
+       | Some c when c >= 1 -> Ok (Faults.Const c)
+       | _ -> Error (`Msg (Printf.sprintf "bad constant latency %s (need const:C with C >= 1)" s)))
+    | [ "uniform"; lo; hi ] ->
+      (match (int_of_string_opt lo, int_of_string_opt hi) with
+       | Some lo, Some hi when 1 <= lo && lo <= hi -> Ok (Faults.Uniform { lo; hi })
+       | _ -> Error (`Msg (Printf.sprintf "bad uniform latency %s (need uniform:LO:HI with 1 <= LO <= HI)" s)))
+    | [ "pareto"; xm; alpha; cap ] ->
+      (match (int_of_string_opt xm, float_of_string_opt alpha, int_of_string_opt cap) with
+       | Some xm, Some alpha, Some cap when xm >= 1 && cap >= xm && alpha > 0.0 ->
+         Ok (Faults.Pareto { xm; alpha; cap })
+       | _ ->
+         Error
+           (`Msg
+              (Printf.sprintf
+                 "bad pareto latency %s (need pareto:XM:ALPHA:CAP with XM >= 1, CAP >= XM, ALPHA > 0)"
+                 s)))
+    | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad latency plan %s (planned | const:C | uniform:LO:HI | pareto:XM:ALPHA:CAP)" s))
+  in
+  Arg.conv (parse, Faults.pp_latency)
+
+let latency_arg =
+  Arg.(
+    value
+    & opt latency_conv Faults.Planned
+    & info [ "latency" ] ~docv:"DIST"
+        ~doc:
+          "Stochastic fetch-latency distribution: $(b,planned) (the instance's F), $(b,const:C), \
+           $(b,uniform:LO:HI) or $(b,pareto:XM:ALPHA:CAP) (bounded Pareto).")
 
 (* faults: one workload under an injected fault plan, per-algorithm
    degradation table (clean plan / plan under faults / re-planned). *)
@@ -299,12 +342,12 @@ let faults_cmd =
          ~doc:"Also write a Chrome trace of the re-planned run (with a fault lane) to $(docv).")
   in
   let run metrics wname seed n blocks k f fault_seed jitter_prob jitter fail_prob backoff attempts
-      outages trace_out =
+      outages latency trace_out =
     with_metrics metrics @@ fun () ->
     let inst = mk_instance wname ~seed ~n ~blocks ~k ~f in
     let faults =
       Faults.make ~seed:fault_seed ~jitter_prob ~max_jitter:jitter ~fail_prob
-        ~retry:{ Faults.backoff; max_attempts = attempts } ~outages ()
+        ~retry:{ Faults.backoff; max_attempts = attempts } ~outages ~latency ()
     in
     Format.printf "%a@.faults: %a@." Instance.pp inst Faults.pp faults;
     let algorithms =
@@ -350,7 +393,81 @@ let faults_cmd =
     Term.(
       const run $ metrics_arg $ workload_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg $ f_arg
       $ fault_seed_arg $ jitter_prob_arg $ jitter_arg $ fail_prob_arg $ retry_arg $ attempts_arg
-      $ outage_arg $ trace_out_arg)
+      $ outage_arg $ latency_arg $ trace_out_arg)
+
+(* delayed: the delayed-hit executor under a stochastic latency plan,
+   per-algorithm queueing table (classic stall vs delayed stall / hits /
+   wait / queue depth). *)
+let delayed_cmd =
+  let window_arg =
+    Arg.(value & opt int 4 & info [ "window" ] ~docv:"W"
+         ~doc:"Wait-queue window: max simultaneously parked requests (0 = classic executor).")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~doc:"Latency plan seed (independent of the workload seed).")
+  in
+  let gantt_arg =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart (with the waitq row) for the selected algorithm.")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+         ~doc:"Write a Chrome trace of the selected algorithm's delayed run (with a waitq lane) to $(docv).")
+  in
+  let run metrics events wname seed n blocks k f alg window latency fault_seed gantt trace_out =
+    with_metrics metrics @@ fun () ->
+    with_events events @@ fun () ->
+    let inst = mk_instance wname ~seed ~n ~blocks ~k ~f in
+    let faults = Faults.make ~seed:fault_seed ~latency () in
+    Format.printf "%a@.plan: %a window=%d@." Instance.pp inst Faults.pp_latency
+      faults.Faults.latency window;
+    let algorithms =
+      [ ("aggressive", Aggressive.schedule inst); ("conservative", Conservative.schedule inst);
+        ("combination", Combination.schedule inst) ]
+    in
+    let rows =
+      List.map
+        (fun (name, sched) ->
+           let clean = (Driver.validate ~name inst sched).Simulate.stall_time in
+           match Delayed.run ~record_events:false ~attribution:true ~window ~faults inst sched with
+           | Error e -> [ name; string_of_int clean; Printf.sprintf "wedged at t=%d" e.Simulate.at_time;
+                          "-"; "-"; "-"; "-"; "-" ]
+           | Ok d ->
+             [ name; string_of_int clean;
+               string_of_int d.Delayed.base.Simulate.stall_time;
+               string_of_int d.Delayed.base.Simulate.elapsed_time;
+               string_of_int d.Delayed.delayed_hits;
+               string_of_int d.Delayed.delayed_wait;
+               string_of_int d.Delayed.max_queue_depth;
+               string_of_int d.Delayed.report.Faults.deferred_starts ])
+        algorithms
+    in
+    Tablefmt.print
+      (Tablefmt.make
+         ~title:(Printf.sprintf "delayed hits: %s n=%d k=%d F=%d" wname n k f)
+         ~headers:[ "algorithm"; "clean stall"; "stall"; "elapsed"; "hits"; "wait"; "depth";
+                    "deferred" ]
+         rows);
+    let sched = schedule_of alg inst in
+    if gantt then (
+      match Gantt.render_delayed ~window ~faults inst sched with
+      | Ok s -> print_string s
+      | Error e -> print_endline ("gantt: " ^ e));
+    match trace_out with
+    | None -> ()
+    | Some path -> (
+      match Delayed.run ~record_events:true ~attribution:true ~window ~faults inst sched with
+      | Error e -> Printf.printf "trace: invalid schedule at t=%d: %s\n" e.Simulate.at_time e.Simulate.reason
+      | Ok d ->
+        Sim_trace.write_file ~faults:d.Delayed.report ~delayed:d.Delayed.waits path inst
+          d.Delayed.base;
+        Printf.printf "wrote %s - open it at https://ui.perfetto.dev or chrome://tracing\n" path)
+  in
+  Cmd.v
+    (Cmd.info "delayed"
+       ~doc:"Run the delayed-hit executor under a stochastic fetch-latency plan and print the queueing table.")
+    Term.(
+      const run $ metrics_arg $ events_arg $ workload_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg
+      $ f_arg $ alg_arg $ window_arg $ latency_arg $ fault_seed_arg $ gantt_arg $ trace_out_arg)
 
 (* fuzz: the property-based conformance harness (lib/check) *)
 let classes_conv =
@@ -367,7 +484,8 @@ let classes_conv =
           Error
             (`Msg
                (Printf.sprintf
-                  "unknown oracle class %s (choose from: validity, accounting, theorem, differential)"
+                  "unknown oracle class %s (choose from: validity, accounting, theorem, \
+                   differential, delayed)"
                   p)))
     in
     go [] parts
@@ -688,6 +806,7 @@ let explain_cmd =
       | Event_log.Fetch_complete { time; _ }
       | Event_log.Evict { time; _ }
       | Event_log.Frontier_clamp { time; _ }
+      | Event_log.Delayed_hit { time; _ }
       | Event_log.Note { time; _ } -> (time, time + 1)
     in
     let blocks_of = function
@@ -695,7 +814,8 @@ let explain_cmd =
         block :: (match evict with Some e -> [ e ] | None -> [])
       | Event_log.Fetch_complete { block; _ }
       | Event_log.Stall_interval { block; _ }
-      | Event_log.Frontier_clamp { block; _ } -> [ block ]
+      | Event_log.Frontier_clamp { block; _ }
+      | Event_log.Delayed_hit { block; _ } -> [ block ]
       | Event_log.Evict { block; runner_up; _ } ->
         block :: (match runner_up with Some (b, _) -> [ b ] | None -> [])
       | Event_log.Clock_skip _ | Event_log.Note _ -> []
@@ -821,7 +941,7 @@ let () =
            (Cmd.info "ipc" ~version:"1.0"
               ~doc:"Integrated prefetching and caching in single and parallel disk systems")
            [ simulate_cmd; compare_cmd; sweep_cmd; lower_cmd; delay_cmd; parallel_cmd; lp_cmd;
-             experiments_cmd; profile_cmd; faults_cmd; fuzz_cmd; opt_cmd; scale_cmd;
+             experiments_cmd; profile_cmd; faults_cmd; delayed_cmd; fuzz_cmd; opt_cmd; scale_cmd;
              explain_cmd; report_cmd; bench_diff_cmd ])
     with
     | Sys_error msg | Failure msg ->
@@ -838,6 +958,9 @@ let () =
       1
     | Simulate.Internal_error { component; reason } ->
       Printf.eprintf "ipc: %s: internal error: %s\n" component reason;
+      1
+    | Faults.Invalid_plan { field; reason } ->
+      Printf.eprintf "ipc: invalid fault plan (%s): %s\n" field reason;
       1
     | Opt.Solver_failure _ as e ->
       Printf.eprintf "ipc: %s\n" (Printexc.to_string e);

@@ -1,0 +1,173 @@
+(* Delayed-hit executor oracles.
+
+   Two properties, both over every applicable scheduling algorithm:
+
+   - {e degenerate-plan equivalence}: with window 0 and degenerate
+     timing - [Faults.none], or a [Const F] latency plan with no jitter -
+     the delayed-hit executor's base stats must be structurally identical
+     to [Simulate.run]'s for every schedule the classic executor accepts
+     (schedules the classic executor rejects are out of contract and
+     skipped).  This is the robustness keystone: parking and stochastic
+     latency are strictly additive features, not a fork of the executor.
+
+   - {e queueing invariants}: under a seeded uniform-latency plan and a
+     non-trivial window, the run must terminate with every request
+     served exactly once (no starvation), the accounting identity
+     elapsed = (n - delayed_hits) + stall must hold, stall attribution
+     must still partition the stall, and each logged wait must be
+     internally consistent (positive residual bounded by the plan's
+     maximum latency, queue depth within the window, released at its
+     supplying fetch's completion). *)
+
+open Ck_oracle
+
+let equal_stats (a : Simulate.stats) (b : Simulate.stats) = a = b
+
+(* Render the first structural difference for the failure message. *)
+let diff_stats (a : Simulate.stats) (b : Simulate.stats) =
+  if a.Simulate.stall_time <> b.Simulate.stall_time then
+    Printf.sprintf "stall %d vs %d" b.Simulate.stall_time a.Simulate.stall_time
+  else if a.Simulate.elapsed_time <> b.Simulate.elapsed_time then
+    Printf.sprintf "elapsed %d vs %d" b.Simulate.elapsed_time a.Simulate.elapsed_time
+  else if a.Simulate.fetches_started <> b.Simulate.fetches_started then
+    Printf.sprintf "fetches_started %d vs %d" b.Simulate.fetches_started
+      a.Simulate.fetches_started
+  else if a.Simulate.fetches_completed <> b.Simulate.fetches_completed then
+    Printf.sprintf "fetches_completed %d vs %d" b.Simulate.fetches_completed
+      a.Simulate.fetches_completed
+  else if a.Simulate.peak_occupancy <> b.Simulate.peak_occupancy then
+    Printf.sprintf "peak_occupancy %d vs %d" b.Simulate.peak_occupancy a.Simulate.peak_occupancy
+  else if a.Simulate.events <> b.Simulate.events then "event traces differ"
+  else if a.Simulate.disk_busy <> b.Simulate.disk_busy then "disk_busy differs"
+  else if a.Simulate.stall_by_fetch <> b.Simulate.stall_by_fetch then "stall attribution differs"
+  else if a.Simulate.occupancy <> b.Simulate.occupancy then "occupancy timeline differs"
+  else "stats differ"
+
+let degenerate =
+  make ~name:"delayed: degenerate plans byte-identical to Simulate.run" ~cls:Delayed
+    (fun inst ->
+      let const_f = Faults.make ~latency:(Faults.Const inst.Instance.fetch_time) () in
+      let plans = [ ("Faults.none", Faults.none); ("const F", const_f) ] in
+      let rec go = function
+        | [] -> Pass
+        | (alg_name, alg) :: rest -> (
+          let sched = alg inst in
+          match Simulate.run ~record_events:true ~attribution:true inst sched with
+          | Error _ -> go rest (* out of the degenerate contract *)
+          | Ok reference ->
+            let rec try_plans = function
+              | [] -> go rest
+              | (plan_name, faults) :: more -> (
+                match
+                  Delayed.run ~record_events:true ~attribution:true ~window:0 ~faults inst
+                    sched
+                with
+                | Error { Simulate.reason; at_time } ->
+                  failf ~schedule:sched
+                    "%s under %s: delayed executor rejected at t=%d what Simulate accepted: %s"
+                    alg_name plan_name at_time reason
+                | Ok d ->
+                  if d.Delayed.delayed_hits <> 0 then
+                    failf ~schedule:sched "%s under %s: window 0 parked %d requests" alg_name
+                      plan_name d.Delayed.delayed_hits
+                  else if not (equal_stats reference d.Delayed.base) then
+                    failf ~schedule:sched "%s under %s: delayed stats diverge (%s)" alg_name
+                      plan_name
+                      (diff_stats reference d.Delayed.base)
+                  else try_plans more)
+            in
+            try_plans plans)
+      in
+      go (Ck_validity.algorithms_for inst))
+
+let queueing =
+  make ~name:"delayed: queueing invariants under stochastic latency" ~cls:Delayed
+    (fun inst ->
+      let n = Instance.length inst in
+      let f = inst.Instance.fetch_time in
+      let faults =
+        Faults.make ~seed:(1 + (17 * n) + f)
+          ~latency:(Faults.Uniform { lo = Stdlib.max 1 (f / 2); hi = 2 * f })
+          ()
+      in
+      let window = 4 in
+      let rec go = function
+        | [] -> Pass
+        | (alg_name, alg) :: rest -> (
+          let sched = alg inst in
+          match Delayed.run ~record_events:true ~attribution:true ~window ~faults inst sched with
+          | Error { Simulate.reason; at_time } ->
+            failf ~schedule:sched "%s: delayed executor rejected at t=%d: %s" alg_name at_time
+              reason
+          | Ok d ->
+            let s = d.Delayed.base in
+            let bad fmt =
+              Printf.ksprintf (fun m -> Some (failf ~schedule:sched "%s: %s" alg_name m)) fmt
+            in
+            (* Every request served exactly once: no starvation, no
+               double service. *)
+            let served = Array.make n 0 in
+            List.iter
+              (function
+                | Simulate.Serve { index; _ } -> served.(index) <- served.(index) + 1
+                | _ -> ())
+              s.Simulate.events;
+            let unserved = ref (-1) and double = ref (-1) in
+            Array.iteri
+              (fun i c ->
+                if c = 0 && !unserved < 0 then unserved := i;
+                if c > 1 && !double < 0 then double := i)
+              served;
+            let attributed =
+              List.fold_left
+                (fun acc c ->
+                  acc + c.Simulate.involuntary_stall + c.Simulate.voluntary_stall)
+                0 s.Simulate.stall_by_fetch
+            in
+            let hits = d.Delayed.delayed_hits in
+            let max_latency = Faults.max_latency faults ~fetch_time:f + faults.Faults.max_jitter in
+            let wait_sum =
+              List.fold_left
+                (fun acc (w : Delayed.wait) -> acc + (w.Delayed.ready_at - w.Delayed.parked_at))
+                0 d.Delayed.waits
+            in
+            let bad_wait =
+              List.find_opt
+                (fun (w : Delayed.wait) ->
+                  let residual = w.Delayed.ready_at - w.Delayed.parked_at in
+                  residual < 1 || residual > max_latency || w.Delayed.queue_depth < 1
+                  || w.Delayed.queue_depth > window
+                  || w.Delayed.req_index < 0
+                  || w.Delayed.req_index >= n
+                  || inst.Instance.seq.(w.Delayed.req_index) <> w.Delayed.block)
+                d.Delayed.waits
+            in
+            let outcome =
+              if !unserved >= 0 then bad "request r%d never served (starvation)" (!unserved + 1)
+              else if !double >= 0 then bad "request r%d served twice" (!double + 1)
+              else if s.Simulate.elapsed_time <> n - hits + s.Simulate.stall_time then
+                bad "elapsed (%d) <> n (%d) - hits (%d) + stall (%d)" s.Simulate.elapsed_time n
+                  hits s.Simulate.stall_time
+              else if attributed <> s.Simulate.stall_time then
+                bad "stall attribution sums to %d, stall_time is %d" attributed
+                  s.Simulate.stall_time
+              else if List.length d.Delayed.waits <> hits then
+                bad "wait log has %d entries, delayed_hits is %d" (List.length d.Delayed.waits)
+                  hits
+              else if wait_sum <> d.Delayed.delayed_wait then
+                bad "wait log sums to %d, delayed_wait is %d" wait_sum d.Delayed.delayed_wait
+              else if d.Delayed.max_queue_depth > window then
+                bad "max queue depth %d exceeds window %d" d.Delayed.max_queue_depth window
+              else (
+                match bad_wait with
+                | Some w ->
+                  bad "inconsistent wait for r%d (b%d): parked %d ready %d depth %d"
+                    (w.Delayed.req_index + 1) w.Delayed.block w.Delayed.parked_at
+                    w.Delayed.ready_at w.Delayed.queue_depth
+                | None -> None)
+            in
+            (match outcome with Some failure -> failure | None -> go rest))
+      in
+      go (Ck_validity.algorithms_for inst))
+
+let all = [ degenerate; queueing ]

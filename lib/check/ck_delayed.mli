@@ -1,0 +1,19 @@
+(** Delayed-hit executor oracles ({!Ck_oracle.class_} [Delayed]).
+
+    [degenerate] checks the robustness keystone: with window 0 and
+    degenerate timing ([Faults.none] or a [Const F] plan) the delayed-hit
+    executor's base stats are structurally identical to [Simulate.run]'s
+    for every schedule the classic executor accepts, across the full
+    algorithm battery.
+
+    [queueing] runs the battery under a seeded uniform-latency plan with
+    a non-trivial window and checks the queueing invariants: every
+    request served exactly once (no starvation), the delayed accounting
+    identity [elapsed = (n - hits) + stall], the stall-attribution
+    partition, and per-wait consistency (residual in
+    [[1, max_latency + max_jitter]], queue depth within the window, wait
+    log in bijection with the hits). *)
+
+val degenerate : Ck_oracle.t
+val queueing : Ck_oracle.t
+val all : Ck_oracle.t list

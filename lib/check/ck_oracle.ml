@@ -1,21 +1,23 @@
 (* Oracle framework for the conformance fuzzer: a named, classed,
    total check over problem instances.  See ck_oracle.mli. *)
 
-type class_ = Validity | Accounting | Theorem | Differential
+type class_ = Validity | Accounting | Theorem | Differential | Delayed
 
-let all_classes = [ Validity; Accounting; Theorem; Differential ]
+let all_classes = [ Validity; Accounting; Theorem; Differential; Delayed ]
 
 let class_name = function
   | Validity -> "validity"
   | Accounting -> "accounting"
   | Theorem -> "theorem"
   | Differential -> "differential"
+  | Delayed -> "delayed"
 
 let class_of_string = function
   | "validity" -> Some Validity
   | "accounting" -> Some Accounting
   | "theorem" -> Some Theorem
   | "differential" -> Some Differential
+  | "delayed" -> Some Delayed
   | _ -> None
 
 type outcome =
@@ -60,6 +62,7 @@ let guarded f inst =
          Printf.sprintf "node budget exhausted (%d expanded, budget %d)" expanded budget
        | Opt.Infeasible -> "search space infeasible")
   | Instance.Invalid msg -> failf "instance rejected mid-check: %s" msg
+  | Faults.Invalid_plan { field; reason } -> failf "invalid fault plan (%s): %s" field reason
   | Failure msg -> failf "uncaught Failure: %s" msg
   | Invalid_argument msg -> failf "uncaught Invalid_argument: %s" msg
   | Not_found -> failf "uncaught Not_found"

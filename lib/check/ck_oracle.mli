@@ -1,15 +1,17 @@
 (** Oracle framework for the conformance fuzzer.
 
     An oracle is a named machine-checked property of a problem instance,
-    grouped into one of four classes forming the harness's hierarchy
+    grouped into classes forming the harness's hierarchy
     (DESIGN.md section 6): schedule {e validity}, stall {e accounting}
     identities, the paper's {e theorem} bounds, and {e differential}
-    agreement between independent implementations.  Oracles are total:
+    agreement between independent implementations, plus the {e delayed}
+    class (PR 7): degenerate-plan equivalence of the delayed-hit
+    executor and its queueing invariants.  Oracles are total:
     exceptions escaping a check are reported as failures, and
     inapplicable instances (wrong disk count, too large for an exact
     reference) are skipped with a reason rather than silently passed. *)
 
-type class_ = Validity | Accounting | Theorem | Differential
+type class_ = Validity | Accounting | Theorem | Differential | Delayed
 
 val all_classes : class_ list
 val class_name : class_ -> string

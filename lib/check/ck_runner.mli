@@ -43,7 +43,7 @@ type summary = {
 
 val battery : unit -> Ck_oracle.t list
 (** The full oracle battery: validity, accounting, the theorem oracles,
-    the differential oracles. *)
+    the differential oracles, the delayed-hit oracles. *)
 
 val run : ?battery:Ck_oracle.t list -> config -> summary
 

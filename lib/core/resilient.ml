@@ -54,19 +54,16 @@ let execute ?(record_events = false) ?(extra_slots = 0) ~(faults : Faults.t) (in
   let fetch_time = inst.Instance.fetch_time in
   let capacity = inst.Instance.cache_size + extra_slots in
   let nr = Next_ref.of_instance inst in
-  (* Static validation: the plan must at least be well-formed. *)
+  (* Static validation: the plan must at least be well-formed.  Shared
+     with the executors via [Fetch_op.validate], surfaced as the same
+     typed rejection channel they use. *)
   List.iter
     (fun (f : Fetch_op.t) ->
-       if f.Fetch_op.at_cursor < 0 || f.Fetch_op.at_cursor > n || f.Fetch_op.delay < 0 then
-         invalid_arg "Resilient.execute: malformed fetch anchor";
-       if f.Fetch_op.block < 0 || f.Fetch_op.block >= num_blocks then
-         invalid_arg "Resilient.execute: fetch of unknown block";
-       if f.Fetch_op.disk < 0 || f.Fetch_op.disk >= num_disks
-          || inst.Instance.disk_of.(f.Fetch_op.block) <> f.Fetch_op.disk then
-         invalid_arg "Resilient.execute: fetch on the wrong disk";
-       match f.Fetch_op.evict with
-       | Some b when b < 0 || b >= num_blocks -> invalid_arg "Resilient.execute: unknown victim"
-       | _ -> ())
+       match Fetch_op.validate inst f with
+       | Ok () -> ()
+       | Error reason ->
+         raise
+           (Simulate.Invalid_schedule { algorithm = "Resilient.execute"; at_time = 0; reason }))
     schedule;
   let ops = Array.of_list schedule in
   let nops = Array.length ops in
@@ -171,7 +168,7 @@ let execute ?(record_events = false) ?(extra_slots = 0) ~(faults : Faults.t) (in
      a bug, not bad luck, for any realistic horizon. *)
   let horizon =
     let ma = faults.Faults.retry.Faults.max_attempts in
-    let worst_attempt = fetch_time + faults.Faults.max_jitter in
+    let worst_attempt = Faults.max_latency faults ~fetch_time + faults.Faults.max_jitter in
     let backoff_total = ref 0 in
     for a = 1 to ma - 1 do
       backoff_total := !backoff_total + Faults.backoff_delay faults.Faults.retry ~attempt:a

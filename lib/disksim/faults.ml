@@ -1,11 +1,18 @@
 (* Deterministic, seeded fault plans for the disk layer.
 
    Every random decision - is this attempt slowed, by how much, does it
-   fail - is a pure splitmix64-style hash of (plan seed, disk, block,
-   attempt number, start time).  Including the start time means a retried
-   or re-issued fetch draws fresh randomness, so a plan with
+   fail, how long does the fetch itself take - is a pure
+   splitmix64-style hash of (plan seed, concern tag, disk, block,
+   attempt number, start time).  Including the start time means a
+   retried or re-issued fetch draws fresh randomness, so a plan with
    [fail_prob < 1] cannot pin a block down forever, while the whole run
-   stays exactly reproducible from the seed. *)
+   stays exactly reproducible from the seed.
+
+   Each concern (jitter roll, jitter size, failure roll, latency draw)
+   hashes its own tag into the stream, so the draws are mutually
+   independent: adding or changing the latency distribution of a plan
+   never perturbs its jitter or failure outcomes, and vice versa.  The
+   per-stream values are pinned by a regression test. *)
 
 type backoff =
   | Immediate
@@ -33,6 +40,12 @@ type outage = {
   until_time : int;
 }
 
+type latency =
+  | Planned
+  | Const of int
+  | Uniform of { lo : int; hi : int }
+  | Pareto of { xm : int; alpha : float; cap : int }
+
 type t = {
   seed : int;
   jitter_prob : float;
@@ -40,33 +53,61 @@ type t = {
   fail_prob : float;
   retry : retry;
   outages : outage list;
+  latency : latency;
 }
 
 let none =
   { seed = 0; jitter_prob = 0.0; max_jitter = 0; fail_prob = 0.0; retry = default_retry;
-    outages = [] }
+    outages = []; latency = Planned }
 
-let is_none t = t.jitter_prob = 0.0 && t.fail_prob = 0.0 && t.outages = []
+let is_none t =
+  t.jitter_prob = 0.0 && t.fail_prob = 0.0 && t.outages = [] && t.latency = Planned
+
+(* Typed channel for "this plan is malformed": one exception instead of
+   stringly Invalid_argument, so the CLI and the harness can report plan
+   errors uniformly (PR 2/6 convention). *)
+exception Invalid_plan of { field : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_plan { field; reason } ->
+      Some (Printf.sprintf "Faults.make: invalid %s: %s" field reason)
+    | _ -> None)
+
+let invalid ~field fmt =
+  Printf.ksprintf (fun reason -> raise (Invalid_plan { field; reason })) fmt
 
 let make ?(seed = 1) ?(jitter_prob = 0.0) ?(max_jitter = 0) ?(fail_prob = 0.0)
-    ?(retry = default_retry) ?(outages = []) () =
-  let bad fmt = Printf.ksprintf invalid_arg fmt in
-  if not (jitter_prob >= 0.0 && jitter_prob <= 1.0) then bad "Faults.make: jitter_prob %g" jitter_prob;
+    ?(retry = default_retry) ?(outages = []) ?(latency = Planned) () =
+  if not (jitter_prob >= 0.0 && jitter_prob <= 1.0) then
+    invalid ~field:"jitter_prob" "%g outside [0,1]" jitter_prob;
   if not (fail_prob >= 0.0 && fail_prob < 1.0) then
-    bad "Faults.make: fail_prob %g must be in [0,1)" fail_prob;
-  if max_jitter < 0 then bad "Faults.make: negative max_jitter";
-  if jitter_prob > 0.0 && max_jitter = 0 then bad "Faults.make: jitter_prob > 0 needs max_jitter > 0";
-  if retry.max_attempts < 1 then bad "Faults.make: max_attempts %d < 1" retry.max_attempts;
+    invalid ~field:"fail_prob" "%g must be in [0,1)" fail_prob;
+  if max_jitter < 0 then invalid ~field:"max_jitter" "negative (%d)" max_jitter;
+  if jitter_prob > 0.0 && max_jitter = 0 then
+    invalid ~field:"jitter_prob" "jitter_prob > 0 needs max_jitter > 0";
+  if retry.max_attempts < 1 then
+    invalid ~field:"retry" "max_attempts %d < 1" retry.max_attempts;
   (match retry.backoff with
    | Immediate -> ()
-   | Fixed d -> if d < 0 then bad "Faults.make: negative fixed backoff"
+   | Fixed d -> if d < 0 then invalid ~field:"retry" "negative fixed backoff"
    | Exponential { base; factor; max_delay } ->
-     if base < 0 || factor < 1 || max_delay < 0 then bad "Faults.make: malformed exponential backoff");
+     if base < 0 || factor < 1 || max_delay < 0 then
+       invalid ~field:"retry" "malformed exponential backoff");
+  (match latency with
+   | Planned -> ()
+   | Const c -> if c < 1 then invalid ~field:"latency" "constant fetch time %d < 1" c
+   | Uniform { lo; hi } ->
+     if lo < 1 || hi < lo then invalid ~field:"latency" "uniform range [%d,%d]" lo hi
+   | Pareto { xm; alpha; cap } ->
+     if xm < 1 || cap < xm || not (alpha > 0.0) then
+       invalid ~field:"latency" "pareto xm=%d alpha=%g cap=%d" xm alpha cap);
   List.iter
     (fun o ->
-       if o.disk < 0 then bad "Faults.make: outage on negative disk %d" o.disk;
+       if o.disk < 0 then invalid ~field:"outages" "outage on negative disk %d" o.disk;
        if o.from_time < 0 || o.until_time <= o.from_time then
-         bad "Faults.make: outage window [%d,%d) on disk %d" o.from_time o.until_time o.disk)
+         invalid ~field:"outages" "outage window [%d,%d) on disk %d" o.from_time o.until_time
+           o.disk)
     outages;
   (* Sort and reject overlapping windows per disk so [next_up] is a single
      forward scan. *)
@@ -79,17 +120,24 @@ let make ?(seed = 1) ?(jitter_prob = 0.0) ?(max_jitter = 0) ?(fail_prob = 0.0)
   let rec check = function
     | a :: (b :: _ as rest) ->
       if a.disk = b.disk && b.from_time < a.until_time then
-        bad "Faults.make: overlapping outages on disk %d" a.disk;
+        invalid ~field:"outages" "overlapping outages on disk %d" a.disk;
       check rest
     | _ -> ()
   in
   check outages;
-  { seed; jitter_prob; max_jitter; fail_prob; retry; outages }
+  { seed; jitter_prob; max_jitter; fail_prob; retry; outages; latency }
+
+let pp_latency fmt = function
+  | Planned -> Format.fprintf fmt "planned"
+  | Const c -> Format.fprintf fmt "const:%d" c
+  | Uniform { lo; hi } -> Format.fprintf fmt "uniform:%d:%d" lo hi
+  | Pareto { xm; alpha; cap } -> Format.fprintf fmt "pareto:%d:%g:%d" xm alpha cap
 
 let pp fmt t =
   if is_none t then Format.fprintf fmt "no faults"
   else begin
     Format.fprintf fmt "seed=%d" t.seed;
+    if t.latency <> Planned then Format.fprintf fmt " latency=%a" pp_latency t.latency;
     if t.jitter_prob > 0.0 then
       Format.fprintf fmt " jitter=%g(max %d)" t.jitter_prob t.max_jitter;
     if t.fail_prob > 0.0 then begin
@@ -106,7 +154,8 @@ let pp fmt t =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Deterministic draws: splitmix64 finalizer over the attempt identity. *)
+(* Deterministic draws: splitmix64 finalizer over the attempt identity,
+   one hash-split stream per concern. *)
 
 let mix64 z =
   let open Int64 in
@@ -119,26 +168,73 @@ let combine h v = mix64 (Int64.add (Int64.logxor h (Int64.of_int v)) 0x9e3779b97
 (* A uniform float in [0,1) from the top 53 bits. *)
 let u01 h = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
 
+(* Concern tags: folding a distinct tag into the hash before the attempt
+   identity derives an independent stream per concern, so one concern's
+   draw never shifts another's. *)
+let tag_jitter_roll = 0x4a52 (* "JR" *)
+let tag_jitter_size = 0x4a53 (* "JS" *)
+let tag_fail = 0x464c (* "FL" *)
+let tag_latency = 0x4c54 (* "LT" *)
+
+let stream t ~tag ~disk ~block ~attempt ~start =
+  combine
+    (combine (combine (combine (combine (mix64 (Int64.of_int t.seed)) tag) disk) block) attempt)
+    start
+
 type draw = {
   duration : int;
   failed : bool;
 }
 
+(* The base service time of one attempt: the instance's fetch time under
+   [Planned], otherwise a draw from the plan's latency distribution. *)
+let latency_base t ~fetch_time ~disk ~block ~attempt ~start =
+  match t.latency with
+  | Planned -> fetch_time
+  | Const c -> c
+  | Uniform { lo; hi } ->
+    let u = u01 (stream t ~tag:tag_latency ~disk ~block ~attempt ~start) in
+    lo + min (hi - lo) (int_of_float (u *. float_of_int (hi - lo + 1)))
+  | Pareto { xm; alpha; cap } ->
+    (* Bounded Pareto by inverse CDF, truncated to the integer grid. *)
+    let u = u01 (stream t ~tag:tag_latency ~disk ~block ~attempt ~start) in
+    let fxm = float_of_int xm and fcap = float_of_int cap in
+    let r = (fxm /. fcap) ** alpha in
+    let x = fxm /. ((1.0 -. (u *. (1.0 -. r))) ** (1.0 /. alpha)) in
+    max xm (min cap (int_of_float x))
+
 let draw t ~fetch_time ~disk ~block ~attempt ~start =
-  let h =
-    combine (combine (combine (combine (mix64 (Int64.of_int t.seed)) disk) block) attempt) start
-  in
-  let jitter_roll = u01 h in
-  let h = mix64 h in
-  let jitter_size = u01 h in
-  let h = mix64 h in
-  let fail_roll = u01 h in
+  let roll tag = u01 (stream t ~tag ~disk ~block ~attempt ~start) in
+  let base = latency_base t ~fetch_time ~disk ~block ~attempt ~start in
   let extra =
-    if t.jitter_prob > 0.0 && jitter_roll < t.jitter_prob then
-      1 + int_of_float (jitter_size *. float_of_int t.max_jitter) |> min t.max_jitter
+    if t.jitter_prob > 0.0 && roll tag_jitter_roll < t.jitter_prob then
+      1 + int_of_float (roll tag_jitter_size *. float_of_int t.max_jitter) |> min t.max_jitter
     else 0
   in
-  { duration = fetch_time + extra; failed = t.fail_prob > 0.0 && fail_roll < t.fail_prob }
+  { duration = base + extra; failed = t.fail_prob > 0.0 && roll tag_fail < t.fail_prob }
+
+let max_latency t ~fetch_time =
+  match t.latency with
+  | Planned -> fetch_time
+  | Const c -> c
+  | Uniform { hi; _ } -> hi
+  | Pareto { cap; _ } -> cap
+
+let mean_latency t ~fetch_time =
+  match t.latency with
+  | Planned -> float_of_int fetch_time
+  | Const c -> float_of_int c
+  | Uniform { lo; hi } -> float_of_int (lo + hi) /. 2.0
+  | Pareto { xm; alpha; cap } ->
+    (* Continuous bounded-Pareto mean; the integer truncation biases the
+       realized mean slightly low, so this is a label, not an identity. *)
+    let l = float_of_int xm and h = float_of_int cap in
+    if abs_float (alpha -. 1.0) < 1e-9 then
+      l *. h /. (h -. l) *. log (h /. l)
+    else
+      (l ** alpha) /. (1.0 -. ((l /. h) ** alpha))
+      *. (alpha /. (alpha -. 1.0))
+      *. ((1.0 /. (l ** (alpha -. 1.0))) -. (1.0 /. (h ** (alpha -. 1.0))))
 
 let disk_down t ~disk ~time =
   List.exists (fun o -> o.disk = disk && o.from_time <= time && time < o.until_time) t.outages

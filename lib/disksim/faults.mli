@@ -3,11 +3,14 @@
     The paper's model assumes every fetch takes exactly [F] units and
     every disk is always up.  A fault plan perturbs that model the way
     real storage does - per-fetch latency jitter (a fetch takes [F + d]),
+    stochastic service times drawn from a latency distribution,
     transient fetch failures with a bounded retry policy, and timed
     whole-disk outages - while staying fully deterministic: every draw is
-    a pure hash of the plan seed and the attempt's identity (disk, block,
-    attempt number, start time), so replaying the same schedule under the
-    same plan reproduces the same faults exactly.
+    a pure hash of the plan seed, a per-concern stream tag, and the
+    attempt's identity (disk, block, attempt number, start time), so
+    replaying the same schedule under the same plan reproduces the same
+    faults exactly, and changing one concern (say, the latency
+    distribution) never perturbs the draws of another (jitter, failures).
 
     {!none} is the empty plan; executing under it is byte-identical to
     the fault-free simulator. *)
@@ -39,38 +42,70 @@ type outage = {
   until_time : int;  (** the disk is down during [[from_time, until_time)] *)
 }
 
+(** Distribution of the base service time of one fetch attempt.
+    [Planned] keeps the instance's fixed fetch time [F]; the others
+    replace it with a seeded draw (jitter, when enabled, is added on
+    top). *)
+type latency =
+  | Planned  (** the instance's deterministic fetch time *)
+  | Const of int  (** every attempt takes exactly this many units *)
+  | Uniform of { lo : int; hi : int }  (** uniform on [[lo, hi]], integers *)
+  | Pareto of { xm : int; alpha : float; cap : int }
+      (** bounded Pareto: scale [xm], shape [alpha], truncated at [cap] *)
+
 type t = {
   seed : int;
   jitter_prob : float;  (** probability an attempt is slowed *)
-  max_jitter : int;  (** slowed attempts take [F + U{1..max_jitter}] units *)
+  max_jitter : int;  (** slowed attempts take [base + U{1..max_jitter}] units *)
   fail_prob : float;  (** probability an attempt fails (after its service time) *)
   retry : retry;
   outages : outage list;
+  latency : latency;  (** base service-time distribution *)
 }
 
 val none : t
+
 val is_none : t -> bool
+(** True iff the plan perturbs nothing: no jitter, no failures, no
+    outages, and [Planned] latency. *)
+
+exception Invalid_plan of { field : string; reason : string }
+(** Raised by {!make} on a malformed plan; [field] names the offending
+    parameter.  A printer is registered. *)
 
 val make :
   ?seed:int -> ?jitter_prob:float -> ?max_jitter:int -> ?fail_prob:float ->
-  ?retry:retry -> ?outages:outage list -> unit -> t
+  ?retry:retry -> ?outages:outage list -> ?latency:latency -> unit -> t
 (** Defaults: seed 1, no jitter, no failures, {!default_retry}, no
-    outages.  @raise Invalid_argument on negative fields, probabilities
-    outside [0,1], [fail_prob = 1] (which could never terminate), or
-    malformed outage windows. *)
+    outages, [Planned] latency.  @raise Invalid_plan on negative fields,
+    probabilities outside [0,1], [fail_prob = 1] (which could never
+    terminate), malformed latency parameters, or malformed outage
+    windows. *)
 
 val pp : Format.formatter -> t -> unit
+val pp_latency : Format.formatter -> latency -> unit
 
 (** {1 Deterministic draws} *)
 
 type draw = {
-  duration : int;  (** actual attempt duration, [>= fetch_time] *)
+  duration : int;  (** actual attempt duration, [>= 1] *)
   failed : bool;  (** the attempt occupies the disk for [duration] units
                       and then fails without delivering the block *)
 }
 
 val draw : t -> fetch_time:int -> disk:int -> block:int -> attempt:int -> start:int -> draw
-(** Pure function of the plan seed and the attempt identity. *)
+(** Pure function of the plan seed and the attempt identity.  The
+    duration is the latency-distribution base (or [fetch_time] under
+    [Planned]) plus any jitter. *)
+
+val max_latency : t -> fetch_time:int -> int
+(** Worst-case base service time of one attempt (excluding jitter):
+    [fetch_time] under [Planned], the distribution's upper bound
+    otherwise.  Used to size simulation horizons. *)
+
+val mean_latency : t -> fetch_time:int -> float
+(** Expected base service time (continuous approximation for the
+    bounded-Pareto case).  For display only. *)
 
 val disk_down : t -> disk:int -> time:int -> bool
 
@@ -95,7 +130,7 @@ val event_time : event -> int
 val pp_event : Format.formatter -> event -> unit
 
 type report = {
-  injected_jitter : int;  (** total extra latency units added *)
+  injected_jitter : int;  (** total extra latency units beyond the planned fetch time *)
   transient_failures : int;  (** failed attempts (excluding outage aborts) *)
   retries : int;  (** attempts beyond each fetch's first *)
   abandoned : int;  (** fetches that exhausted their attempts *)

@@ -36,3 +36,25 @@ let compare_start a b =
   match compare a.at_cursor b.at_cursor with
   | 0 -> (match compare a.delay b.delay with 0 -> compare a.disk b.disk | c -> c)
   | c -> c
+
+(* Static (instance-level) validity of one fetch operation, shared by
+   every executor so the rejection wording stays identical across them.
+   Dynamic legality (busy disk, residency, capacity) is the executor's
+   business. *)
+let validate (inst : Instance.t) f : (unit, string) result =
+  let n = Instance.length inst in
+  let num_blocks = Instance.num_blocks inst in
+  let num_disks = inst.Instance.num_disks in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if f.at_cursor < 0 || f.at_cursor > n then
+    err "fetch %s anchored outside [0,%d]" (Format.asprintf "%a" pp f) n
+  else if f.delay < 0 then err "negative delay"
+  else if f.block < 0 || f.block >= num_blocks then err "fetch of unknown block %d" f.block
+  else if f.disk < 0 || f.disk >= num_disks then err "fetch on unknown disk %d" f.disk
+  else if inst.Instance.disk_of.(f.block) <> f.disk then
+    err "block %d lives on disk %d, fetched from disk %d" f.block inst.Instance.disk_of.(f.block)
+      f.disk
+  else
+    match f.evict with
+    | Some b when b < 0 || b >= num_blocks -> err "eviction of unknown block %d" b
+    | _ -> Ok ()

@@ -30,3 +30,10 @@ val pp_schedule : Format.formatter -> schedule -> unit
 
 val compare_start : t -> t -> int
 (** Deterministic processing order: anchor, then delay, then disk. *)
+
+val validate : Instance.t -> t -> (unit, string) result
+(** Static validity against the instance: anchor in range, non-negative
+    delay, known block/disk, block fetched from its home disk, known
+    eviction victim.  Every executor funnels through this so rejection
+    wording is identical across them; dynamic legality (busy disk,
+    residency, capacity) remains each executor's business. *)

@@ -2,7 +2,9 @@
 
    One row for the processor (serve/stall per time unit) and one row per
    disk (fetch progress), driven by the executor's event trace so the
-   rendering can never disagree with the measured timings.
+   rendering can never disagree with the measured timings.  Fetch bar
+   lengths pair each start with the next completion on the same disk, so
+   stochastic-latency runs draw their actual durations.
 
    Example output for the paper's two-disk instance:
 
@@ -10,63 +12,127 @@
      cpu      ssss.ss..s
      disk0    [b2:===)[b3:===)
      disk1     [b6:===)
-*)
+
+   [render_delayed] additionally draws a "waitq" row: the number of
+   requests parked on in-flight fetches during each unit (delayed-hit
+   executor). *)
+
+(* Duration of the fetch starting at [start] on disk [d]: distance to
+   the next completion on the same disk, falling back to the planned F
+   for starts the run never completed. *)
+let durations (inst : Instance.t) events =
+  let pending = Array.make inst.Instance.num_disks None in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Simulate.Fetch_start { time; fetch } -> pending.(fetch.Fetch_op.disk) <- Some time
+      | Simulate.Fetch_complete { time; fetch } -> (
+        match pending.(fetch.Fetch_op.disk) with
+        | Some t0 ->
+          Hashtbl.replace tbl (fetch.Fetch_op.disk, t0) (time - t0);
+          pending.(fetch.Fetch_op.disk) <- None
+        | None -> ())
+      | _ -> ())
+    events;
+  fun ~disk ~start ->
+    match Hashtbl.find_opt tbl (disk, start) with
+    | Some d -> d
+    | None -> inst.Instance.fetch_time
+
+let render_stats ?(waitq : (int * int) list option) (inst : Instance.t)
+    (stats : Simulate.stats) ~footer : string =
+  let horizon = stats.Simulate.elapsed_time in
+  let cpu = Bytes.make horizon ' ' in
+  let disks = Array.init inst.Instance.num_disks (fun _ -> Bytes.make (horizon + 16) ' ') in
+  let label_rows = Array.make inst.Instance.num_disks [] in
+  List.iter
+    (fun ev ->
+       match ev with
+       | Simulate.Serve { time; _ } -> if time < horizon then Bytes.set cpu time 's'
+       | Simulate.Stall { time } -> if time < horizon then Bytes.set cpu time '.'
+       | Simulate.Fetch_start { time; fetch } ->
+         label_rows.(fetch.Fetch_op.disk) <-
+           (time, fetch.Fetch_op.block, fetch.Fetch_op.evict) :: label_rows.(fetch.Fetch_op.disk)
+       | Simulate.Fetch_complete _ -> ())
+    stats.Simulate.events;
+  let duration_of = durations inst stats.Simulate.events in
+  Array.iteri
+    (fun d row ->
+       List.iter
+         (fun (start, block, _evict) ->
+            let label = Printf.sprintf "[b%d:" block in
+            let fin = start + duration_of ~disk:d ~start in
+            let len = String.length label in
+            if start + len < Bytes.length row then
+              Bytes.blit_string label 0 row start len;
+            for t = start + len to Stdlib.min (fin - 1) (Bytes.length row - 1) do
+              Bytes.set row t '='
+            done;
+            if fin - 1 >= 0 && fin - 1 < Bytes.length row then Bytes.set row (fin - 1) ')')
+         (List.rev label_rows.(d)))
+    disks;
+  let buf = Buffer.create 256 in
+  let time_ruler =
+    String.init horizon (fun t -> Char.chr (Char.code '0' + (t mod 10)))
+  in
+  Buffer.add_string buf (Printf.sprintf "%-8s %s\n" "t" time_ruler);
+  Buffer.add_string buf (Printf.sprintf "%-8s %s\n" "cpu" (Bytes.to_string cpu));
+  let rtrim s =
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = ' ' do
+      decr n
+    done;
+    String.sub s 0 !n
+  in
+  Array.iteri
+    (fun d row ->
+       Buffer.add_string buf
+         (Printf.sprintf "%-8s %s\n" (Printf.sprintf "disk%d" d) (rtrim (Bytes.to_string row))))
+    disks;
+  (match waitq with
+   | None -> ()
+   | Some spans ->
+     let row = Bytes.make horizon ' ' in
+     List.iter
+       (fun (from_t, until_t) ->
+          for t = from_t to Stdlib.min (until_t - 1) (horizon - 1) do
+            let c = Bytes.get row t in
+            let depth = if c = ' ' then 1 else Stdlib.min 9 (Char.code c - Char.code '0' + 1) in
+            Bytes.set row t (Char.chr (Char.code '0' + depth))
+          done)
+       spans;
+     Buffer.add_string buf (Printf.sprintf "%-8s %s\n" "waitq" (rtrim (Bytes.to_string row))));
+  Buffer.add_string buf footer;
+  Buffer.contents buf
 
 let render (inst : Instance.t) (schedule : Fetch_op.schedule) : (string, string) Result.t =
   match Simulate.run ~extra_slots:(2 * inst.Instance.num_disks) ~record_events:true inst schedule with
   | Error e -> Error (Printf.sprintf "invalid schedule at t=%d: %s" e.Simulate.at_time e.Simulate.reason)
   | Ok stats ->
-    let horizon = stats.Simulate.elapsed_time in
-    let cpu = Bytes.make horizon ' ' in
-    let disks = Array.init inst.Instance.num_disks (fun _ -> Bytes.make (horizon + 16) ' ') in
-    let label_rows = Array.make inst.Instance.num_disks [] in
-    List.iter
-      (fun ev ->
-         match ev with
-         | Simulate.Serve { time; _ } -> if time < horizon then Bytes.set cpu time 's'
-         | Simulate.Stall { time } -> if time < horizon then Bytes.set cpu time '.'
-         | Simulate.Fetch_start { time; fetch } ->
-           label_rows.(fetch.Fetch_op.disk) <-
-             (time, fetch.Fetch_op.block, fetch.Fetch_op.evict) :: label_rows.(fetch.Fetch_op.disk)
-         | Simulate.Fetch_complete _ -> ())
-      stats.Simulate.events;
-    Array.iteri
-      (fun d row ->
-         List.iter
-           (fun (start, block, _evict) ->
-              let label = Printf.sprintf "[b%d:" block in
-              let fin = start + inst.Instance.fetch_time in
-              let len = String.length label in
-              if start + len < Bytes.length row then
-                Bytes.blit_string label 0 row start len;
-              for t = start + len to Stdlib.min (fin - 1) (Bytes.length row - 1) do
-                Bytes.set row t '='
-              done;
-              if fin - 1 >= 0 && fin - 1 < Bytes.length row then Bytes.set row (fin - 1) ')')
-           (List.rev label_rows.(d)))
-      disks;
-    let buf = Buffer.create 256 in
-    let time_ruler =
-      String.init horizon (fun t -> Char.chr (Char.code '0' + (t mod 10)))
+    Ok
+      (render_stats inst stats
+         ~footer:
+           (Printf.sprintf "%-8s stall=%d elapsed=%d ('s'=serve, '.'=stall)\n" ""
+              stats.Simulate.stall_time stats.Simulate.elapsed_time))
+
+let render_delayed ?(window = 0) ?(faults = Faults.none) (inst : Instance.t)
+    (schedule : Fetch_op.schedule) : (string, string) Result.t =
+  match
+    Delayed.run ~extra_slots:(2 * inst.Instance.num_disks) ~record_events:true ~window ~faults
+      inst schedule
+  with
+  | Error e -> Error (Printf.sprintf "invalid schedule at t=%d: %s" e.Simulate.at_time e.Simulate.reason)
+  | Ok d ->
+    let spans =
+      List.map (fun (w : Delayed.wait) -> (w.Delayed.parked_at, w.Delayed.ready_at)) d.Delayed.waits
     in
-    Buffer.add_string buf (Printf.sprintf "%-8s %s\n" "t" time_ruler);
-    Buffer.add_string buf (Printf.sprintf "%-8s %s\n" "cpu" (Bytes.to_string cpu));
-    let rtrim s =
-      let n = ref (String.length s) in
-      while !n > 0 && s.[!n - 1] = ' ' do
-        decr n
-      done;
-      String.sub s 0 !n
-    in
-    Array.iteri
-      (fun d row ->
-         Buffer.add_string buf
-           (Printf.sprintf "%-8s %s\n" (Printf.sprintf "disk%d" d) (rtrim (Bytes.to_string row))))
-      disks;
-    Buffer.add_string buf
-      (Printf.sprintf "%-8s stall=%d elapsed=%d ('s'=serve, '.'=stall)\n" ""
-         stats.Simulate.stall_time stats.Simulate.elapsed_time);
-    Ok (Buffer.contents buf)
+    Ok
+      (render_stats ~waitq:spans inst d.Delayed.base
+         ~footer:
+           (Printf.sprintf
+              "%-8s stall=%d elapsed=%d hits=%d wait=%d depth<=%d ('s'=serve, '.'=stall, waitq=parked)\n"
+              "" d.Delayed.base.Simulate.stall_time d.Delayed.base.Simulate.elapsed_time
+              d.Delayed.delayed_hits d.Delayed.delayed_wait d.Delayed.max_queue_depth))
 
 let print inst schedule =
   match render inst schedule with

@@ -2,10 +2,20 @@
 
     One row for the processor (serve/stall per time unit) and one per disk
     (fetch bars), driven by the executor's event trace so the rendering can
-    never disagree with the measured timings. *)
+    never disagree with the measured timings.  Fetch bar lengths pair each
+    start with the next completion on the same disk, so jittered and
+    stochastic-latency runs draw their actual durations. *)
 
 val render : Instance.t -> Fetch_op.schedule -> (string, string) Result.t
 (** [Error reason] when the executor rejects the schedule. *)
+
+val render_delayed :
+  ?window:int -> ?faults:Faults.t -> Instance.t -> Fetch_op.schedule ->
+  (string, string) Result.t
+(** Renders the schedule under the delayed-hit executor ({!Delayed.run}
+    with the same defaults), adding a "waitq" row showing how many
+    requests are parked on in-flight fetches during each unit (digits,
+    capped at 9) and a footer with the delayed-hit counters. *)
 
 val print : Instance.t -> Fetch_op.schedule -> unit
 (** Prints the rendering, or a one-line error. *)

@@ -51,6 +51,48 @@ let fetch_args (inst : Instance.t) (stats : Simulate.stats) (f : Fetch_op.t) =
     [ ("stall_involuntary", Tjson.Int a.Simulate.involuntary_stall);
       ("stall_voluntary", Tjson.Int a.Simulate.voluntary_stall) ]
 
+(* Actual fetch durations, by pairing each Fetch_start with the next
+   Fetch_complete on the same disk (each disk runs one fetch at a time).
+   Under a stochastic-latency or jittered plan the durations vary per
+   fetch, so the planned F is only the fallback - used for starts with
+   no completion in the event list (run ended, or the attempt failed). *)
+let fetch_durations (inst : Instance.t) events =
+  let pending = Array.make inst.Instance.num_disks None in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Simulate.Fetch_start { time; fetch } -> pending.(fetch.Fetch_op.disk) <- Some time
+      | Simulate.Fetch_complete { time; fetch } -> (
+        match pending.(fetch.Fetch_op.disk) with
+        | Some t0 ->
+          Hashtbl.replace tbl (fetch.Fetch_op.disk, t0) (time - t0);
+          pending.(fetch.Fetch_op.disk) <- None
+        | None -> ())
+      | _ -> ())
+    events;
+  fun ~disk ~start ->
+    match Hashtbl.find_opt tbl (disk, start) with
+    | Some d -> d
+    | None -> inst.Instance.fetch_time
+
+(* The wait-queue lane (tid [num_disks + 3]): each delayed hit renders
+   as a duration event spanning its residual wait. *)
+let delayed_lane ~tid (waits : Delayed.wait list) : Trace_event.t list =
+  Trace_event.thread_name ~tid "waitq"
+  :: Trace_event.thread_sort_index ~tid tid
+  :: List.map
+       (fun (w : Delayed.wait) ->
+          Trace_event.duration ~cat:"delayed"
+            ~name:(Printf.sprintf "wait b%d" w.Delayed.block)
+            ~args:
+              [ ("request", Tjson.Int (w.Delayed.req_index + 1));
+                ("disk", Tjson.Int w.Delayed.disk);
+                ("queue_depth", Tjson.Int w.Delayed.queue_depth) ]
+            ~ts:(scale w.Delayed.parked_at)
+            ~dur:(scale (w.Delayed.ready_at - w.Delayed.parked_at))
+            ~tid ())
+       waits
+
 (* The fault lane (tid [num_disks + 1]): outages render as duration
    events by pairing each begin with its end on the same disk; every
    other injected fault is an instant. *)
@@ -115,7 +157,8 @@ let fault_lane ~tid (report : Faults.report) : Trace_event.t list =
   :: convert report.Faults.events
 
 let events ?(faults : Faults.report option) ?(provenance : Event_log.event list option)
-    (inst : Instance.t) (stats : Simulate.stats) : Trace_event.t list =
+    ?(delayed : Delayed.wait list option) (inst : Instance.t) (stats : Simulate.stats) :
+  Trace_event.t list =
   let meta =
     Trace_event.process_name "ipc simulation"
     :: Trace_event.thread_name ~tid:0 "cpu"
@@ -142,6 +185,7 @@ let events ?(faults : Faults.report option) ?(provenance : Event_log.event list 
            ~ts:(scale time) ~dur:(scale len) ~tid:0 ())
       (serve_runs stats.Simulate.events)
   in
+  let duration_of = fetch_durations inst stats.Simulate.events in
   let stalls_and_fetches =
     List.filter_map
       (function
@@ -149,14 +193,12 @@ let events ?(faults : Faults.report option) ?(provenance : Event_log.event list 
         | Simulate.Stall { time } ->
           Some (Trace_event.instant ~cat:"stall" ~name:"stall" ~ts:(scale time) ~tid:0 ())
         | Simulate.Fetch_start { time; fetch } ->
-          (* Completion time is start + F by construction; pairing with the
-             matching Fetch_complete would yield the same duration. *)
           Some
             (Trace_event.duration ~cat:"fetch"
                ~name:(Printf.sprintf "fetch b%d" fetch.Fetch_op.block)
                ~args:(fetch_args inst stats fetch)
                ~ts:(scale time)
-               ~dur:(scale inst.Instance.fetch_time)
+               ~dur:(scale (duration_of ~disk:fetch.Fetch_op.disk ~start:time))
                ~tid:(fetch.Fetch_op.disk + 1) ())
         | Simulate.Fetch_complete _ -> None)
       stats.Simulate.events
@@ -177,14 +219,20 @@ let events ?(faults : Faults.report option) ?(provenance : Event_log.event list 
     | Some (_ :: _ as evs) -> Event_log.trace_lane ~tid:(inst.Instance.num_disks + 2) evs
     | Some [] | None -> []
   in
-  meta @ serves @ stalls_and_fetches @ occupancy @ faults @ provenance
+  let delayed =
+    match delayed with
+    | Some (_ :: _ as waits) -> delayed_lane ~tid:(inst.Instance.num_disks + 3) waits
+    | Some [] | None -> []
+  in
+  meta @ serves @ stalls_and_fetches @ occupancy @ faults @ provenance @ delayed
 
-let to_string ?faults ?provenance inst stats =
-  Trace_event.to_string (events ?faults ?provenance inst stats)
+let to_string ?faults ?provenance ?delayed inst stats =
+  Trace_event.to_string (events ?faults ?provenance ?delayed inst stats)
 
-let write ?faults ?provenance oc inst stats =
-  Trace_event.write oc (events ?faults ?provenance inst stats)
+let write ?faults ?provenance ?delayed oc inst stats =
+  Trace_event.write oc (events ?faults ?provenance ?delayed inst stats)
 
-let write_file ?faults ?provenance path inst stats =
+let write_file ?faults ?provenance ?delayed path inst stats =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write ?faults ?provenance oc inst stats)
+  Fun.protect ~finally:(fun () -> close_out oc)
+    (fun () -> write ?faults ?provenance ?delayed oc inst stats)

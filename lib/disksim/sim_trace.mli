@@ -3,9 +3,13 @@
 
     Lanes: tid 0 is the cpu (serve runs as duration events, stall units
     as instants), tid [1+d] is disk [d] (fetches as duration events with
-    their stall charges in [args]); the cache-occupancy timeline becomes
-    counter events.  Requires a run with [record_events]; stall charges
-    and the occupancy track additionally need [attribution].
+    their stall charges in [args]).  Fetch durations are recovered by
+    pairing each start with the next completion on the same disk, so
+    jittered and stochastic-latency runs render their actual durations;
+    the planned [F] is only the fallback for starts with no completion.
+    The cache-occupancy timeline becomes counter events.  Requires a run
+    with [record_events]; stall charges and the occupancy track
+    additionally need [attribution].
 
     Passing [?faults] (a report from {!Simulate.run_faulty} or the
     Resilient executor) adds a "faults" lane at tid [num_disks + 1]:
@@ -15,21 +19,27 @@
     Passing [?provenance] (decision events captured by {!Event_log})
     adds a "decisions" lane at tid [num_disks + 2]: stall intervals and
     clock skips as duration events, issues/completions/evictions/clamps
-    as instants.  Omitting it (or passing []) leaves the output
-    byte-identical to the pre-provenance format. *)
+    as instants.
+
+    Passing [?delayed] (the waits of a {!Delayed} run) adds a "waitq"
+    lane at tid [num_disks + 3]: each delayed hit as a duration event
+    spanning its residual wait, carrying the queue depth.
+
+    Omitting any optional lane (or passing []) leaves the output
+    byte-identical to the format without it. *)
 
 val events :
-  ?faults:Faults.report -> ?provenance:Event_log.event list -> Instance.t -> Simulate.stats ->
-  Trace_event.t list
+  ?faults:Faults.report -> ?provenance:Event_log.event list -> ?delayed:Delayed.wait list ->
+  Instance.t -> Simulate.stats -> Trace_event.t list
 
 val to_string :
-  ?faults:Faults.report -> ?provenance:Event_log.event list -> Instance.t -> Simulate.stats ->
-  string
+  ?faults:Faults.report -> ?provenance:Event_log.event list -> ?delayed:Delayed.wait list ->
+  Instance.t -> Simulate.stats -> string
 
 val write :
-  ?faults:Faults.report -> ?provenance:Event_log.event list -> out_channel -> Instance.t ->
-  Simulate.stats -> unit
+  ?faults:Faults.report -> ?provenance:Event_log.event list -> ?delayed:Delayed.wait list ->
+  out_channel -> Instance.t -> Simulate.stats -> unit
 
 val write_file :
-  ?faults:Faults.report -> ?provenance:Event_log.event list -> string -> Instance.t ->
-  Simulate.stats -> unit
+  ?faults:Faults.report -> ?provenance:Event_log.event list -> ?delayed:Delayed.wait list ->
+  string -> Instance.t -> Simulate.stats -> unit

@@ -147,21 +147,10 @@ let exec ~extra_slots ~record_events ~attribution ~(faults : Faults.t) (inst : I
   let fetch_time = inst.Instance.fetch_time in
   let faulty = not (Faults.is_none faults) in
   let attribution = attribution || faulty || Telemetry.enabled () in
-  (* Static validation of fetch operations. *)
+  (* Static validation of fetch operations (shared wording across
+     executors lives in [Fetch_op.validate]). *)
   let validate f =
-    let open Fetch_op in
-    if f.at_cursor < 0 || f.at_cursor > n then
-      rejectf 0 "fetch %s anchored outside [0,%d]" (Format.asprintf "%a" Fetch_op.pp f) n;
-    if f.delay < 0 then rejectf 0 "negative delay";
-    if f.block < 0 || f.block >= num_blocks then rejectf 0 "fetch of unknown block %d" f.block;
-    if f.disk < 0 || f.disk >= num_disks then
-      rejectf 0 "fetch on unknown disk %d" f.disk;
-    if inst.Instance.disk_of.(f.block) <> f.disk then
-      rejectf 0 "block %d lives on disk %d, fetched from disk %d" f.block
-        inst.Instance.disk_of.(f.block) f.disk;
-    match f.evict with
-    | Some b when b < 0 || b >= num_blocks -> rejectf 0 "eviction of unknown block %d" b
-    | _ -> ()
+    match Fetch_op.validate inst f with Ok () -> () | Error reason -> rejectf 0 "%s" reason
   in
   let result =
     try
@@ -312,7 +301,7 @@ let exec ~extra_slots ~record_events ~attribution ~(faults : Faults.t) (inst : I
         if not faulty then clean
         else begin
           let ma = faults.Faults.retry.Faults.max_attempts in
-          let worst_attempt = fetch_time + faults.Faults.max_jitter in
+          let worst_attempt = Faults.max_latency faults ~fetch_time + faults.Faults.max_jitter in
           let backoff_total = ref 0 in
           for a = 1 to ma - 1 do
             backoff_total := !backoff_total + Faults.backoff_delay faults.Faults.retry ~attempt:a

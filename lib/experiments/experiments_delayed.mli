@@ -1,0 +1,15 @@
+(** Delayed-hit experiments (E16 of DESIGN.md): drift of each scheduler
+    from its deterministic elapsed-ratio bound (Theorem 1, the 2-approx,
+    Corollary 2) as the fetch-latency variance and the wait-queue window
+    grow - outside the paper's theorems, measuring how far stochastic
+    latency and queueing stretch them. *)
+
+val e16 : ?count:int -> unit -> Tablefmt.t
+(** Aggressive, Conservative and Combination on a small single-disk pool
+    under three latency distributions (const F, uniform, bounded Pareto)
+    and windows 0/4/16: measured mean elapsed ratio vs the deterministic
+    bound, with delayed-hit counts, wait units and peak queue depth.
+    The const-F / window-0 rows are the degenerate control (byte-identical
+    to the classic executor). *)
+
+val all : unit -> Tablefmt.t list

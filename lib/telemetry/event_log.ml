@@ -39,6 +39,16 @@ type event =
        frontier fell from [from_pos] to [to_pos]. *)
   | Clock_skip of { from_time : int; until_time : int; cursor : int }
     (* The event-skipping clock jumped a uniform stall run at once. *)
+  | Delayed_hit of {
+      time : int;
+      cursor : int;
+      block : int;
+      disk : int;
+      queue_depth : int;  (* waiters on the in-flight fetch, this one included *)
+      residual : int;  (* remaining latency of the supplying fetch *)
+    }
+    (* A request joined the wait queue of a block already in flight
+       instead of stalling the clock (delayed-hit executor only). *)
   | Note of { time : int; component : string; message : string }
     (* Structured diagnostic (e.g. an export failure, a protected-run
        error) so reports never lose a failure to stderr. *)
@@ -142,6 +152,11 @@ let json_of_event ev : Tjson.t =
     Tjson.Obj
       [ ("event", Tjson.String "clock_skip"); ("from", Tjson.Int from_time);
         ("until", Tjson.Int until_time); ("cursor", Tjson.Int cursor) ]
+  | Delayed_hit { time; cursor; block; disk; queue_depth; residual } ->
+    Tjson.Obj
+      [ ("event", Tjson.String "delayed_hit"); ("time", Tjson.Int time);
+        ("cursor", Tjson.Int cursor); ("block", Tjson.Int block); ("disk", Tjson.Int disk);
+        ("queue_depth", Tjson.Int queue_depth); ("residual", Tjson.Int residual) ]
   | Note { time; component; message } ->
     Tjson.Obj
       [ ("event", Tjson.String "note"); ("time", Tjson.Int time);
@@ -180,6 +195,9 @@ let pp fmt = function
   | Clock_skip { from_time; until_time; cursor } ->
     Format.fprintf fmt "t=%-5d clock skips [%d,%d) at r%d (%d units)" from_time from_time
       until_time (cursor + 1) (until_time - from_time)
+  | Delayed_hit { time; cursor; block; disk; queue_depth; residual } ->
+    Format.fprintf fmt "t=%-5d delayed hit on b%d (disk %d) at r%d: queue depth %d, %d left"
+      time block disk (cursor + 1) queue_depth residual
   | Note { time; component; message } ->
     Format.fprintf fmt "t=%-5d note [%s] %s" time component message
 
@@ -229,6 +247,14 @@ let trace_lane ~tid events : Tjson.t list =
       Some
         (Trace_event.instant ~cat:"provenance" ~name:"frontier clamp"
            ~args:[ ("from", Tjson.Int from_pos); ("to", Tjson.Int to_pos) ]
+           ~ts:(time * us) ~tid ())
+    | Delayed_hit { time; block; cursor; queue_depth; residual; _ } ->
+      Some
+        (Trace_event.instant ~cat:"provenance"
+           ~name:(Printf.sprintf "delayed hit b%d" block)
+           ~args:
+             [ ("request", Tjson.Int (cursor + 1)); ("queue_depth", Tjson.Int queue_depth);
+               ("residual", Tjson.Int residual) ]
            ~ts:(time * us) ~tid ())
     | Note { time; component; message } ->
       Some

@@ -41,6 +41,16 @@ type event =
   | Clock_skip of { from_time : int; until_time : int; cursor : int }
       (** The event-skipping clock jumped a uniform stall run in one
           step instead of ticking through it. *)
+  | Delayed_hit of {
+      time : int;
+      cursor : int;
+      block : int;
+      disk : int;
+      queue_depth : int;  (** waiters on the in-flight fetch, this one included *)
+      residual : int;  (** remaining latency of the supplying fetch *)
+    }
+      (** A request joined the wait queue of a block already in flight
+          instead of stalling the clock (delayed-hit executor only). *)
   | Note of { time : int; component : string; message : string }
       (** Structured diagnostic (export failure, protected-run error)
           so reports never lose a failure to stderr. *)

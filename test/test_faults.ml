@@ -30,7 +30,7 @@ let test_backoff () =
 
 let test_make_validation () =
   let rejects name f = Alcotest.check_raises name (Invalid_argument "") (fun () ->
-      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+      try f () with Faults.Invalid_plan _ -> raise (Invalid_argument ""))
   in
   rejects "fail_prob 1 (would livelock)" (fun () ->
       ignore (Faults.make ~fail_prob:1.0 ()));
@@ -314,7 +314,7 @@ let test_resilient_rejects_malformed () =
        try
          ignore
            (Resilient.execute ~faults:Faults.none inst [ fetch ~at_cursor:0 ~block:1 ~disk:3 ~evict:None () ])
-       with Invalid_argument _ -> raise (Invalid_argument ""))
+       with Simulate.Invalid_schedule _ -> raise (Invalid_argument ""))
 
 (* ------------------------------------------------------------------ *)
 (* Hardened trace parser. *)
