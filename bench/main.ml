@@ -176,12 +176,14 @@ let scaling_tests =
 
 (* The scale tier: driver-based schedulers on 10^5-10^6-request Zipf
    traces (k = 64, F = 8, one block per 64 requests - the ipc scale
-   defaults).  These guard the PR-5 driver rework: the fast engine must
-   keep scale_driver_aggressive_n1000000 near 10x its n100000 twin
-   (near-linear scaling; CI asserts a generous 25x to absorb cache
-   effects from the 10x-larger block space).  A separate pass
-   (--scale-only) with a small sample limit: one call runs for
-   0.03-1 s, so the default micro quota would oversample. *)
+   defaults).  These guard the driver rework (PR 5) and the
+   Conservative/Online/Delay fast paths (PR 8): every scheduler gets an
+   n100000 and an n1000000 entry, and the fast engine must keep each
+   n1000000 entry near 10x its n100000 twin (near-linear scaling; CI
+   asserts a generous 25x to absorb cache effects from the 10x-larger
+   block space) and within 5x of Aggressive at the same n.  A separate
+   pass (--scale-only) with a small sample limit: one call runs for
+   0.03-2 s, so the default micro quota would oversample. *)
 let scale_driver_tests =
   let mk n =
     lazy
@@ -191,19 +193,23 @@ let scale_driver_tests =
   let w5 = mk 100_000 in
   let w6 = mk 1_000_000 in
   let d0_scale = Bounds.delay_opt_d ~f:8 in
-  [ Test.make ~name:"scale_driver_aggressive_n100000"
-      (stage (fun () -> Aggressive.schedule (Lazy.force w5)));
-    Test.make ~name:"scale_driver_aggressive_n1000000"
-      (stage (fun () -> Aggressive.schedule (Lazy.force w6)));
-    Test.make ~name:"scale_driver_delay_n100000"
-      (stage (fun () -> Delay.schedule ~d:d0_scale (Lazy.force w5)));
-    Test.make ~name:"scale_driver_fixed_horizon_n100000"
-      (stage (fun () -> Fixed_horizon.schedule (Lazy.force w5)));
-    Test.make ~name:"scale_driver_conservative_n100000"
-      (stage (fun () -> Conservative.schedule (Lazy.force w5)));
-    Test.make ~name:"scale_driver_online_n100000"
-      (stage (fun () -> Online.schedule (Online.aggressive ~lookahead:32) (Lazy.force w5)));
-    (* Telemetry-enabled twin of scale_driver_aggressive_n100000: CI
+  let schedulers =
+    [ ("aggressive", Aggressive.schedule);
+      ("conservative", Conservative.schedule);
+      ("delay", Delay.schedule ~d:d0_scale);
+      ("combination", Combination.schedule);
+      ("fixed_horizon", Fixed_horizon.schedule);
+      ("online", Online.schedule (Online.aggressive ~lookahead:32));
+      ("reverse_aggressive", Reverse_aggressive.schedule) ]
+  in
+  List.concat_map
+    (fun (name, schedule) ->
+       [ Test.make ~name:(Printf.sprintf "scale_driver_%s_n100000" name)
+           (stage (fun () -> schedule (Lazy.force w5)));
+         Test.make ~name:(Printf.sprintf "scale_driver_%s_n1000000" name)
+           (stage (fun () -> schedule (Lazy.force w6))) ])
+    schedulers
+  @ [ (* Telemetry-enabled twin of scale_driver_aggressive_n100000: CI
        compares the pair and asserts the counters + streaming-histogram
        overhead stays under 10% (the zero-cost-when-disabled contract,
        measured rather than assumed).  The provenance event log stays

@@ -526,9 +526,15 @@ let fuzz_cmd =
     Arg.(
       value & flag
       & info [ "ceilings" ]
-          ~doc:"Print the differential-oracle size ceilings (largest instances the exact-optimum oracles accept) and exit.")
+          ~doc:"Print the differential-oracle size ceilings (largest instances the exact-optimum oracles accept) and the scale-tier budgets, then exit.")
   in
-  let run metrics seed cases classes dump no_dump max_failures progress self_test ceilings =
+  let scale_tier_arg =
+    Arg.(
+      value & flag
+      & info [ "scale" ]
+          ~doc:"Run the scale tier instead of the exact-oracle corpus: 10^4..10^5-request traces from the scale families, checked for validity, per-scheduler time budget, accounting identities, and fast-vs-reference agreement on a capped prefix.")
+  in
+  let run metrics seed cases classes dump no_dump max_failures progress self_test ceilings scale =
     let ok =
       with_metrics metrics @@ fun () ->
       if ceilings then begin
@@ -536,6 +542,11 @@ let fuzz_cmd =
         Printf.printf "differential_single_blocks=%d\n" Ck_oracle.differential_single_blocks;
         Printf.printf "differential_parallel_ceiling=%d\n" Ck_oracle.differential_parallel_ceiling;
         Printf.printf "differential_node_budget=%d\n" Ck_oracle.differential_node_budget;
+        Printf.printf "scale_min_n=%d\n" Ck_scale.min_n;
+        Printf.printf "scale_max_n=%d\n" Ck_scale.max_n;
+        Printf.printf "scale_budget_ratio=%.1f\n" Ck_scale.budget_ratio;
+        Printf.printf "scale_budget_floor_seconds=%.2f\n" Ck_scale.budget_floor_seconds;
+        Printf.printf "scale_spot_check_cap=%d\n" Ck_scale.spot_check_cap;
         true
       end
       else if self_test then begin
@@ -578,7 +589,14 @@ let fuzz_cmd =
             progress;
           }
         in
-        let summary = Ck_runner.run cfg in
+        let summary =
+          if scale then
+            (* The scale tier swaps both the generator and the battery;
+               a typical CI run uses a couple dozen cases (each runs all
+               seven schedulers on up to 10^5 requests). *)
+            Ck_runner.run ~battery:Ck_scale.all ~generate:Ck_scale.generate cfg
+          else Ck_runner.run cfg
+        in
         Format.printf "%a@." Ck_runner.pp_summary summary;
         not (Ck_runner.failed summary)
       end
@@ -590,7 +608,7 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing of the schedulers against exact optima and the paper's theorem bounds.")
     Term.(
       const run $ metrics_arg $ fuzz_seed_arg $ cases_arg $ classes_arg $ dump_arg $ no_dump_arg
-      $ max_failures_arg $ progress_arg $ self_test_arg $ ceilings_arg)
+      $ max_failures_arg $ progress_arg $ self_test_arg $ ceilings_arg $ scale_tier_arg)
 
 (* opt: the exact branch-and-bound engine on one instance. *)
 let opt_cmd =
@@ -697,8 +715,10 @@ let scale_cmd =
       [ ("aggressive", Aggressive.schedule);
         ("conservative", Conservative.schedule);
         ("delay", Delay.schedule ~d:d0);
+        ("combination", Combination.schedule);
         ("fixed-horizon", Fixed_horizon.schedule);
-        ("online", Online.schedule (Online.aggressive ~lookahead:(4 * f))) ]
+        ("online", Online.schedule (Online.aggressive ~lookahead:(4 * f)));
+        ("reverse-aggr", Reverse_aggressive.schedule) ]
     in
     let failures = ref 0 in
     Printf.printf "%-12s %9s %-14s %10s %9s %9s%s\n" "family" "n" "algorithm" "time" "Mreq/s"

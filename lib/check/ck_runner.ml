@@ -49,7 +49,7 @@ let msg_of = function
   | Ck_oracle.Pass -> "(pass)"
   | Ck_oracle.Skip why -> Printf.sprintf "(skip: %s)" why
 
-let run ?battery:(oracles = battery ()) cfg =
+let run ?battery:(oracles = battery ()) ?(generate = Ck_gen.generate) cfg =
   let oracles =
     List.filter (fun o -> List.mem o.Ck_oracle.cls cfg.classes) oracles
   in
@@ -60,7 +60,7 @@ let run ?battery:(oracles = battery ()) cfg =
   let checks = ref 0 in
   (try
      for i = 0 to cfg.cases - 1 do
-       let case = Ck_gen.generate ~seed:cfg.seed ~index:i in
+       let case = generate ~seed:cfg.seed ~index:i in
        incr cases_run;
        List.iter
          (fun (o, tally) ->

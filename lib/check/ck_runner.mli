@@ -45,7 +45,14 @@ val battery : unit -> Ck_oracle.t list
 (** The full oracle battery: validity, accounting, the theorem oracles,
     the differential oracles, the delayed-hit oracles. *)
 
-val run : ?battery:Ck_oracle.t list -> config -> summary
+val run :
+  ?battery:Ck_oracle.t list ->
+  ?generate:(seed:int -> index:int -> Ck_gen.case) ->
+  config ->
+  summary
+(** [generate] defaults to {!Ck_gen.generate}; the scale tier passes
+    {!Ck_scale.generate} to drive the same engine over its own case
+    distribution. *)
 
 val failed : summary -> bool
 val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,47 @@
+(** Scale fuzz tier (PR 8).
+
+    The ck_gen corpus keeps instances small enough for exact oracles;
+    this tier generates 10^4-10^5-request single-disk traces from the
+    scale workload families and checks the seven production schedulers
+    where their fast paths actually matter:
+
+    - {e validity + budget}: every schedule is accepted by the executor,
+      and each scheduler finishes within {!budget_ratio} x Aggressive's
+      time on the same case (with an absolute floor so timer noise on
+      tiny shrunk instances cannot fail) - a hot-path regression to the
+      old quadratic scans fails this immediately;
+    - {e accounting}: the executor's stall/attribution identities on
+      representative schedules;
+    - {e fast vs reference}: byte-identical schedules against
+      [Driver.Reference] on a {!spot_check_cap}-request prefix (the
+      quadratic reference engine caps the affordable length).
+
+    Cases are pure functions of [(seed, index)] like {!Ck_gen.generate},
+    and are returned as {!Ck_gen.case}s (tier [Single]) so
+    {!Ck_runner.run} can drive this tier unchanged via its [~generate]
+    parameter. *)
+
+val min_n : int
+val max_n : int
+
+val budget_ratio : float
+(** Per-scheduler wall-clock ceiling as a multiple of Aggressive's time
+    on the same case - the acceptance bound the scale tier enforces. *)
+
+val budget_floor_seconds : float
+(** Absolute per-scheduler floor below which the ratio is not applied. *)
+
+val spot_check_cap : int
+(** Prefix length replayed against the Reference engine. *)
+
+val generate : seed:int -> index:int -> Ck_gen.case
+
+val schedulers : Instance.t -> (string * (Instance.t -> Fetch_op.schedule)) list
+(** The seven production schedulers: aggressive, conservative, delay(d0),
+    combination, fixed_horizon, online(la=4F), reverse_aggressive. *)
+
+val validity_and_budget : Ck_oracle.t
+val accounting : Ck_oracle.t
+val fast_vs_reference : Ck_oracle.t
+
+val all : Ck_oracle.t list

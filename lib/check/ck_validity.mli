@@ -25,3 +25,10 @@ val validity_with :
 
 val validity : Ck_oracle.t
 val accounting : Ck_oracle.t
+
+val check_identities :
+  alg_name:string -> Instance.t -> Fetch_op.schedule -> Ck_oracle.outcome option
+(** One instrumented replay of [schedule] with the executor's
+    self-consistency identities asserted; [None] means all hold.  Shared
+    with the scale tier ({!Ck_scale}), which runs it on traces far past
+    the exact-oracle ceilings. *)

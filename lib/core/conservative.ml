@@ -18,7 +18,15 @@ type pending = {
 }
 
 let plan (inst : Instance.t) : pending list =
-  let min_result = Paging.min_offline inst in
+  (* The whole cost of Conservative is the MIN precomputation; the decide
+     loop just pops a queue.  Gate the heap-based MIN on the driver
+     engine so [with_engine Reference] replays the seed fold-based MIN,
+     making the equivalence suite cover this planner too. *)
+  let min_result =
+    match Driver.active_engine () with
+    | Driver.Fast -> Paging.min_offline_fast inst
+    | Driver.Reference -> Paging.min_offline inst
+  in
   let nr = Next_ref.of_instance inst in
   List.map
     (fun (r : Paging.replacement) ->

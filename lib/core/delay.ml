@@ -24,7 +24,26 @@ type committed = {
 
 let schedule ~d (inst : Instance.t) : Fetch_op.schedule =
   if d < 0 then invalid_arg "Delay.schedule: d must be non-negative";
+  let merge_queries =
+    (* Fast path: skip the heap entirely when a free slot decides the
+       fetch, and reuse the late-check peek as the victim query when
+       d' = 0 (then both ask for the furthest next reference from the
+       cursor).  Identical decisions by construction, but keep the seed
+       two-query shape as the Reference oracle like the other rebuilt
+       schedulers. *)
+    match Driver.active_engine () with Driver.Fast -> true | Driver.Reference -> false
+  in
   let pending : committed option ref = ref None in
+  let commit_victim drv nr ~i ~j b =
+    (* Earliest initiation: after b's last request before j. *)
+    let eligible_cursor =
+      match Next_ref.prev_before nr b j with
+      | p when p >= i -> p + 1
+      | _ -> i
+    in
+    pending :=
+      Some { block = (Driver.instance drv).Instance.seq.(j); evict = b; eligible_cursor }
+  in
   let decide drv =
     if not (Driver.disk_busy drv 0) then begin
       (match !pending with
@@ -35,34 +54,39 @@ let schedule ~d (inst : Instance.t) : Fetch_op.schedule =
           | None -> ()
           | Some j ->
             let nr = Driver.next_ref drv in
-            (* Is some cached block requested only at or after position j?
-               Equivalent to the furthest next reference (measured from
-               the cursor) landing past j - one heap peek instead of a
-               scan over the whole cache. *)
-            let exists_late =
-              match Driver.furthest_cached drv ~from:i with
-              | Some (_, nx) -> nx > j
-              | None -> false
-            in
-            if (not (Driver.cache_full drv)) then begin
+            if not (Driver.cache_full drv) then begin
               (* Spare capacity: fetch without eviction, no delay needed. *)
               pending :=
                 Some { block = (Driver.instance drv).Instance.seq.(j); evict = -1;
                        eligible_cursor = i }
             end
-            else if exists_late then begin
-              let d' = Stdlib.min d (j - i) in
-              (match Driver.furthest_cached drv ~from:(i + d') with
-               | None -> ()
-               | Some (b, _) ->
-                 (* Earliest initiation: after b's last request before j. *)
-                 let eligible_cursor =
-                   match Next_ref.prev_before nr b j with
-                   | p when p >= i -> p + 1
-                   | _ -> i
-                 in
-                 pending :=
-                   Some { block = (Driver.instance drv).Instance.seq.(j); evict = b; eligible_cursor })
+            else if merge_queries then begin
+              match Driver.furthest_cached drv ~from:i with
+              | Some (b0, nx) when nx > j ->
+                let d' = Stdlib.min d (j - i) in
+                if d' = 0 then commit_victim drv nr ~i ~j b0
+                else
+                  (match Driver.furthest_cached drv ~from:(i + d') with
+                   | None -> ()
+                   | Some (b, _) -> commit_victim drv nr ~i ~j b)
+              | _ -> ()
+            end
+            else begin
+              (* Is some cached block requested only at or after position
+                 j?  Equivalent to the furthest next reference (measured
+                 from the cursor) landing past j - one heap peek instead
+                 of a scan over the whole cache. *)
+              let exists_late =
+                match Driver.furthest_cached drv ~from:i with
+                | Some (_, nx) -> nx > j
+                | None -> false
+              in
+              if exists_late then begin
+                let d' = Stdlib.min d (j - i) in
+                match Driver.furthest_cached drv ~from:(i + d') with
+                | None -> ()
+                | Some (b, _) -> commit_victim drv nr ~i ~j b
+              end
             end));
       (match !pending with
        | Some c when Driver.cursor drv >= c.eligible_cursor ->

@@ -57,6 +57,8 @@ let with_engine e f =
   default_engine := e;
   Fun.protect f ~finally:(fun () -> default_engine := old)
 
+let active_engine () = !default_engine
+
 type t = {
   inst : Instance.t;
   nr : Next_ref.t;

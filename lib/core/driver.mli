@@ -29,6 +29,15 @@ val with_engine : engine -> (unit -> 'a) -> 'a
 
 val engine : t -> engine
 
+val active_engine : unit -> engine
+(** The engine new drivers are created with: whatever the innermost
+    {!with_engine} installed, [Fast] outside any.  Schedulers with
+    engine-gated hot paths (Conservative's heap MIN, Online's
+    invisible-LRU victim heap, Delay's merged queries) branch on this, so
+    [with_engine Reference] selects both the seed driver and the seed
+    scheduler code, keeping the equivalence suite a whole-pipeline
+    oracle. *)
+
 val create : Instance.t -> t
 
 val run : Instance.t -> decide:(t -> unit) -> t

@@ -11,7 +11,18 @@
    never-requested-again (eviction candidates of last resort, broken by
    LRU order so that the policy degrades gracefully to plain LRU caching
    with zero lookahead knowledge).  Bench e13 measures the degradation as
-   the lookahead shrinks from n to F. *)
+   the lookahead shrinks from n to F.
+
+   With delay > 0 the victim preference is scored after the delay window
+   (from i + d', the Delay(d) rule), but the fetch is only initiated
+   once the victim has no visible request at or before the miss position
+   measured from the cursor - the online analogue of offline Delay's
+   "earliest consistent time".  Without that gate the policy could evict
+   a block still needed inside [i, i + d') - including the block the
+   cursor is stalled on - and livelock ping-ponging two blocks through a
+   k = 1 cache (seq 0,1,0,1,..., pinned in test_driver_equiv).  For
+   delay = 0 the gate is implied by the existing vnx > j condition, so
+   the historical behavior is unchanged. *)
 
 type config = {
   lookahead : int;  (* number of future requests visible, >= 1 *)
@@ -20,8 +31,7 @@ type config = {
 
 let aggressive ~lookahead = { lookahead; delay = 0 }
 
-let schedule (cfg : config) (inst : Instance.t) : Fetch_op.schedule =
-  if cfg.lookahead < 1 then invalid_arg "Online.schedule: lookahead must be >= 1";
+let schedule_reference (cfg : config) (inst : Instance.t) : Fetch_op.schedule =
   let n = Instance.length inst in
   let seq = inst.Instance.seq in
   let decide d =
@@ -71,12 +81,124 @@ let schedule (cfg : config) (inst : Instance.t) : Fetch_op.schedule =
            | first :: rest ->
              let victim = List.fold_left (fun acc b -> if better b acc then b else acc) first rest in
              let vk, vnx, _ = score victim in
-             if vk = 1 || vnx > j then
-               (* victim not requested before the miss (as far as we can see) *)
+             if (vk = 1 || vnx > j)
+                && Next_ref.next_at_or_after nr victim i > j then
+               (* victim not requested before the miss (as far as we can
+                  see), including inside the delay window [i, i + d') -
+                  otherwise wait for those requests to be served first *)
                Driver.start_fetch d ~block:seq.(j) ~evict:(Some victim))
     end
   in
   Driver.schedule (Driver.run inst ~decide)
+
+(* Fast path: same decision rule without the O(k log n) score-everything
+   fold.  The reference victim order is "invisible blocks first, oldest
+   last use wins (ties: larger id); otherwise the furthest visible next
+   reference (ties: smaller id)".  Split the invisible class in two:
+
+   - Class A - no reference in [cursor, horizon) at all.  Kept in a lazy
+     LRU heap ({!Evict_heap} keyed by [n - last_use], non-negative as the
+     heap requires; block ids mirrored so its smaller-id tie-break
+     realizes the larger-real-id preference).
+     Entries are (re-)added whenever a request is served, by a monotone
+     [scanned] sweep, plus one entry per initial-cache block at
+     last-use -1; keys are therefore always current for resident blocks.
+     [peek] discards entries that are non-resident or visible - both
+     permanent states until the block's next serve re-adds it (a block's
+     next reference is fixed while it sits in cache, and the horizon
+     never moves backwards), so discarding loses nothing.  A block
+     fetched for miss position j is visible (its next reference IS j)
+     until served at j, hence never missed by the lazy heap.
+   - Class B - a reference inside the delay window [i, i + d') but none
+     in [i + d', horizon).  At most d' candidates, enumerated directly.
+
+   When neither class has a member, every cached block is visible and the
+   driver's {!Driver.furthest_cached} heap yields the reference fold's
+   victim (same strict-max, smaller-id tie-break). *)
+let schedule_fast (cfg : config) (inst : Instance.t) : Fetch_op.schedule =
+  let n = Instance.length inst in
+  let seq = inst.Instance.seq in
+  let num_blocks = Instance.num_blocks inst in
+  let mirror b = num_blocks - 1 - b in
+  let heap = Evict_heap.create ~num_blocks in
+  (* Initial-cache blocks rank as last-used at -1: key n + 1, the
+     maximum, so they are evicted first (LRU order). *)
+  List.iter
+    (fun b -> Evict_heap.add heap ~block:(mirror b) ~key:(n + 1))
+    inst.Instance.initial_cache;
+  let scanned = ref 0 in
+  let decide d =
+    if not (Driver.disk_busy d 0) then begin
+      let c = Driver.cursor d in
+      let nr = Driver.next_ref d in
+      while !scanned < c do
+        let b = seq.(!scanned) in
+        Evict_heap.add heap ~block:(mirror b) ~key:(n - !scanned);
+        incr scanned
+      done;
+      let horizon = Stdlib.min n (c + cfg.lookahead) in
+      match Driver.next_missing d with
+      | None -> ()
+      | Some j when j >= horizon -> ()
+      | Some j ->
+        let i = c in
+        let d' = Stdlib.min cfg.delay (j - i) in
+        if not (Driver.cache_full d) then
+          Driver.start_fetch d ~block:seq.(j) ~evict:None
+        else begin
+          let rec top_a () =
+            match Evict_heap.peek heap with
+            | None -> None
+            | Some (m, key) ->
+              let b = mirror m in
+              if (not (Driver.in_cache d b))
+                 || Next_ref.next_at_or_after nr b c < horizon
+              then begin
+                Evict_heap.remove heap ~block:m;
+                top_a ()
+              end
+              else Some (b, n - key)  (* (block, last use) *)
+          in
+          let best = ref (top_a ()) in
+          for p = i to i + d' - 1 do
+            let b = seq.(p) in
+            if Driver.in_cache d b
+               && Next_ref.next_at_or_after nr b (i + d') >= horizon
+            then begin
+              let lu = Next_ref.prev_before nr b c in
+              let better =
+                match !best with
+                | None -> true
+                | Some (b0, lu0) -> lu < lu0 || (lu = lu0 && b > b0)
+              in
+              if better then best := Some (b, lu)
+            end
+          done;
+          match !best with
+          | Some (v, _) ->
+            (* Class A passes the consistency gate by construction
+               (nx >= horizon > j); a class-B best is still requested
+               inside the delay window, so hold the fetch until those
+               requests are served - the reference applies the same
+               nx-from-cursor test. *)
+            if Next_ref.next_at_or_after nr v c > j then
+              Driver.start_fetch d ~block:seq.(j) ~evict:(Some v)
+          | None ->
+            (match Driver.furthest_cached d ~from:(i + d') with
+             | Some (v, vnx)
+               when vnx > j && Next_ref.next_at_or_after nr v c > j ->
+               Driver.start_fetch d ~block:seq.(j) ~evict:(Some v)
+             | _ -> ())
+        end
+    end
+  in
+  Driver.schedule (Driver.run inst ~decide)
+
+let schedule (cfg : config) (inst : Instance.t) : Fetch_op.schedule =
+  if cfg.lookahead < 1 then invalid_arg "Online.schedule: lookahead must be >= 1";
+  match Driver.active_engine () with
+  | Driver.Fast -> schedule_fast cfg inst
+  | Driver.Reference -> schedule_reference cfg inst
 
 let stats cfg inst = Driver.validate ~name:"Online" inst (schedule cfg inst)
 

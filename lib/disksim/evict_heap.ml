@@ -110,6 +110,10 @@ let compact t =
 let maybe_compact t = if t.len > 64 && t.len > 2 * t.live then compact t
 
 let add t ~block ~key =
+  (* key_of uses -1 as its "no live entry" sentinel, so a negative key
+     would make the entry unremovable (and double-count [live]); reject
+     it loudly rather than corrupt the heap. *)
+  if key < 0 then invalid_arg "Evict_heap.add: key must be >= 0";
   if t.key_of.(block) < 0 then t.live <- t.live + 1;
   t.stamp.(block) <- t.stamp.(block) + 1;
   t.key_of.(block) <- key;

@@ -17,7 +17,11 @@ val create : num_blocks:int -> t
 
 val add : t -> block:int -> key:int -> unit
 (** Insert [block] with [key], superseding any previous entry for
-    [block] (re-keying is just another [add]). *)
+    [block] (re-keying is just another [add]).
+    @raise Invalid_argument if [key < 0]: [-1] is the internal "no live
+    entry" sentinel, so negative keys would corrupt the liveness
+    accounting (callers with signed scores must bias them, as Online's
+    recency keys do). *)
 
 val remove : t -> block:int -> unit
 (** Drop [block]'s live entry, if any (lazy: the heap node dies later). *)

@@ -85,6 +85,70 @@ let min_offline (inst : Instance.t) : result =
   in
   report "min" ~n:(Instance.length inst) (run_generic ~choose_victim inst)
 
+(* Fast MIN: the same replacement sequence as [min_offline] in
+   O((n + misses) log k) via the lazy-invalidation eviction heap
+   ({!Evict_heap}, ordered key desc / block asc - exactly the fold's
+   strict-[>] tie-break towards smaller ids).
+
+   Heap invariant (the driver's, transplanted to the demand model): each
+   resident block's live key is its next reference at or after the scan
+   position.  A hit at position [i] can only change the served block's
+   key, restored in O(1) from the precomputed [next_same] array; a miss
+   inserts the fetched block keyed by its next occurrence after [i].
+   Any other resident block was last touched at some q < i with no
+   reference in (q, i], so its key - the first reference after q - is
+   still the first reference at or after the miss position.  The heap
+   top is therefore the fold's argmax, and the emitted replacements are
+   byte-identical (test_paging pins this on the fuzz corpus). *)
+let min_offline_fast (inst : Instance.t) : result =
+  let n = Instance.length inst in
+  let num_blocks = Instance.num_blocks inst in
+  let k = inst.Instance.cache_size in
+  let nr = Next_ref.of_instance inst in
+  let in_cache = Array.make num_blocks false in
+  let heap = Evict_heap.create ~num_blocks in
+  let count = ref 0 in
+  List.iter
+    (fun b ->
+       in_cache.(b) <- true;
+       incr count;
+       Evict_heap.add heap ~block:b ~key:(Next_ref.next_at_or_after nr b 0))
+    inst.Instance.initial_cache;
+  let replacements = ref [] in
+  let misses = ref 0 in
+  for i = 0 to n - 1 do
+    let b = inst.Instance.seq.(i) in
+    if in_cache.(b) then
+      (* Hit: re-key the served block to its next occurrence. *)
+      Evict_heap.add heap ~block:b ~key:(Next_ref.next_after_same nr i)
+    else begin
+      incr misses;
+      let evicted =
+        if !count < k then begin
+          incr count;
+          None
+        end
+        else begin
+          match Evict_heap.peek heap with
+          | None -> None  (* k = 0 never happens: Instance validates k >= 1 *)
+          | Some (v, _) ->
+            in_cache.(v) <- false;
+            Evict_heap.remove heap ~block:v;
+            Some v
+        end
+      in
+      in_cache.(b) <- true;
+      Evict_heap.add heap ~block:b ~key:(Next_ref.next_after_same nr i);
+      replacements := { position = i; fetched = b; evicted } :: !replacements
+    end
+  done;
+  let final = ref [] in
+  for b = num_blocks - 1 downto 0 do
+    if in_cache.(b) then final := b :: !final
+  done;
+  report "min" ~n
+    { replacements = List.rev !replacements; misses = !misses; final_cache = !final }
+
 (* LRU needs access recency, so it does not fit [run_generic]'s stateless
    victim choice; implement directly. *)
 let lru (inst : Instance.t) : result =

@@ -23,6 +23,13 @@ val min_offline : Instance.t -> result
 (** Belady's MIN: evict the cached block whose next reference is furthest
     in the future (never-again blocks first, ties towards smaller ids). *)
 
+val min_offline_fast : Instance.t -> result
+(** Byte-identical to {!min_offline} in O((n + misses) log k): victim
+    selection through the lazy-invalidation eviction heap
+    ({!Evict_heap}) instead of an O(k) fold with binary searches per
+    miss.  Conservative's fast path plans through this; the seed
+    [min_offline] remains its equivalence oracle. *)
+
 val lru : Instance.t -> result
 val fifo : Instance.t -> result
 

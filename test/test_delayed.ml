@@ -108,6 +108,45 @@ let test_degenerate_over_corpus () =
     | Ck_oracle.Pass | Ck_oracle.Skip _ -> ()
   done
 
+(* The PR-8 fast paths (heap-MIN Conservative, class-split Online)
+   produce their schedules through new machinery; pin that the delayed
+   executor's degenerate contract holds on exactly those plans too:
+   window 0 with Faults.none AND with a jitter-free Const F plan must be
+   structurally identical to Simulate.run, and the fast-engine plan must
+   equal the reference-engine plan before either enters the executor. *)
+let test_degenerate_on_fast_paths () =
+  let fetch_time = 4 in
+  let seq = Workload.zipf ~seed:21 ~alpha:0.9 ~n:300 ~num_blocks:24 in
+  let inst = Workload.single_instance ~k:8 ~fetch_time seq in
+  let const_f = Faults.make ~seed:1 ~latency:(Faults.Const fetch_time) () in
+  List.iter
+    (fun (name, schedule) ->
+       let sched = schedule inst in
+       let ref_sched = Driver.with_engine Driver.Reference (fun () -> schedule inst) in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: fast plan = reference plan" name)
+         true (sched = ref_sched);
+       (* Events + attribution on both sides: Delayed.run with a faults
+          plan records them unconditionally, so the bare executor must
+          too for the structural comparison to be meaningful. *)
+       let s = ok (Simulate.run ~record_events:true ~attribution:true inst sched) in
+       let d = ok (Delayed.run ~record_events:true ~attribution:true ~window:0 inst sched) in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: window-0 base = classic" name)
+         true (d.Delayed.base = s);
+       Alcotest.(check int) (Printf.sprintf "%s: no delayed hits" name) 0 d.Delayed.delayed_hits;
+       let dc =
+         ok (Delayed.run ~record_events:true ~attribution:true ~window:0 ~faults:const_f
+               inst sched)
+       in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: const-F plan = classic" name)
+         true (dc.Delayed.base = s))
+    [ ("conservative", Conservative.schedule);
+      ("online(32)", Online.schedule (Online.aggressive ~lookahead:32));
+      ("online(8,d2)", Online.schedule Online.{ lookahead = 8; delay = 2 });
+      ("delay(d0)", Delay.schedule ~d:(Bounds.delay_opt_d ~f:fetch_time)) ]
+
 let test_queueing_over_corpus () =
   for index = 0 to 39 do
     let case = Ck_gen.generate ~seed:11 ~index in
@@ -332,6 +371,8 @@ let () =
          Alcotest.test_case "rejects failure plans" `Quick test_rejects_failure_plans ]);
       ("oracles",
        [ Alcotest.test_case "degenerate over corpus" `Slow test_degenerate_over_corpus;
+         Alcotest.test_case "degenerate on PR-8 fast-path plans" `Quick
+           test_degenerate_on_fast_paths;
          Alcotest.test_case "queueing over corpus" `Slow test_queueing_over_corpus ]);
       ("latency distributions",
        [ Alcotest.test_case "supports" `Quick test_latency_supports;

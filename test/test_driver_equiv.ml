@@ -32,7 +32,13 @@ let single_disk_algorithms =
     ("combination", Combination.schedule);
     ("online(1)", Online.schedule (Online.aggressive ~lookahead:1));
     ("online(4)", Online.schedule (Online.aggressive ~lookahead:4));
-    ("online(8)", Online.schedule (Online.aggressive ~lookahead:8)) ]
+    ("online(8)", Online.schedule (Online.aggressive ~lookahead:8));
+    (* Delayed online variants exercise the fast path's class-B window
+       (blocks referenced inside [i, i+d') only) against the reference
+       score-everything fold. *)
+    ("online(4,d2)", Online.schedule Online.{ lookahead = 4; delay = 2 });
+    ("online(8,d1)", Online.schedule Online.{ lookahead = 8; delay = 1 });
+    ("online(8,d3)", Online.schedule Online.{ lookahead = 8; delay = 3 }) ]
 
 let any_disk_algorithms =
   [ ("fixed-horizon", Fixed_horizon.schedule);
@@ -89,6 +95,30 @@ let test_medium_equivalence () =
 let test_theorem2_equivalence () =
   let inst = Workload.theorem2_lower_bound ~k:9 ~fetch_time:3 ~phases:12 in
   check_instance ~descr:"theorem2 k=9 F=3" inst
+
+(* Delayed online used to livelock here in both engines: with the victim
+   scored from i + d' only, it evicted the block the cursor was stalled
+   on and ping-ponged blocks 0/1 through the k = 1 cache forever.  The
+   consistency gate (victim's next visible request from the cursor must
+   land past the miss) makes it terminate; both engines must still agree
+   and the executor must accept the schedule. *)
+let test_online_delay_livelock () =
+  let inst =
+    Instance.single_disk ~k:1 ~fetch_time:2 ~initial_cache:[ 0 ]
+      [| 0; 1; 0; 1; 0; 1 |]
+  in
+  List.iter
+    (fun (la, dl) ->
+       let cfg = Online.{ lookahead = la; delay = dl } in
+       let fast = Online.schedule cfg inst in
+       let ref_ = Driver.with_engine Driver.Reference (fun () -> Online.schedule cfg inst) in
+       if fast <> ref_ then
+         fail_diff ~descr:"livelock family" ~alg:(Printf.sprintf "online(%d,d%d)" la dl) fast ref_;
+       match Simulate.run inst fast with
+       | Ok _ -> ()
+       | Error e ->
+         Alcotest.failf "online(%d,d%d) invalid at t=%d: %s" la dl e.Simulate.at_time e.Simulate.reason)
+    [ (4, 2); (2, 1); (8, 3); (1, 0) ]
 
 (* Driver-level stall accounting must agree between engines too (the
    schedules being equal makes it so unless the event-skipping clock
@@ -149,6 +179,15 @@ let test_heap_lazy_invalidation () =
   Alcotest.(check (option (pair int int))) "drained" None (Evict_heap.peek h);
   Alcotest.(check int) "no live entries" 0 (Evict_heap.size h)
 
+let test_heap_rejects_negative_keys () =
+  (* -1 is the internal no-live-entry sentinel; a negative key once made
+     an Online recency entry unremovable (livelocked top_a).  The heap
+     now refuses instead. *)
+  let h = Evict_heap.create ~num_blocks:4 in
+  Alcotest.check_raises "negative key"
+    (Invalid_argument "Evict_heap.add: key must be >= 0")
+    (fun () -> Evict_heap.add h ~block:1 ~key:(-1))
+
 let test_heap_compaction () =
   (* Serve-style churn: re-key one block thousands of times without
      peeking.  Compaction must keep the physical heap O(live), not O(m). *)
@@ -168,9 +207,11 @@ let () =
        [ Alcotest.test_case "ck_gen corpus, all schedulers" `Quick test_corpus_equivalence;
          Alcotest.test_case "medium scale families" `Quick test_medium_equivalence;
          Alcotest.test_case "theorem-2 family" `Quick test_theorem2_equivalence;
+         Alcotest.test_case "online delay livelock family" `Quick test_online_delay_livelock;
          Alcotest.test_case "stall accounting" `Quick test_stall_accounting ]);
       ("evict-heap",
        [ Alcotest.test_case "basic order" `Quick test_heap_basic;
          Alcotest.test_case "tie-break towards smaller id" `Quick test_heap_tie_break;
          Alcotest.test_case "lazy invalidation" `Quick test_heap_lazy_invalidation;
+         Alcotest.test_case "rejects negative keys" `Quick test_heap_rejects_negative_keys;
          Alcotest.test_case "compaction bounds the heap" `Quick test_heap_compaction ]) ]

@@ -110,6 +110,13 @@ let prop_min_matches_conservative =
   QCheck2.Test.make ~count:200 ~name:"MIN misses = Conservative fetches" gen_paging_instance
     (fun i -> (Paging.min_offline i).Paging.misses = Conservative.num_fetches i)
 
+(* The heap-based MIN (Conservative's fast path) must reproduce the seed
+   fold-based MIN exactly - every replacement, every eviction, the final
+   cache - not just the miss count. *)
+let prop_min_fast_identical =
+  QCheck2.Test.make ~count:400 ~name:"min_offline_fast = min_offline" gen_paging_instance
+    (fun i -> Paging.min_offline_fast i = Paging.min_offline i)
+
 let test_clock_second_chance () =
   (* Hand-traced: k = 2, frames [0; 1], seq 0 1 2 1 3.
      r3 (miss on 2): both bits set, the hand clears 0 then 1 and returns to
@@ -144,7 +151,7 @@ let prop_replay_clock_marking =
 let props =
   List.map QCheck_alcotest.to_alcotest
     [ prop_min_optimal; prop_replay_consistent; prop_min_matches_conservative;
-      prop_min_optimal_vs_all; prop_replay_clock_marking ]
+      prop_min_fast_identical; prop_min_optimal_vs_all; prop_replay_clock_marking ]
 
 let () =
   Alcotest.run "paging"
