@@ -221,6 +221,38 @@ let scale_driver_tests =
              ~finally:(fun () -> Telemetry.set_enabled false)
              (fun () -> Aggressive.schedule (Lazy.force w5)))) ]
 
+(* PR 9: parallel disks at scale.  The D-disk greedy schedulers at 10^5
+   requests for D = 2/4/8 (same trace shape as the scale_driver tier), and the
+   pruned synchronized-LP pipeline at its acceptance size (1090
+   candidate intervals, D = 4) through the sparse revised solver.  CI
+   keeps each aggressive-D entry near its D=2 twin (per-disk frontiers
+   are independent) and pins the LP pipeline entry against BENCH_9. *)
+let scale_parallel_tests =
+  let mk n d =
+    lazy
+      (Workload.parallel_instance ~k:64 ~fetch_time:8 ~num_disks:d
+         ~layout:(fun ~num_blocks ~num_disks -> Workload.striped_layout ~num_blocks ~num_disks)
+         (Workload.zipf ~seed:13 ~alpha:0.9 ~n ~num_blocks:(n / 64)))
+  in
+  List.concat_map
+    (fun d ->
+       let w = mk 100_000 d in
+       [ Test.make ~name:(Printf.sprintf "scale_parallel_aggressive_d%d_n100000" d)
+           (stage (fun () -> Parallel_greedy.aggressive_schedule (Lazy.force w)));
+         Test.make ~name:(Printf.sprintf "scale_parallel_conservative_d%d_n100000" d)
+           (stage (fun () -> Parallel_greedy.conservative_schedule (Lazy.force w))) ])
+    [ 2; 4; 8 ]
+  @ [ Test.make ~name:"scale_parallel_lp_pipeline_i1090_d4"
+        (stage
+           (let inst =
+              lazy
+                (Workload.parallel_instance ~k:6 ~fetch_time:4 ~num_disks:4
+                   ~layout:(fun ~num_blocks ~num_disks ->
+                     Workload.striped_layout ~num_blocks ~num_disks)
+                   (Workload.zipf ~seed:1 ~alpha:0.9 ~n:220 ~num_blocks:8))
+            in
+            fun () -> Rounding.solve (Lazy.force inst))) ]
+
 let run_benchmarks ~micro ~scale () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let instances = [ Instance.monotonic_clock ] in
@@ -250,7 +282,11 @@ let run_benchmarks ~micro ~scale () =
     (* Bodies run 0.03-1 s each: a handful of samples without GC
        stabilization is both representative and affordable. *)
     let scale_cfg = Benchmark.cfg ~limit:10 ~quota:(Time.second 2.0) ~stabilize:false () in
-    run_pass scale_cfg scale_driver_tests
+    run_pass scale_cfg scale_driver_tests;
+    (* The LP pipeline entry runs ~5 s per call: one sample is enough
+       for a regression pin, so it gets a one-shot budget. *)
+    let parallel_cfg = Benchmark.cfg ~limit:4 ~quota:(Time.second 2.0) ~stabilize:false () in
+    run_pass parallel_cfg scale_parallel_tests
   end;
   let rows = List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) !rows in
   Tablefmt.print

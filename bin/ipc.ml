@@ -547,6 +547,10 @@ let fuzz_cmd =
         Printf.printf "scale_budget_ratio=%.1f\n" Ck_scale.budget_ratio;
         Printf.printf "scale_budget_floor_seconds=%.2f\n" Ck_scale.budget_floor_seconds;
         Printf.printf "scale_spot_check_cap=%d\n" Ck_scale.spot_check_cap;
+        Printf.printf "scale_parallel_min_n=%d\n" Ck_scale.parallel_min_n;
+        Printf.printf "scale_parallel_max_n=%d\n" Ck_scale.parallel_max_n;
+        Printf.printf "scale_parallel_max_disks=%d\n" Ck_scale.parallel_max_disks;
+        Printf.printf "scale_parallel_spot_check_cap=%d\n" Ck_scale.parallel_spot_check_cap;
         true
       end
       else if self_test then begin
@@ -681,6 +685,11 @@ let lp_cmd =
           ~layout:(fun ~num_blocks ~num_disks -> Workload.striped_layout ~num_blocks ~num_disks)
           seq
     in
+    let built = Sync_lp.build inst in
+    Printf.printf "LP size: intervals=%d vars=%d rows=%d\n"
+      (Array.length built.Sync_lp.intervals)
+      built.Sync_lp.problem.Lp_problem.num_vars
+      (Lp_problem.num_rows built.Sync_lp.problem);
     let r = Rounding.solve inst in
     Format.printf "%a@." Instance.pp inst;
     Printf.printf "LP optimum (fractional): %s\n" (Rat.to_string r.Rounding.lp_value);

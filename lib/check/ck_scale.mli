@@ -16,13 +16,29 @@
       [Driver.Reference] on a {!spot_check_cap}-request prefix (the
       quadratic reference engine caps the affordable length).
 
+    Every third case (PR 9) is instead a 2-8-disk trace under the four
+    disk layouts (tier [Parallel]); the same three properties are then
+    checked over the D-disk schedulers (Aggressive-D, Conservative-D)
+    plus the disk-agnostic pair, with the budget anchored to
+    Aggressive-D and the reference replay capped at
+    {!parallel_spot_check_cap}.
+
     Cases are pure functions of [(seed, index)] like {!Ck_gen.generate},
-    and are returned as {!Ck_gen.case}s (tier [Single]) so
-    {!Ck_runner.run} can drive this tier unchanged via its [~generate]
-    parameter. *)
+    and are returned as {!Ck_gen.case}s so {!Ck_runner.run} can drive
+    this tier unchanged via its [~generate] parameter. *)
 
 val min_n : int
 val max_n : int
+val parallel_min_n : int
+val parallel_max_n : int
+
+val parallel_max_disks : int
+(** Largest [D] the parallel sub-tier generates. *)
+
+val parallel_spot_check_cap : int
+(** Prefix length replayed against the Reference engine on D-disk cases
+    (shorter than {!spot_check_cap}: the replay runs both greedy-D
+    schedulers across [D] per-disk frontiers). *)
 
 val budget_ratio : float
 (** Per-scheduler wall-clock ceiling as a multiple of Aggressive's time
@@ -40,8 +56,17 @@ val schedulers : Instance.t -> (string * (Instance.t -> Fetch_op.schedule)) list
 (** The seven production schedulers: aggressive, conservative, delay(d0),
     combination, fixed_horizon, online(la=4F), reverse_aggressive. *)
 
+val parallel_schedulers : Instance.t -> (string * (Instance.t -> Fetch_op.schedule)) list
+(** The D-disk schedulers checked on Parallel-tier cases: aggressive-D,
+    conservative-D, fixed_horizon, reverse_aggressive. *)
+
 val validity_and_budget : Ck_oracle.t
 val accounting : Ck_oracle.t
 val fast_vs_reference : Ck_oracle.t
+val parallel_validity_and_budget : Ck_oracle.t
+val parallel_accounting : Ck_oracle.t
+val parallel_fast_vs_reference : Ck_oracle.t
 
 val all : Ck_oracle.t list
+(** The single-disk triple followed by the parallel triple; each oracle
+    skips cases from the other tier. *)

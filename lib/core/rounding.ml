@@ -813,8 +813,30 @@ let report (r : result) : result =
   end;
   r
 
-let solve ?(solver = Simplex.solve_exact) (inst : Instance.t) : result =
-  let { Sync_lp.frac; lp_value } = Sync_lp.solve ~solver inst in
+let solve ?(solver = Revised.solve_lp) (inst : Instance.t) : result =
+  match Sync_lp.solve ~solver inst with
+  | exception Ilp.Unbounded_relaxation _ ->
+    (* An ILP-backed [solver] reported an unbounded relaxation (typed, per
+       the solver-failure convention): the LP lower bound is unavailable,
+       so fall back to the always-valid greedy baseline with the trivial
+       bound of zero. *)
+    let extra = 2 * (inst.Instance.num_disks - 1) in
+    let schedule = Parallel_greedy.aggressive_schedule inst in
+    let stats =
+      match Simulate.run ~extra_slots:extra inst schedule with
+      | Ok s -> s
+      | Error e -> Simulate.reject ~algorithm:"rounding/greedy-fallback" e
+    in
+    report
+      { schedule;
+        stats;
+        lp_value = Rat.zero;
+        nominal_stall = stats.Simulate.stall_time;
+        laminar = true;
+        used_fallback = true;
+        candidates_tried = 0;
+        extra_slots_allowed = extra }
+  | { Sync_lp.frac; lp_value } ->
   let norm = of_fractional frac in
   eliminate_crossings norm;
   normalize_orders norm;

@@ -15,7 +15,14 @@ type outcome = {
 
 let solve ?(node_limit = 2000) (inst : Instance.t) : outcome =
   let built = Sync_lp.build inst in
-  let o = Ilp.solve ~node_limit built.Sync_lp.problem in
+  (* Pool variables are not 0-1 (their integrality follows from the
+     balance rows), so branch and bound gets the explicit binary list. *)
+  let o =
+    try Ilp.solve ~binary:built.Sync_lp.binary ~node_limit built.Sync_lp.problem
+    with Ilp.Unbounded_relaxation { depth; _ } ->
+      Simulate.internal_error ~component:"Sync_ilp"
+        "unbounded relaxation at depth %d (model bug)" depth
+  in
   match o.Ilp.result with
   | Lp_problem.Optimal { objective_value; _ } ->
     { stall = objective_value; nodes = o.Ilp.nodes_explored; proved_optimal = o.Ilp.proved_optimal }

@@ -113,8 +113,9 @@ let windows (aug : augmented) (b : int) : (window_kind * interval) list =
     in
     w0 :: middles occs
 
-type var_kind = X of int | F_var of int * int | E_var of int * int
-(* X interval-index; F_var/E_var (interval-index, block). *)
+type var_kind = X of int | F_var of int * int | E_var of int * int | Pool of int
+(* X interval-index; F_var/E_var (interval-index, real block); Pool
+   interval-index = pooled Sinit eviction mass (see build). *)
 
 type built = {
   aug : augmented;
@@ -122,7 +123,33 @@ type built = {
   problem : Lp_problem.t;
   var_of : (var_kind, int) Hashtbl.t;
   kind_of : var_kind array;  (* indexed by LP variable *)
+  binary : int list;  (* variables with 0-1 semantics (all but Pool) *)
 }
+
+(* Model prunings applied before the tableau is built (all exact: they
+   preserve the LP *and* ILP optimum; proofs sketched in DESIGN.md):
+
+   - Junk fetch variables are eliminated.  A junk variable appears with
+     coefficient +1 in exactly one row (its batch/disk C2 equality) and
+     nowhere else, i.e. it is a slack in disguise: projecting it out turns
+     C2 into [sum of real fetches on the disk <= x(I)], and rows with no
+     real fetch variable become trivial and are dropped.  The executable
+     schedule's junk masses are reconstructed in [extract].
+   - Sinit eviction variables are pooled.  The Sinit dummies are fully
+     symmetric (never requested, evictable once, cost-free), so the
+     per-(dummy, interval) variables e_{s,I} with per-dummy rows
+     [sum_I e_{s,I} <= 1] are replaced by one pool variable p_I per
+     interval with the single row [sum_I p_I <= n_sinit]; a greedy
+     transportation split recovers per-dummy masses (each <= 1) exactly,
+     for integral solutions integrally.  Pool variables only exist where
+     a real fetch is possible (eviction requires a same-batch fetch).
+   - [x(I) <= 1] rows are kept only for zero-length intervals: any
+     interval with hi >= lo + 2 appears in the C1 row of request lo + 1,
+     which already caps its mass at 1.
+   - Assembly is index-driven: intervals are sorted by (lo, hi), so the
+     intervals contained in a window are a run-prefix union found in
+     O(width + matches), replacing the O(intervals x vars) table scans
+     that dominated build time. *)
 
 let build (inst : Instance.t) : built =
   let aug = augment inst in
@@ -130,6 +157,29 @@ let build (inst : Instance.t) : built =
   let intervals = Array.of_list (all_intervals aug) in
   Array.sort compare_interval intervals;
   let ni = Array.length intervals in
+  let n_sinit = List.length aug.sinit in
+  (* start_of.(l): first index whose interval has lo >= l.  Within a run of
+     equal lo the hi endpoints are ascending. *)
+  let start_of = Array.make (aug.n + 1) ni in
+  for ii = ni - 1 downto 0 do
+    start_of.(intervals.(ii).lo) <- ii
+  done;
+  for l = aug.n - 1 downto 0 do
+    if start_of.(l) > start_of.(l + 1) then start_of.(l) <- start_of.(l + 1)
+  done;
+  let iter_window (w : interval) (fn : int -> unit) =
+    for l = w.lo to w.hi - 1 do
+      let ii = ref start_of.(l) in
+      let continue_ = ref true in
+      while !continue_ && !ii < ni && intervals.(!ii).lo = l do
+        if intervals.(!ii).hi <= w.hi then begin
+          fn !ii;
+          incr ii
+        end
+        else continue_ := false (* hi ascending within the run *)
+      done
+    done
+  in
   let b = Lp_problem.Builder.create ~direction:Lp_problem.Minimize () in
   let var_of = Hashtbl.create 1024 in
   let kinds = ref [] in
@@ -144,20 +194,25 @@ let build (inst : Instance.t) : built =
     Array.init ni (fun i ->
         mk (X i) (Format.asprintf "x%a" pp_interval intervals.(i)))
   in
-  (* f/e variables, window-pruned. *)
+  (* f/e variables, window-pruned; per-interval buckets for row assembly. *)
   let f_vars = Hashtbl.create 1024 in
   (* (interval index, block) -> var *)
   let e_vars = Hashtbl.create 1024 in
+  let f_of_interval = Array.make ni [] in
+  (* (block, var), real blocks only *)
+  let e_of_interval = Array.make ni [] in
   let add_f ii blk =
     if not (Hashtbl.mem f_vars (ii, blk)) then begin
       let v = mk (F_var (ii, blk)) (Format.asprintf "f%a_b%d" pp_interval intervals.(ii) blk) in
-      Hashtbl.replace f_vars (ii, blk) v
+      Hashtbl.replace f_vars (ii, blk) v;
+      f_of_interval.(ii) <- (blk, v) :: f_of_interval.(ii)
     end
   in
   let add_e ii blk =
     if not (Hashtbl.mem e_vars (ii, blk)) then begin
       let v = mk (E_var (ii, blk)) (Format.asprintf "e%a_b%d" pp_interval intervals.(ii) blk) in
-      Hashtbl.replace e_vars (ii, blk) v
+      Hashtbl.replace e_vars (ii, blk) v;
+      e_of_interval.(ii) <- (blk, v) :: e_of_interval.(ii)
     end
   in
   (* Real blocks: windows. *)
@@ -166,69 +221,72 @@ let build (inst : Instance.t) : built =
     block_windows.(blk) <- windows aug blk;
     List.iter
       (fun (kind, w) ->
-         Array.iteri
-           (fun ii iv ->
-              if interval_contains ~outer:w ~inner:iv then begin
-                (match kind with
-                 | `Mandatory_fetch -> add_f ii blk
-                 | `Balanced ->
-                   add_f ii blk;
-                   add_e ii blk
-                 | `Evict_only -> add_e ii blk)
-              end)
-           intervals)
+         iter_window w (fun ii ->
+             match kind with
+             | `Mandatory_fetch -> add_f ii blk
+             | `Balanced ->
+               add_f ii blk;
+               add_e ii blk
+             | `Evict_only -> add_e ii blk))
       block_windows.(blk)
   done;
-  (* Sinit dummies: evictable anywhere, once. *)
-  List.iter (fun blk -> Array.iteri (fun ii _ -> add_e ii blk) intervals) aug.sinit;
-  (* Junk blocks: fetchable anywhere (self-balancing, no e variable). *)
-  Array.iter (fun blk -> Array.iteri (fun ii _ -> add_f ii blk) intervals) aug.junk;
+  (* Pooled Sinit eviction mass, where a real fetch can pay for it. *)
+  let pool_v = Array.make ni (-1) in
+  if n_sinit > 0 then
+    for ii = 0 to ni - 1 do
+      if f_of_interval.(ii) <> [] then
+        pool_v.(ii) <- mk (Pool ii) (Format.asprintf "sp%a" pp_interval intervals.(ii))
+    done;
   let one = Rat.one and mone = Rat.minus_one in
   (* Objective: sum x(I) * (F - |I|). *)
   Lp_problem.Builder.set_objective b
     (Array.to_list
        (Array.mapi (fun i iv -> (xv.(i), Rat.of_int (f - interval_length iv))) intervals));
-  (* x(I) <= 1. *)
-  Array.iter (fun v -> Lp_problem.Builder.add_row b [ (v, one) ] Lp_problem.Le one) xv;
+  (* x(I) <= 1, where no C1 row subsumes it (zero-length intervals only). *)
+  Array.iteri
+    (fun i iv ->
+       if interval_length iv = 0 then
+         Lp_problem.Builder.add_row b [ (xv.(i), one) ] Lp_problem.Le one)
+    intervals;
   (* (C1) at most one batch spans the service of any request. *)
   for m = 1 to aug.n - 1 do
     let coeffs = ref [] in
-    Array.iteri
-      (fun i iv -> if iv.lo <= m - 1 && iv.hi >= m + 1 then coeffs := (xv.(i), one) :: !coeffs)
-      intervals;
+    for l = Stdlib.max 0 (m - f) to m - 1 do
+      let ii = ref start_of.(l) in
+      while !ii < ni && intervals.(!ii).lo = l do
+        if intervals.(!ii).hi >= m + 1 then coeffs := (xv.(!ii), one) :: !coeffs;
+        incr ii
+      done
+    done;
     if !coeffs <> [] then Lp_problem.Builder.add_row b !coeffs Lp_problem.Le one
   done;
-  (* (C2) each batch fetches exactly one block from each disk. *)
+  (* (C2) per batch and disk, real fetches <= x (junk projected out). *)
   for ii = 0 to ni - 1 do
     for disk = 0 to aug.num_disks - 1 do
-      let coeffs = ref [ (xv.(ii), mone) ] in
-      Hashtbl.iter
-        (fun (ii', blk) v ->
-           if ii' = ii && aug.disk_of.(blk) = disk then coeffs := (v, one) :: !coeffs)
-        f_vars;
-      Lp_problem.Builder.add_row b !coeffs Lp_problem.Eq Rat.zero
+      let coeffs =
+        List.filter_map
+          (fun (blk, v) -> if aug.disk_of.(blk) = disk then Some (v, one) else None)
+          f_of_interval.(ii)
+      in
+      if coeffs <> [] then
+        Lp_problem.Builder.add_row b ((xv.(ii), mone) :: coeffs) Lp_problem.Le Rat.zero
     done
   done;
   (* (C3) per batch, #real fetches = #evictions (junk is self-balancing). *)
   for ii = 0 to ni - 1 do
     let coeffs = ref [] in
-    Hashtbl.iter
-      (fun (ii', blk) v ->
-         if ii' = ii && blk < aug.base_blocks then coeffs := (v, one) :: !coeffs)
-      f_vars;
-    Hashtbl.iter (fun (ii', _) v -> if ii' = ii then coeffs := (v, mone) :: !coeffs) e_vars;
+    List.iter (fun (_, v) -> coeffs := (v, one) :: !coeffs) f_of_interval.(ii);
+    List.iter (fun (_, v) -> coeffs := (v, mone) :: !coeffs) e_of_interval.(ii);
+    if pool_v.(ii) >= 0 then coeffs := (pool_v.(ii), mone) :: !coeffs;
     if !coeffs <> [] then Lp_problem.Builder.add_row b !coeffs Lp_problem.Eq Rat.zero
   done;
   (* (C4) per-block window constraints. *)
   let sum_vars tbl blk w =
     let acc = ref [] in
-    Array.iteri
-      (fun ii iv ->
-         if interval_contains ~outer:w ~inner:iv then
-           match Hashtbl.find_opt tbl (ii, blk) with
-           | Some v -> acc := (v, one) :: !acc
-           | None -> ())
-      intervals;
+    iter_window w (fun ii ->
+        match Hashtbl.find_opt tbl (ii, blk) with
+        | Some v -> acc := (v, one) :: !acc
+        | None -> ());
     !acc
   in
   for blk = 0 to aug.base_blocks - 1 do
@@ -254,16 +312,25 @@ let build (inst : Instance.t) : built =
            if es <> [] then Lp_problem.Builder.add_row b es Lp_problem.Le one)
       block_windows.(blk)
   done;
-  (* (C5) each Sinit dummy evicted at most once. *)
-  List.iter
-    (fun blk ->
-       let coeffs = ref [] in
-       Hashtbl.iter (fun (_, blk') v -> if blk' = blk then coeffs := (v, one) :: !coeffs) e_vars;
-       Lp_problem.Builder.add_row b !coeffs Lp_problem.Le one)
-    aug.sinit;
+  (* (C5) the Sinit dummies sustain at most n_sinit pooled evictions. *)
+  if n_sinit > 0 then begin
+    let coeffs = ref [] in
+    for ii = 0 to ni - 1 do
+      if pool_v.(ii) >= 0 then coeffs := (pool_v.(ii), one) :: !coeffs
+    done;
+    if !coeffs <> [] then
+      Lp_problem.Builder.add_row b !coeffs Lp_problem.Le (Rat.of_int n_sinit)
+  end;
   let problem = Lp_problem.Builder.freeze b in
   let kind_of = Array.of_list (List.rev !kinds) in
-  { aug; intervals; problem; var_of; kind_of }
+  let binary = ref [] in
+  (* Pool variables range over [0, n_sinit], and their integrality follows
+     from C3 once the f/e/x variables are integral: branch and bound must
+     not treat them as 0-1. *)
+  Array.iteri
+    (fun v k -> match k with Pool _ -> () | _ -> binary := v :: !binary)
+    kind_of;
+  { aug; intervals; problem; var_of; kind_of; binary = List.rev !binary }
 
 (* ------------------------------------------------------------------ *)
 (* Fractional solutions. *)
@@ -284,6 +351,7 @@ let extract (bt : built) (values : Rat.t array) : fractional =
   let x = Array.make ni Rat.zero in
   let fetch = Array.make ni [] in
   let evict = Array.make ni [] in
+  let pool = Array.make ni Rat.zero in
   Array.iteri
     (fun v kind ->
        let value = values.(v) in
@@ -291,7 +359,8 @@ let extract (bt : built) (values : Rat.t array) : fractional =
          match kind with
          | X i -> x.(i) <- value
          | F_var (i, blk) -> fetch.(i) <- (blk, value) :: fetch.(i)
-         | E_var (i, blk) -> evict.(i) <- (blk, value) :: evict.(i))
+         | E_var (i, blk) -> evict.(i) <- (blk, value) :: evict.(i)
+         | Pool i -> pool.(i) <- value)
     bt.kind_of;
   (* Keep only the support, in < order. *)
   let idx = ref [] in
@@ -299,6 +368,50 @@ let extract (bt : built) (values : Rat.t array) : fractional =
     if not (Rat.is_zero x.(i)) then idx := i :: !idx
   done;
   let idx = Array.of_list !idx in
+  (* Reconstruct what the pruned model left implicit, so downstream
+     consumers (the rounding surgery and its invariants) still see the
+     full-model masses:
+     - junk fetches: per disk, x(I) minus the real fetch mass on that disk
+       (the projected-out C2 slack);
+     - per-dummy Sinit evictions: split each interval's pooled mass
+       greedily over the dummies, each absorbing at most 1 in total. *)
+  let sinit_arr = Array.of_list bt.aug.sinit in
+  let sidx = ref 0 in
+  let sused = ref Rat.zero in
+  let split_pool amount =
+    let rec go amount acc =
+      if Rat.sign amount <= 0 || !sidx >= Array.length sinit_arr then acc
+      else begin
+        let dummy = sinit_arr.(!sidx) in
+        let cap = Rat.sub Rat.one !sused in
+        let take = if Rat.le amount cap then amount else cap in
+        sused := Rat.add !sused take;
+        if Rat.ge !sused Rat.one then begin
+          incr sidx;
+          sused := Rat.zero
+        end;
+        go (Rat.sub amount take) ((dummy, take) :: acc)
+      end
+    in
+    go amount []
+  in
+  Array.iter
+    (fun i ->
+       let xi = x.(i) in
+       for disk = 0 to bt.aug.num_disks - 1 do
+         let real =
+           List.fold_left
+             (fun acc (blk, amt) ->
+                if bt.aug.disk_of.(blk) = disk then Rat.add acc amt else acc)
+             Rat.zero fetch.(i)
+         in
+         let jmass = Rat.sub xi real in
+         if Rat.sign jmass > 0 then
+           fetch.(i) <- (bt.aug.junk.(disk), jmass) :: fetch.(i)
+       done;
+       if Rat.sign pool.(i) > 0 then
+         evict.(i) <- split_pool pool.(i) @ evict.(i))
+    idx;
   let value =
     Array.fold_left
       (fun acc i ->
@@ -321,7 +434,7 @@ type solve_result = {
 
 exception Lp_infeasible
 
-let solve ?(solver = Simplex.solve_exact) (inst : Instance.t) : solve_result =
+let solve ?(solver = Revised.solve_lp) (inst : Instance.t) : solve_result =
   let bt = build inst in
   match solver bt.problem with
   | Lp_problem.Optimal { objective_value; values } ->

@@ -51,7 +51,11 @@ val windows : augmented -> int -> (window_kind * interval) list
     between consecutive requests ([`Balanced]: fetches = evictions <= 1),
     and after its last request ([`Evict_only]). *)
 
-type var_kind = X of int | F_var of int * int | E_var of int * int
+type var_kind = X of int | F_var of int * int | E_var of int * int | Pool of int
+(** [Pool i] is the pooled Sinit eviction mass of interval [i]: the Sinit
+    dummies are symmetric, so their per-dummy eviction variables are
+    collapsed into one pool variable per interval (range [0, n_sinit],
+    not 0-1) with a single budget row. *)
 
 type built = {
   aug : augmented;
@@ -59,12 +63,19 @@ type built = {
   problem : Lp_problem.t;
   var_of : (var_kind, int) Hashtbl.t;
   kind_of : var_kind array;
+  binary : int list;
+      (** variables with 0-1 semantics — pass to {!Ilp.solve} (pool
+          variables are excluded; their integrality is implied) *)
 }
 
 val build : Instance.t -> built
-(** Construct the full LP: objective [sum x(I) (F - |I|)], the
-    one-batch-per-request constraint, per-disk fetch equalities, fetch =
-    eviction balance, per-block window constraints and Sinit rows. *)
+(** Construct the LP: objective [sum x(I) (F - |I|)], the
+    one-batch-per-request constraint, per-disk fetch rows, fetch =
+    eviction balance, per-block window constraints and the Sinit budget
+    row — after exact model prunings (junk variables projected out as C2
+    slacks, Sinit evictions pooled, subsumed [x <= 1] caps dropped) that
+    shrink the tableau several-fold without changing the optimum;
+    {!extract} reconstructs the implicit masses. *)
 
 (** Optimal fractional solution restricted to its support, in < order. *)
 type fractional = {
@@ -83,7 +94,8 @@ type solve_result = { frac : fractional; lp_value : Rat.t }
 exception Lp_infeasible
 
 val solve : ?solver:(Lp_problem.t -> Lp_problem.result) -> Instance.t -> solve_result
-(** Solve with the hybrid exact solver by default.
+(** Solve with the sparse revised hybrid solver ({!Revised.solve_lp}) by
+    default.
     @raise Lp_infeasible if the model is infeasible (an instance where some
     block cannot be fetched before its first request). *)
 

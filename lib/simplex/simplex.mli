@@ -63,12 +63,29 @@ type stats = {
   mutable degenerate_pivots : int;  (** pivots with no objective change *)
   mutable bland_switches : int;
       (** Dantzig [->] Bland anti-stalling transitions *)
+  mutable refactorizations : int;
+      (** revised-simplex basis refactorizations ({!Revised}) *)
+  mutable warm_accepts : int;  (** warm-start bases installed successfully *)
+  mutable warm_rejects : int;  (** warm-start bases rejected (cold restart) *)
 }
 
 val stats : stats
-(** Global counters for the solvers (reported by benches, and forwarded
-    to the telemetry registry as [simplex.*] metrics by {!solve_exact}
-    when metrics are enabled). *)
+(** Global counters for the solvers, shared with {!Revised} (reported by
+    benches, and forwarded to the telemetry registry as [simplex.*] /
+    [revised.*] metrics by the hybrid drivers when metrics are enabled).
+    The counters accumulate for the whole process: per-run reporting must
+    subtract a {!stats_snapshot} taken before the run ({!stats_since}),
+    or {!stats_reset} first. *)
+
+val stats_snapshot : unit -> stats
+(** An independent copy of the current counters. *)
+
+val stats_reset : unit -> unit
+(** Zero all counters. *)
+
+val stats_since : stats -> stats
+(** [stats_since snap] is the per-field difference between the current
+    counters and the snapshot [snap]. *)
 
 val solve_exact : Lp_problem.t -> Lp_problem.result
 (** The hybrid driver: float solve, exact certification, exact fallback. *)

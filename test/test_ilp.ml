@@ -55,6 +55,55 @@ let test_ilp_infeasible () =
   | P.Infeasible -> ()
   | _ -> Alcotest.fail "expected infeasible"
 
+(* Unbounded relaxation surfaces as the typed exception, not a crash
+   (satellite bugfix: this was a bare [failwith]). *)
+let test_ilp_unbounded_typed () =
+  let b = P.Builder.create ~direction:P.Minimize () in
+  let y = P.Builder.add_var b "y" in
+  let z = P.Builder.add_var b "z" in
+  P.Builder.set_objective b [ (y, R.of_int (-1)) ];
+  (* z is capped but y is free upwards: the root relaxation is unbounded. *)
+  P.Builder.add_row b [ (z, R.one) ] P.Le R.one;
+  let p = P.Builder.freeze b in
+  match Ilp.solve p with
+  | exception Ilp.Unbounded_relaxation { depth; nodes_explored } ->
+    Alcotest.(check int) "at the root" 0 depth;
+    Alcotest.(check bool) "no nodes finished" true (nodes_explored >= 0)
+  | _ -> Alcotest.fail "expected Unbounded_relaxation"
+
+(* The warm-started revised node solver must price the same optima as the
+   dense solver with warm starts disabled, and actually exercise the
+   warm-start path on a branching instance. *)
+let test_ilp_warm_vs_dense () =
+  let p = knapsack [ 10; 7; 25; 24; 13; 8 ] [ 3; 2; 6; 5; 4; 3 ] 10 in
+  let s0 = Simplex.stats_snapshot () in
+  let warm = Ilp.solve p in
+  let d = Simplex.stats_since s0 in
+  let dense = Ilp.solve ~solver:Simplex.solve_exact p in
+  (match (warm.Ilp.result, dense.Ilp.result) with
+   | P.Optimal { objective_value = v1; _ }, P.Optimal { objective_value = v2; _ } ->
+     Alcotest.check rt "same optimum" v2 v1
+   | _ -> Alcotest.fail "expected optimal from both");
+  Alcotest.(check bool) "warm starts exercised" true (d.Simplex.warm_accepts > 0)
+
+let prop_ilp_warm_matches_dense =
+  QCheck2.Test.make ~count:60 ~name:"warm-started ILP = dense-node ILP"
+    QCheck2.Gen.(
+      let* n = int_range 1 7 in
+      let* values = list_size (return n) (int_range 1 30) in
+      let* weights = list_size (return n) (int_range 1 15) in
+      let* cap = int_range 1 40 in
+      return (values, weights, cap))
+    (fun (values, weights, cap) ->
+       let p = knapsack values weights cap in
+       let warm = Ilp.solve p in
+       let dense = Ilp.solve ~solver:Simplex.solve_exact p in
+       match (warm.Ilp.result, dense.Ilp.result) with
+       | P.Optimal { objective_value = v1; _ }, P.Optimal { objective_value = v2; _ } ->
+         R.equal v1 v2
+       | P.Infeasible, P.Infeasible -> true
+       | _ -> false)
+
 let prop_knapsack_matches_brute =
   QCheck2.Test.make ~count:100 ~name:"ILP knapsack = brute force"
     QCheck2.Gen.(
@@ -119,7 +168,12 @@ let () =
   Alcotest.run "ilp"
     [ ( "unit",
         [ Alcotest.test_case "knapsack known" `Quick test_knapsack_known;
-          Alcotest.test_case "infeasible" `Quick test_ilp_infeasible ] );
+          Alcotest.test_case "infeasible" `Quick test_ilp_infeasible;
+          Alcotest.test_case "unbounded typed" `Quick test_ilp_unbounded_typed;
+          Alcotest.test_case "warm vs dense" `Quick test_ilp_warm_vs_dense ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_knapsack_matches_brute; prop_sandwich; prop_ilp_vs_opt ] ) ]
+          [ prop_knapsack_matches_brute;
+            prop_ilp_warm_matches_dense;
+            prop_sandwich;
+            prop_ilp_vs_opt ] ) ]

@@ -1,0 +1,72 @@
+(* PR-9 acceptance pin: the pruned synchronized LP plus the sparse
+   revised solver must push the full Sync_lp -> Rounding pipeline to
+   >= 1000 candidate intervals on >= 4 disks inside the CI budget, and
+   the sparse solver must agree with the retained dense solver on the
+   exact Sync_lp tableaux it replaced it on. *)
+
+module R = Rat
+
+let rt = Alcotest.testable R.pp R.equal
+
+let zipf = List.find (fun f -> f.Workload.name = "zipf") Workload.families
+
+(* n=220, 8 blocks, k=6, F=4, D=4 striped: 1090 candidate intervals,
+   ~15k variables after pruning. *)
+let acceptance_instance () =
+  let seq = zipf.Workload.generate ~seed:1 ~n:220 ~num_blocks:8 in
+  Workload.parallel_instance ~k:6 ~fetch_time:4 ~num_disks:4
+    ~layout:(fun ~num_blocks ~num_disks -> Workload.striped_layout ~num_blocks ~num_disks)
+    seq
+
+let test_scale_pipeline () =
+  let inst = acceptance_instance () in
+  let built = Sync_lp.build inst in
+  let n_intervals = Array.length built.Sync_lp.intervals in
+  Alcotest.(check bool)
+    (Printf.sprintf "acceptance size: %d intervals >= 1000" n_intervals)
+    true (n_intervals >= 1000);
+  Alcotest.(check bool) "D >= 4" true (inst.Instance.num_disks >= 4);
+  let r = Rounding.solve inst in
+  Alcotest.(check bool) "rounded, not fallback" false r.Rounding.used_fallback;
+  Alcotest.(check bool) "laminar support" true r.Rounding.laminar;
+  (* Theorem 4 at scale: the rounded schedule realizes the LP optimum. *)
+  Alcotest.check rt "stall = LP optimum"
+    r.Rounding.lp_value
+    (R.of_int r.Rounding.stats.Simulate.stall_time)
+
+(* Sparse-vs-dense on real Sync_lp tableaux small enough for the dense
+   O(rows x cols) solver: byte-equal objectives. *)
+let test_sync_corpus_sparse_vs_dense () =
+  let cases =
+    [ ("uniform D=2", "uniform", 24, 6, 4, 3, 2);
+      ("zipf D=4", "zipf", 20, 8, 3, 2, 4);
+      ("scan D=3", "scan", 18, 6, 2, 3, 3) ]
+  in
+  List.iter
+    (fun (label, fam, n, blocks, k, f, d) ->
+       let fam = List.find (fun w -> w.Workload.name = fam) Workload.families in
+       let seq = fam.Workload.generate ~seed:7 ~n ~num_blocks:blocks in
+       let inst =
+         Workload.parallel_instance ~k ~fetch_time:f ~num_disks:d
+           ~layout:(fun ~num_blocks ~num_disks ->
+             Workload.striped_layout ~num_blocks ~num_disks)
+           seq
+       in
+       let built = Sync_lp.build inst in
+       let p = built.Sync_lp.problem in
+       match (Simplex.solve_exact p, Revised.solve_lp p) with
+       | ( Lp_problem.Optimal { objective_value = v1; _ },
+           Lp_problem.Optimal { objective_value = v2; values } ) ->
+         Alcotest.check rt (label ^ ": dense = sparse objective") v1 v2;
+         Alcotest.(check bool)
+           (label ^ ": sparse optimum feasible") true
+           (Result.is_ok (Lp_problem.check_feasible p values))
+       | _ -> Alcotest.fail (label ^ ": expected optimal from both"))
+    cases
+
+let () =
+  Alcotest.run "lp_scale"
+    [ ( "scale",
+        [ Alcotest.test_case "pipeline at 1090 intervals, D=4" `Quick test_scale_pipeline;
+          Alcotest.test_case "sparse = dense on Sync_lp corpus" `Quick
+            test_sync_corpus_sparse_vs_dense ] ) ]

@@ -28,7 +28,11 @@ let get_optimal = function
   | P.Infeasible -> Alcotest.fail "unexpected: infeasible"
   | P.Unbounded -> Alcotest.fail "unexpected: unbounded"
 
-let solvers = [ ("exact", Simplex.solve_pure_exact); ("hybrid", Simplex.solve_exact) ]
+let solvers =
+  [ ("exact", Simplex.solve_pure_exact);
+    ("hybrid", Simplex.solve_exact);
+    ("revised", Revised.solve_lp);
+    ("revised-pure", Revised.solve_pure) ]
 
 let check_all_solvers name problem expected_obj expected_values =
   List.iter
@@ -177,6 +181,45 @@ let test_check_feasible () =
     (Result.is_error (P.check_feasible p [| R.of_int 2; R.of_int (-1) |]))
 
 (* ------------------------------------------------------------------ *)
+(* Revised-simplex specifics: the Bland switch, and the process-global
+   statistics counters' snapshot/reset protocol. *)
+
+(* min -x1 s.t. x1 - x2 <= 0, x1 <= 1: the first pivot is forced
+   degenerate (ratio 0 on the first row), so with a zero stall threshold
+   the very next pricing round must go through Bland. *)
+let test_revised_bland_pin () =
+  let p =
+    make_problem 2 [ (0, -1) ]
+      [ ([ (0, 1); (1, -1) ], P.Le, 0); ([ (0, 1) ], P.Le, 1) ]
+  in
+  let s0 = Simplex.stats_snapshot () in
+  (match Revised.Rat_rev.solve ~stall_threshold:0 p with
+   | Revised.Rat_rev.Solved { objective; _ } ->
+     Alcotest.check rt "degenerate optimum" (R.of_int (-1)) objective
+   | _ -> Alcotest.fail "expected solved");
+  let d = Simplex.stats_since s0 in
+  Alcotest.(check bool) "bland switch recorded" true (d.Simplex.bland_switches > 0);
+  Alcotest.(check bool) "degenerate pivot recorded" true (d.Simplex.degenerate_pivots > 0)
+
+let test_stats_snapshot_reset () =
+  let p =
+    make_problem 2 [ (0, 1); (1, 1) ]
+      [ ([ (0, 1); (1, 2) ], P.Ge, 4); ([ (0, 3); (1, 1) ], P.Ge, 6) ]
+  in
+  let s0 = Simplex.stats_snapshot () in
+  ignore (Revised.solve_lp p);
+  let d = Simplex.stats_since s0 in
+  Alcotest.(check bool) "snapshot delta sees the solve" true (d.Simplex.pivots > 0);
+  (* The snapshot is a decoupled copy, so the delta is exactly the live
+     total minus the snapshot... *)
+  Alcotest.(check int) "delta = live - snapshot"
+    (Simplex.stats.Simplex.pivots - s0.Simplex.pivots) d.Simplex.pivots;
+  (* ...and reset rewinds the live record to zero. *)
+  Simplex.stats_reset ();
+  Alcotest.(check int) "reset pivots" 0 Simplex.stats.Simplex.pivots;
+  Alcotest.(check int) "reset warm accepts" 0 Simplex.stats.Simplex.warm_accepts
+
+(* ------------------------------------------------------------------ *)
 (* Property tests: random small LPs; hybrid and pure-exact must agree
    exactly, and optimal solutions must be feasible. *)
 
@@ -238,9 +281,84 @@ let prop_float_close =
        | P.Infeasible, P.Infeasible -> true
        | _, _ -> true (* float may legitimately misclassify edge cases *))
 
+(* Differential suite for the tentpole: the sparse revised solver (both
+   the hybrid float-then-certify driver and the pure exact variant) must
+   agree with the retained dense solver byte-for-byte on objectives, and
+   its optima must be basis-feasible for the original problem. *)
+let prop_revised_matches_dense =
+  QCheck2.Test.make ~count:300 ~name:"revised (hybrid + pure) = dense exact" gen_lp
+    (fun spec ->
+       let p = build_lp spec in
+       let agree a b =
+         match (a, b) with
+         | ( P.Optimal { objective_value = v1; _ },
+             P.Optimal { objective_value = v2; values } ) ->
+           R.equal v1 v2
+           && Result.is_ok (P.check_feasible p values)
+           && R.equal v2 (P.objective_value p values)
+         | P.Infeasible, P.Infeasible -> true
+         | P.Unbounded, P.Unbounded -> true
+         | _ -> false
+       in
+       let dense = Simplex.solve_pure_exact p in
+       agree dense (Revised.solve_lp p) && agree dense (Revised.solve_pure p))
+
+(* Standardize audit (satellite): raw problems built without the Builder,
+   so rows may carry duplicate variable keys, negative right-hand sides
+   (exercising the sign-flip row rewrite for every relation, Eq included)
+   and surplus columns for Ge rows.  Both standardizers must induce the
+   same optimum, and a solution mapped back through the revised path must
+   satisfy the original rows. *)
+let gen_raw_lp =
+  QCheck2.Gen.(
+    let small_coeff = int_range (-4) 4 in
+    let* nvars = int_range 1 4 in
+    let gen_entry =
+      let* v = int_range 0 (nvars - 1) in
+      let* c = small_coeff in
+      return (v, R.of_int c)
+    in
+    let gen_row =
+      let* entries = list_size (int_range 1 6) gen_entry in  (* duplicates likely *)
+      let* rel = oneofl [ P.Le; P.Ge; P.Eq ] in
+      let* rhs = int_range (-10) 10 in
+      return { P.coeffs = entries; relation = rel; rhs = R.of_int rhs }
+    in
+    let* rows = list_size (int_range 1 5) gen_row in
+    let* obj = list_size (return nvars) small_coeff in
+    let cap =
+      { P.coeffs = List.init nvars (fun v -> (v, R.one)); relation = P.Le; rhs = R.of_int 30 }
+    in
+    return
+      { P.direction = P.Minimize;
+        num_vars = nvars;
+        objective = List.mapi (fun i c -> (i, R.of_int c)) obj;
+        rows = cap :: rows;
+        names = Array.init nvars (Printf.sprintf "x%d") })
+
+(* check_feasible folds duplicate keys, so it is the ground truth both
+   solvers are judged against. *)
+let prop_standardize_roundtrip =
+  QCheck2.Test.make ~count:300 ~name:"standardize round-trip on raw duplicate-key rows"
+    gen_raw_lp
+    (fun p ->
+       match (Simplex.solve_pure_exact p, Revised.solve_pure p) with
+       | ( P.Optimal { objective_value = v1; values = x1 },
+           P.Optimal { objective_value = v2; values = x2 } ) ->
+         R.equal v1 v2
+         && Result.is_ok (P.check_feasible p x1)
+         && Result.is_ok (P.check_feasible p x2)
+       | P.Infeasible, P.Infeasible -> true
+       | P.Unbounded, P.Unbounded -> true
+       | _ -> false)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_exact_hybrid_agree; prop_optimal_feasible; prop_float_close ]
+    [ prop_exact_hybrid_agree;
+      prop_optimal_feasible;
+      prop_float_close;
+      prop_revised_matches_dense;
+      prop_standardize_roundtrip ]
 
 let () =
   Alcotest.run "simplex"
@@ -255,5 +373,7 @@ let () =
           Alcotest.test_case "redundant rows" `Quick test_redundant_rows;
           Alcotest.test_case "zero objective" `Quick test_zero_objective;
           Alcotest.test_case "duplicate coeffs" `Quick test_duplicate_coeffs_merged;
-          Alcotest.test_case "check_feasible" `Quick test_check_feasible ] );
+          Alcotest.test_case "check_feasible" `Quick test_check_feasible;
+          Alcotest.test_case "revised bland pin" `Quick test_revised_bland_pin;
+          Alcotest.test_case "stats snapshot/reset" `Quick test_stats_snapshot_reset ] );
       ("properties", props) ]
