@@ -221,6 +221,21 @@ let scale_driver_tests =
              ~finally:(fun () -> Telemetry.set_enabled false)
              (fun () -> Aggressive.schedule (Lazy.force w5)))) ]
 
+(* PR 10: the streaming engine at 10^5 requests, window 64 vs full
+   trace.  Same trace shape as the scale_driver tier (so the pair is
+   comparable to scale_driver_aggressive_n100000); each call rebuilds
+   the source - sources are stateful one-shot iterators.  CI diffs both
+   against BENCH_10 and additionally keeps the full-window entry within
+   3x of the batch aggressive entry (the streaming-overhead guard). *)
+let stream_driver_tests =
+  let n = 100_000 in
+  let run ~window () =
+    let src = Stream.take n (Stream.zipf ~seed:13 ~alpha:0.9 ~num_blocks:(n / 64)) in
+    ignore (Stream.run ~k:64 ~fetch_time:8 ~window src (Prefetcher.aggressive ()) : Stream.outcome)
+  in
+  [ Test.make ~name:"stream_driver_aggressive_w64_n100000" (stage (run ~window:64));
+    Test.make ~name:"stream_driver_aggressive_wfull_n100000" (stage (run ~window:n)) ]
+
 (* PR 9: parallel disks at scale.  The D-disk greedy schedulers at 10^5
    requests for D = 2/4/8 (same trace shape as the scale_driver tier), and the
    pruned synchronized-LP pipeline at its acceptance size (1090
@@ -282,7 +297,7 @@ let run_benchmarks ~micro ~scale () =
     (* Bodies run 0.03-1 s each: a handful of samples without GC
        stabilization is both representative and affordable. *)
     let scale_cfg = Benchmark.cfg ~limit:10 ~quota:(Time.second 2.0) ~stabilize:false () in
-    run_pass scale_cfg scale_driver_tests;
+    run_pass scale_cfg (scale_driver_tests @ stream_driver_tests);
     (* The LP pipeline entry runs ~5 s per call: one sample is enough
        for a regression pin, so it gets a one-shot budget. *)
     let parallel_cfg = Benchmark.cfg ~limit:4 ~quota:(Time.second 2.0) ~stabilize:false () in

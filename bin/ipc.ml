@@ -14,6 +14,8 @@
      profile     run one algorithm and write a Chrome trace-event timeline
      faults      run one workload under an injected fault plan and print
                  the clean / faulty / re-planned degradation table
+     stream      run a prefetch policy online over a streaming request
+                 source with a bounded lookahead window, constant memory
      fuzz        property-based conformance fuzzing: generated instances
                  checked against validity, accounting, theorem-bound and
                  differential oracles, with shrunk counterexamples
@@ -469,6 +471,114 @@ let delayed_cmd =
       const run $ metrics_arg $ events_arg $ workload_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg
       $ f_arg $ alg_arg $ window_arg $ latency_arg $ fault_seed_arg $ gantt_arg $ trace_out_arg)
 
+(* stream: the online engine with bounded lookahead (lib/core/stream.ml).
+   Unlike simulate, nothing here materializes the trace: generated
+   workloads come from the endless streaming twins and --file reads the
+   trace line by line, so memory stays O(window + cache) at any n. *)
+let stream_cmd =
+  let policy_conv =
+    let parse s =
+      if Prefetcher.find s <> None then Ok s
+      else
+        Error
+          (`Msg
+             (Printf.sprintf "unknown policy %s (choose from: %s)" s
+                (String.concat ", " (Prefetcher.names ()))))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  let policy_arg =
+    Arg.(
+      value & opt policy_conv "aggressive"
+      & info [ "p"; "policy" ]
+          ~doc:
+            (Printf.sprintf "Prefetch policy: %s." (String.concat "|" (Prefetcher.names ()))))
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "window" ] ~docv:"W"
+          ~doc:"Lookahead window: the policy sees at most $(docv) requests past the cursor.")
+  in
+  let file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "file" ]
+          ~doc:
+            "Stream the request sequence from a trace file (read incrementally, never loaded \
+             whole); k, F and the initial cache come from its header.")
+  in
+  let source_conv =
+    let streaming = [ "uniform"; "zipf"; "scan"; "phase_shift" ] in
+    let parse s =
+      if List.mem s streaming then Ok s
+      else
+        Error
+          (`Msg
+             (Printf.sprintf "unknown streaming workload %s (choose from: %s)" s
+                (String.concat ", " streaming)))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  let source_arg =
+    Arg.(
+      value & opt source_conv "zipf"
+      & info [ "w"; "workload" ]
+          ~doc:"Streaming workload family: uniform|zipf|scan|phase_shift.")
+  in
+  let run metrics events wname seed n blocks k f window pname file =
+    with_metrics metrics @@ fun () ->
+    with_events events @@ fun () ->
+    let build = Option.get (Prefetcher.find pname) in
+    let finish ~label ~k ~fetch_time ~initial_cache src =
+      let t0 = Sys.time () in
+      let out =
+        Stream.run ~initial_cache ~k ~fetch_time ~window src (build ~fetch_time)
+      in
+      let dt = Sys.time () -. t0 in
+      Printf.printf "stream: %s policy=%s k=%d F=%d window=%d\n" label out.Stream.policy k
+        fetch_time window;
+      Printf.printf "served=%d stall=%d elapsed=%d\n" out.Stream.served out.Stream.stall_time
+        out.Stream.elapsed_time;
+      Printf.printf "fetches=%d (demand=%d) window_refills=%d\n" out.Stream.fetches
+        out.Stream.demand_fetches out.Stream.refills;
+      Printf.printf "wall=%.3fs (%.0f req/s)\n" dt
+        (if dt > 0.0 then float_of_int out.Stream.served /. dt else 0.0)
+    in
+    match file with
+    | Some path ->
+      Trace_io.with_reader path (fun r ->
+          let hdr = Trace_io.header r in
+          if hdr.Trace_io.num_disks <> 1 then
+            failwith "ipc stream is single-disk; trace declares disks > 1";
+          let initial_cache = Option.value hdr.Trace_io.initial_cache ~default:[] in
+          finish ~label:path ~k:hdr.Trace_io.cache_size ~fetch_time:hdr.Trace_io.fetch_time
+            ~initial_cache (Stream.of_reader r))
+    | None ->
+      let src =
+        match wname with
+        | "uniform" -> Stream.uniform ~seed ~num_blocks:blocks
+        | "zipf" -> Stream.zipf ~seed ~alpha:0.9 ~num_blocks:blocks
+        | "scan" -> Stream.sequential_scan ~num_blocks:blocks
+        | _ ->
+          (* the scale tier's sliding-working-set locality pattern *)
+          Stream.phase_shift ~seed ~num_blocks:blocks
+            ~phase_len:(Stdlib.max 1 (n / 200))
+            ~working_set:(Stdlib.max 4 (blocks / 8))
+      in
+      finish
+        ~label:(Printf.sprintf "%s n=%d blocks=%d" wname n blocks)
+        ~k ~fetch_time:f ~initial_cache:[] (Stream.take n src)
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Run a prefetch policy online over a streaming request source with a bounded lookahead \
+          window, in constant memory.")
+    Term.(
+      const run $ metrics_arg $ events_arg $ source_arg $ seed_arg $ n_arg $ blocks_arg $ k_arg
+      $ f_arg $ window_arg $ policy_arg $ file_arg)
+
 (* fuzz: the property-based conformance harness (lib/check) *)
 let classes_conv =
   let parse s =
@@ -485,7 +595,7 @@ let classes_conv =
             (`Msg
                (Printf.sprintf
                   "unknown oracle class %s (choose from: validity, accounting, theorem, \
-                   differential, delayed)"
+                   differential, delayed, stream)"
                   p)))
     in
     go [] parts
@@ -504,7 +614,7 @@ let fuzz_cmd =
     Arg.(
       value & opt classes_conv Ck_oracle.all_classes
       & info [ "classes" ] ~docv:"LIST"
-          ~doc:"Comma-separated oracle classes to run: validity, accounting, theorem, differential (default: all).")
+          ~doc:"Comma-separated oracle classes to run: validity, accounting, theorem, differential, delayed, stream (default: all).")
   in
   let dump_arg =
     Arg.(
@@ -836,6 +946,7 @@ let explain_cmd =
       | Event_log.Evict { time; _ }
       | Event_log.Frontier_clamp { time; _ }
       | Event_log.Delayed_hit { time; _ }
+      | Event_log.Window_refill { time; _ }
       | Event_log.Note { time; _ } -> (time, time + 1)
     in
     let blocks_of = function
@@ -847,7 +958,7 @@ let explain_cmd =
       | Event_log.Delayed_hit { block; _ } -> [ block ]
       | Event_log.Evict { block; runner_up; _ } ->
         block :: (match runner_up with Some (b, _) -> [ b ] | None -> [])
-      | Event_log.Clock_skip _ | Event_log.Note _ -> []
+      | Event_log.Clock_skip _ | Event_log.Window_refill _ | Event_log.Note _ -> []
     in
     let selected =
       List.filter
@@ -970,8 +1081,8 @@ let () =
            (Cmd.info "ipc" ~version:"1.0"
               ~doc:"Integrated prefetching and caching in single and parallel disk systems")
            [ simulate_cmd; compare_cmd; sweep_cmd; lower_cmd; delay_cmd; parallel_cmd; lp_cmd;
-             experiments_cmd; profile_cmd; faults_cmd; delayed_cmd; fuzz_cmd; opt_cmd; scale_cmd;
-             explain_cmd; report_cmd; bench_diff_cmd ])
+             experiments_cmd; profile_cmd; faults_cmd; delayed_cmd; stream_cmd; fuzz_cmd;
+             opt_cmd; scale_cmd; explain_cmd; report_cmd; bench_diff_cmd ])
     with
     | Sys_error msg | Failure msg ->
       Printf.eprintf "ipc: %s\n" msg;

@@ -425,11 +425,6 @@ let to_int_opt x =
     Some (if x.sign < 0 then - !v else !v)
   end
 
-let to_int x =
-  match to_int_opt x with
-  | Some n -> n
-  | None -> failwith "Bigint.to_int: value does not fit in a native int"
-
 let to_float x =
   let v = ref 0.0 in
   let b = float_of_int base in
@@ -458,6 +453,20 @@ let to_string x =
        List.iter (fun d -> Buffer.add_string buf (Printf.sprintf "%09d" d)) rest);
     Buffer.contents buf
   end
+
+exception Does_not_fit of { digits : string; bits : int }
+
+let () =
+  Printexc.register_printer (function
+    | Does_not_fit { digits; bits } ->
+      Some
+        (Printf.sprintf "Bigint.to_int: %s (%d bits) does not fit in a native int" digits bits)
+    | _ -> None)
+
+let to_int x =
+  match to_int_opt x with
+  | Some n -> n
+  | None -> raise (Does_not_fit { digits = to_string x; bits = num_bits x })
 
 let of_string s =
   let len = String.length s in

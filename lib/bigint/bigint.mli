@@ -24,8 +24,14 @@ val minus_one : t
 
 val of_int : int -> t
 
+exception Does_not_fit of { digits : string; bits : int }
+(** Raised by {!to_int} when a value is too wide for a native [int].
+    Carries the decimal rendering and the bit width so callers (the LP
+    pipeline in particular) can report the offending magnitude instead of
+    an anonymous [Failure]. *)
+
 val to_int : t -> int
-(** @raise Failure if the value does not fit in a native [int]. *)
+(** @raise Does_not_fit if the value does not fit in a native [int]. *)
 
 val to_int_opt : t -> int option
 (** [to_int_opt x] is [Some n] iff [x] fits in a native [int]. *)

@@ -1,9 +1,9 @@
 (* Oracle framework for the conformance fuzzer: a named, classed,
    total check over problem instances.  See ck_oracle.mli. *)
 
-type class_ = Validity | Accounting | Theorem | Differential | Delayed
+type class_ = Validity | Accounting | Theorem | Differential | Delayed | Stream
 
-let all_classes = [ Validity; Accounting; Theorem; Differential; Delayed ]
+let all_classes = [ Validity; Accounting; Theorem; Differential; Delayed; Stream ]
 
 let class_name = function
   | Validity -> "validity"
@@ -11,6 +11,7 @@ let class_name = function
   | Theorem -> "theorem"
   | Differential -> "differential"
   | Delayed -> "delayed"
+  | Stream -> "stream"
 
 let class_of_string = function
   | "validity" -> Some Validity
@@ -18,6 +19,7 @@ let class_of_string = function
   | "theorem" -> Some Theorem
   | "differential" -> Some Differential
   | "delayed" -> Some Delayed
+  | "stream" -> Some Stream
   | _ -> None
 
 type outcome =

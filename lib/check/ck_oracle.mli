@@ -6,12 +6,15 @@
     identities, the paper's {e theorem} bounds, and {e differential}
     agreement between independent implementations, plus the {e delayed}
     class (PR 7): degenerate-plan equivalence of the delayed-hit
-    executor and its queueing invariants.  Oracles are total:
+    executor and its queueing invariants, and the {e stream} class
+    (PR 10): full-window equivalence of the streaming engine to the
+    batch driver and exact replay of bounded-window schedules.  Oracles
+    are total:
     exceptions escaping a check are reported as failures, and
     inapplicable instances (wrong disk count, too large for an exact
     reference) are skipped with a reason rather than silently passed. *)
 
-type class_ = Validity | Accounting | Theorem | Differential | Delayed
+type class_ = Validity | Accounting | Theorem | Differential | Delayed | Stream
 
 val all_classes : class_ list
 val class_name : class_ -> string

@@ -42,7 +42,7 @@ type summary = {
 
 let battery () =
   (Ck_validity.validity :: Ck_validity.accounting :: Ck_theorems.all)
-  @ Ck_diff.all @ Ck_delayed.all
+  @ Ck_diff.all @ Ck_delayed.all @ Ck_stream.all
 
 let msg_of = function
   | Ck_oracle.Fail { msg; _ } -> msg

@@ -815,11 +815,17 @@ let report (r : result) : result =
 
 let solve ?(solver = Revised.solve_lp) (inst : Instance.t) : result =
   match Sync_lp.solve ~solver inst with
-  | exception Ilp.Unbounded_relaxation _ ->
-    (* An ILP-backed [solver] reported an unbounded relaxation (typed, per
-       the solver-failure convention): the LP lower bound is unavailable,
-       so fall back to the always-valid greedy baseline with the trivial
-       bound of zero. *)
+  | exception
+      ( Ilp.Unbounded_relaxation _
+      | Bigint.Does_not_fit _
+      | Rat.Not_an_integer _ ) ->
+    (* The [solver] failed in a typed, recoverable way: an ILP-backed
+       solver reported an unbounded relaxation, or exact arithmetic
+       overflowed a native-int conversion ([Bigint.Does_not_fit] /
+       [Rat.Not_an_integer] instead of the bare [Failure] they used to
+       raise).  The LP lower bound is unavailable either way, so fall
+       back to the always-valid greedy baseline with the trivial bound
+       of zero. *)
     let extra = 2 * (inst.Instance.num_disks - 1) in
     let schedule = Parallel_greedy.aggressive_schedule inst in
     let stats =

@@ -18,10 +18,16 @@ let solve ?(node_limit = 2000) (inst : Instance.t) : outcome =
   (* Pool variables are not 0-1 (their integrality follows from the
      balance rows), so branch and bound gets the explicit binary list. *)
   let o =
-    try Ilp.solve ~binary:built.Sync_lp.binary ~node_limit built.Sync_lp.problem
-    with Ilp.Unbounded_relaxation { depth; _ } ->
+    try Ilp.solve ~binary:built.Sync_lp.binary ~node_limit built.Sync_lp.problem with
+    | Ilp.Unbounded_relaxation { depth; _ } ->
       Simulate.internal_error ~component:"Sync_ilp"
         "unbounded relaxation at depth %d (model bug)" depth
+    | Bigint.Does_not_fit { digits; bits } ->
+      Simulate.internal_error ~component:"Sync_ilp"
+        "native-int overflow in exact arithmetic: %s (%d bits)" digits bits
+    | Rat.Not_an_integer { value } ->
+      Simulate.internal_error ~component:"Sync_ilp"
+        "expected integral value, got %s (model bug)" value
   in
   match o.Ilp.result with
   | Lp_problem.Optimal { objective_value; _ } ->

@@ -322,7 +322,14 @@ let run ?(extra_slots = 0) ?(record_events = false) ?(attribution = false) ?(win
               armed := rest;
               ignore (do_start i : bool);
               start_due ()
-            | (start_time, _) :: _ when start_time < !t -> assert false
+            | (start_time, i) :: _ when start_time < !t ->
+              (* Armed ops drain at every instant in strict mode; an overdue
+                 entry means the clock advanced past a scheduled start - an
+                 executor bug, not a property of the plan. *)
+              let f = ops.(i) in
+              Simulate.internal_error ~component:"delayed"
+                "armed fetch of b%d on disk %d overdue: start time %d < clock %d"
+                f.Fetch_op.block f.Fetch_op.disk start_time !t
             | _ -> ()
           in
           start_due ()
@@ -411,7 +418,13 @@ let run ?(extra_slots = 0) ?(record_events = false) ?(attribution = false) ?(win
                 voluntary.(i) <- voluntary.(i) + 1;
                 incr f_stall
               end
-              else assert false (* rejected before charging *)
+              else
+                (* A stall unit with nothing in flight, armed, or queued
+                   means the plan ran dry while requests remain - the
+                   executor should have rejected before charging. *)
+                Simulate.internal_error ~component:"delayed"
+                  "stall at time %d awaiting b%d with no fetch in flight, armed, or queued"
+                  !t b
           end
         end
       in

@@ -92,6 +92,22 @@ exception Reject of error
 
 let rejectf at_time fmt = Printf.ksprintf (fun reason -> raise (Reject { reason; at_time })) fmt
 
+(* Typed channel for "a solver or executor hit a state its own model says
+   is impossible" - distinct from [Invalid_schedule] (a bad schedule) and
+   from user errors.  One exception instead of per-module [failwith]s, so
+   the CLI and Measure can catch internal bugs uniformly without also
+   swallowing every [Failure] in sight. *)
+exception Internal_error of { component : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Internal_error { component; reason } ->
+      Some (Printf.sprintf "%s: internal error: %s" component reason)
+    | _ -> None)
+
+let internal_error ~component fmt =
+  Printf.ksprintf (fun reason -> raise (Internal_error { component; reason })) fmt
+
 (* Registry handles (registration is once-per-name and happens eagerly;
    all mutations below are gated on [Telemetry.enabled]). *)
 let m_runs = Telemetry.counter "simulate.runs"
@@ -518,7 +534,14 @@ let exec ~extra_slots ~record_events ~attribution ~(faults : Faults.t) (inst : I
               push (Fetch_start { time = !t; fetch = f });
               prov_issue f;
               start_due ()
-            | (start_time, _) :: _ when start_time < !t -> assert false
+            | (start_time, i) :: _ when start_time < !t ->
+              (* The armed list is sorted by start time and drained at every
+                 instant, so finding an overdue entry means the clock jumped
+                 past a scheduled start - an executor bug, not a bad plan. *)
+              let f = ops.(i) in
+              internal_error ~component:"simulate"
+                "armed fetch of b%d on disk %d overdue: start time %d < clock %d"
+                f.Fetch_op.block f.Fetch_op.disk start_time !t
             | _ -> ()
           in
           start_due ()
@@ -776,22 +799,6 @@ let () =
 
 let reject ~algorithm (e : error) =
   raise (Invalid_schedule { algorithm; at_time = e.at_time; reason = e.reason })
-
-(* Typed channel for "a solver or executor hit a state its own model says
-   is impossible" - distinct from [Invalid_schedule] (a bad schedule) and
-   from user errors.  One exception instead of per-module [failwith]s, so
-   the CLI and Measure can catch internal bugs uniformly without also
-   swallowing every [Failure] in sight. *)
-exception Internal_error of { component : string; reason : string }
-
-let () =
-  Printexc.register_printer (function
-    | Internal_error { component; reason } ->
-      Some (Printf.sprintf "%s: internal error: %s" component reason)
-    | _ -> None)
-
-let internal_error ~component fmt =
-  Printf.ksprintf (fun reason -> raise (Internal_error { component; reason })) fmt
 
 (* Convenience wrappers. *)
 

@@ -1,0 +1,121 @@
+(* Sliding-window next-reference index for the streaming engine.
+
+   The batch engine precomputes {!Next_ref} over the whole sequence; a
+   streaming scheduler only ever knows the requests inside its bounded
+   lookahead window [cursor, filled).  This structure maintains exactly
+   that knowledge in O(window) memory:
+
+   - a circular buffer of the window's request blocks by absolute
+     position (so [block_at] is O(1)), and
+   - per-block ascending position deques (so next/previous-reference
+     queries are binary searches over a block's in-window occurrences).
+
+   Amortized O(1) per pushed/consumed position: when the window's low
+   edge advances past a position, that position is popped from the front
+   of its block's deque, so dead entries never accumulate.
+
+   Positions at or beyond the window edge are unknowable; queries answer
+   {!horizon} ("not referenced within the lookahead"), which comparisons
+   treat exactly like the batch engine's one-past-the-end sentinel. *)
+
+let horizon = max_int
+
+(* Growable circular int deque (ascending absolute positions). *)
+type dq = { mutable a : int array; mutable head : int; mutable len : int }
+
+let dq_create () = { a = Array.make 4 0; head = 0; len = 0 }
+let dq_get q i = q.a.((q.head + i) mod Array.length q.a)
+
+let dq_push_back q v =
+  let cap = Array.length q.a in
+  if q.len = cap then begin
+    let a' = Array.make (2 * cap) 0 in
+    for i = 0 to q.len - 1 do
+      a'.(i) <- dq_get q i
+    done;
+    q.a <- a';
+    q.head <- 0
+  end;
+  q.a.((q.head + q.len) mod Array.length q.a) <- v;
+  q.len <- q.len + 1
+
+let dq_pop_front q =
+  let v = q.a.(q.head) in
+  q.head <- (q.head + 1) mod Array.length q.a;
+  q.len <- q.len - 1;
+  v
+
+(* First index with value >= [x], or [len]. *)
+let dq_lower_bound q x =
+  let lo = ref 0 and hi = ref q.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if dq_get q mid >= x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+type t = {
+  mutable buf : int array;  (* circular by absolute position *)
+  mutable lo : int;  (* lowest retained absolute position *)
+  mutable hi : int;  (* next absolute position to be pushed *)
+  pos : (int, dq) Hashtbl.t;  (* block -> ascending in-window positions *)
+}
+
+let create () = { buf = Array.make 64 0; lo = 0; hi = 0; pos = Hashtbl.create 64 }
+
+let lo t = t.lo
+let filled t = t.hi
+let size t = t.hi - t.lo
+
+let block_at t p =
+  if p < t.lo || p >= t.hi then
+    invalid_arg
+      (Printf.sprintf "Win_ref.block_at: position %d outside window [%d, %d)" p t.lo t.hi);
+  t.buf.(p mod Array.length t.buf)
+
+let push t b =
+  let cap = Array.length t.buf in
+  if t.hi - t.lo = cap then begin
+    let cap' = 2 * cap in
+    let buf' = Array.make cap' 0 in
+    for p = t.lo to t.hi - 1 do
+      buf'.(p mod cap') <- t.buf.(p mod cap)
+    done;
+    t.buf <- buf'
+  end;
+  t.buf.(t.hi mod Array.length t.buf) <- b;
+  let q =
+    match Hashtbl.find_opt t.pos b with
+    | Some q -> q
+    | None ->
+      let q = dq_create () in
+      Hashtbl.add t.pos b q;
+      q
+  in
+  dq_push_back q t.hi;
+  t.hi <- t.hi + 1
+
+let drop_below t cursor =
+  while t.lo < cursor do
+    let b = t.buf.(t.lo mod Array.length t.buf) in
+    (match Hashtbl.find_opt t.pos b with
+     | Some q ->
+       ignore (dq_pop_front q : int);
+       if q.len = 0 then Hashtbl.remove t.pos b
+     | None -> ());
+    t.lo <- t.lo + 1
+  done
+
+let next_at_or_after t b ~from =
+  match Hashtbl.find_opt t.pos b with
+  | None -> horizon
+  | Some q ->
+    let i = dq_lower_bound q from in
+    if i >= q.len then horizon else dq_get q i
+
+let prev_before t b ~before =
+  match Hashtbl.find_opt t.pos b with
+  | None -> -1
+  | Some q ->
+    let i = dq_lower_bound q before in
+    if i = 0 then -1 else dq_get q (i - 1)

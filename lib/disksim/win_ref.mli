@@ -1,0 +1,46 @@
+(** Sliding-window next-reference index for the streaming engine.
+
+    Maintains the request blocks of the lookahead window
+    [[lo, filled)) in O(window) memory, with binary-search
+    next/previous-reference queries per block — the windowed analogue of
+    {!Next_ref}, built incrementally as requests arrive and pruned as
+    the cursor consumes them.
+
+    All positions are absolute stream indices (0-based). *)
+
+type t
+
+val create : unit -> t
+
+val horizon : int
+(** Sentinel ([max_int]) for "not referenced within the window".
+    Compares above every real position, mirroring the batch engine's
+    one-past-the-end sentinel in eviction comparisons. *)
+
+val push : t -> int -> unit
+(** [push t b] appends block [b] at position [filled t], extending the
+    window by one. *)
+
+val drop_below : t -> int -> unit
+(** [drop_below t cursor] forgets every position below [cursor]
+    (amortized O(1) per consumed position). *)
+
+val lo : t -> int
+(** Lowest retained position. *)
+
+val filled : t -> int
+(** One past the highest pushed position (the window edge). *)
+
+val size : t -> int
+(** [filled t - lo t]. *)
+
+val block_at : t -> int -> int
+(** Block at an absolute position inside [[lo, filled)).
+    @raise Invalid_argument outside the window. *)
+
+val next_at_or_after : t -> int -> from:int -> int
+(** First in-window position [>= from] referencing the block, or
+    {!horizon}. *)
+
+val prev_before : t -> int -> before:int -> int
+(** Last in-window position [< before] referencing the block, or [-1]. *)

@@ -79,12 +79,20 @@ let is_integer = function Small (_, 1) -> true | Small _ -> false | Big (_, d) -
 
 let to_bigint_opt x = if is_integer x then Some (num x) else None
 
+exception Not_an_integer of { value : string }
+
+let () =
+  Printexc.register_printer (function
+    | Not_an_integer { value } -> Some (Printf.sprintf "Rat.to_int_exn: %s is not an integer" value)
+    | _ -> None)
+
 let to_int_exn x =
   match x with
   | Small (n, 1) -> n
-  | Small _ -> failwith "Rat.to_int_exn: not an integer"
+  | Small (n, d) -> raise (Not_an_integer { value = Printf.sprintf "%d/%d" n d })
   | Big (n, d) ->
-    if B.is_one d then B.to_int n else failwith "Rat.to_int_exn: not an integer"
+    if B.is_one d then B.to_int n
+    else raise (Not_an_integer { value = B.to_string n ^ "/" ^ B.to_string d })
 
 let to_float = function
   | Small (n, d) -> float_of_int n /. float_of_int d

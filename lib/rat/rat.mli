@@ -41,8 +41,13 @@ val num : t -> Bigint.t
 val den : t -> Bigint.t
 val to_float : t -> float
 
+exception Not_an_integer of { value : string }
+(** Raised by {!to_int_exn} on a non-integral rational; carries the value's
+    rendering for diagnosable reports downstream. *)
+
 val to_int_exn : t -> int
-(** @raise Failure if the value is not an integer fitting in [int]. *)
+(** @raise Not_an_integer if the value is not integral.
+    @raise Bigint.Does_not_fit if it is integral but too wide for [int]. *)
 
 val is_integer : t -> bool
 val to_bigint_opt : t -> Bigint.t option

@@ -49,6 +49,9 @@ type event =
     }
     (* A request joined the wait queue of a block already in flight
        instead of stalling the clock (delayed-hit executor only). *)
+  | Window_refill of { time : int; cursor : int; filled : int; added : int }
+    (* The streaming engine pulled [added] requests from its source; the
+       lookahead window now covers [cursor, filled). *)
   | Note of { time : int; component : string; message : string }
     (* Structured diagnostic (e.g. an export failure, a protected-run
        error) so reports never lose a failure to stderr. *)
@@ -157,6 +160,11 @@ let json_of_event ev : Tjson.t =
       [ ("event", Tjson.String "delayed_hit"); ("time", Tjson.Int time);
         ("cursor", Tjson.Int cursor); ("block", Tjson.Int block); ("disk", Tjson.Int disk);
         ("queue_depth", Tjson.Int queue_depth); ("residual", Tjson.Int residual) ]
+  | Window_refill { time; cursor; filled; added } ->
+    Tjson.Obj
+      [ ("event", Tjson.String "window_refill"); ("time", Tjson.Int time);
+        ("cursor", Tjson.Int cursor); ("filled", Tjson.Int filled);
+        ("added", Tjson.Int added) ]
   | Note { time; component; message } ->
     Tjson.Obj
       [ ("event", Tjson.String "note"); ("time", Tjson.Int time);
@@ -198,6 +206,9 @@ let pp fmt = function
   | Delayed_hit { time; cursor; block; disk; queue_depth; residual } ->
     Format.fprintf fmt "t=%-5d delayed hit on b%d (disk %d) at r%d: queue depth %d, %d left"
       time block disk (cursor + 1) queue_depth residual
+  | Window_refill { time; cursor; filled; added } ->
+    Format.fprintf fmt "t=%-5d window refill +%d at r%d (lookahead to r%d)" time added
+      (cursor + 1) filled
   | Note { time; component; message } ->
     Format.fprintf fmt "t=%-5d note [%s] %s" time component message
 
@@ -255,6 +266,13 @@ let trace_lane ~tid events : Tjson.t list =
            ~args:
              [ ("request", Tjson.Int (cursor + 1)); ("queue_depth", Tjson.Int queue_depth);
                ("residual", Tjson.Int residual) ]
+           ~ts:(time * us) ~tid ())
+    | Window_refill { time; cursor; filled; added } ->
+      Some
+        (Trace_event.instant ~cat:"provenance" ~name:"window refill"
+           ~args:
+             [ ("request", Tjson.Int (cursor + 1)); ("filled", Tjson.Int filled);
+               ("added", Tjson.Int added) ]
            ~ts:(time * us) ~tid ())
     | Note { time; component; message } ->
       Some

@@ -51,6 +51,9 @@ type event =
     }
       (** A request joined the wait queue of a block already in flight
           instead of stalling the clock (delayed-hit executor only). *)
+  | Window_refill of { time : int; cursor : int; filled : int; added : int }
+      (** The streaming engine pulled [added] requests from its source;
+          its lookahead window now covers positions [[cursor, filled)). *)
   | Note of { time : int; component : string; message : string }
       (** Structured diagnostic (export failure, protected-run error)
           so reports never lose a failure to stderr. *)

@@ -10,11 +10,23 @@
      layout 0 0 0 0 1 1 1        # block -> disk (optional; default all 0)
      init 0 1 4 5                # initial cache (optional; default warm)
      seq 0 1 4 5 2 6 3
+     seq 3 3 1                   # seq may repeat; requests concatenate
 
-   The parser is strict: duplicate keys, CRLF line endings, non-integer
-   or overflowing fields and trailing garbage are all rejected, each with
-   the 1-based line number, so a truncated or hand-mangled trace fails
-   loudly instead of silently producing a different instance. *)
+   The parser is strict: duplicate header keys, CRLF line endings,
+   non-integer or overflowing fields and trailing garbage are all
+   rejected, each with the 1-based line number, so a truncated or
+   hand-mangled trace fails loudly instead of silently producing a
+   different instance.
+
+   Parsing is incremental: the reader holds one line at a time, so a
+   multi-gigabyte trace streams through in constant memory.  The only
+   ordering rule this imposes is that header keys must precede the first
+   [seq] line (which every writer, including [save_instance], already
+   satisfies). *)
+
+(* Writing chunks the sequence over multiple [seq] lines so readers are
+   never forced to materialize one huge line. *)
+let seq_chunk = 1024
 
 let save_instance (path : string) (inst : Instance.t) : unit =
   let oc = open_out path in
@@ -29,8 +41,20 @@ let save_instance (path : string) (inst : Instance.t) : unit =
          (String.concat " " (Array.to_list (Array.map string_of_int inst.Instance.disk_of)));
        Printf.fprintf oc "init %s\n"
          (String.concat " " (List.map string_of_int inst.Instance.initial_cache));
-       Printf.fprintf oc "seq %s\n"
-         (String.concat " " (Array.to_list (Array.map string_of_int inst.Instance.seq))))
+       let seq = inst.Instance.seq in
+       let n = Array.length seq in
+       let i = ref 0 in
+       while !i < n do
+         let stop = min n (!i + seq_chunk) in
+         output_string oc "seq";
+         for j = !i to stop - 1 do
+           output_char oc ' ';
+           output_string oc (string_of_int seq.(j))
+         done;
+         output_char oc '\n';
+         i := stop
+       done;
+       if n = 0 then output_string oc "seq\n")
 
 exception Parse_error of { file : string; line : int; message : string }
 
@@ -39,84 +63,216 @@ let () =
     | Parse_error { file; line; message } -> Some (Printf.sprintf "%s:%d: %s" file line message)
     | _ -> None)
 
-let load_instance (path : string) : Instance.t =
+type header = {
+  cache_size : int;
+  fetch_time : int;
+  num_disks : int;
+  layout : int array option;
+  initial_cache : int list option;
+}
+
+type reader = {
+  file : string;
+  ic : in_channel;
+  mutable lineno : int;
+  mutable hdr : header;
+  mutable saw_seq : bool;
+  (* Scan state for the current [seq] payload: [cur.[pos ..]] holds the
+     not-yet-consumed tail of the line (comment already stripped). *)
+  mutable cur : string;
+  mutable pos : int;
+  mutable eof : bool;
+  mutable closed : bool;
+}
+
+let parse_error_at file line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { file; line; message })) fmt
+
+let parse_error r fmt = parse_error_at r.file r.lineno fmt
+
+(* [int_of_string_opt] accepts "0x10", "1_000" and unary '+'; the trace
+   format wants plain decimal integers only, and must reject overflow. *)
+let strict_int r s =
+  let ok =
+    s <> "" && s <> "-"
+    && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s
+    && (not (String.contains_from s 1 '-'))
+  in
+  if not ok then parse_error r "not an integer: %S" s;
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> parse_error r "integer out of range: %s" s
+
+let ints r rest =
+  String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") |> List.map (strict_int r)
+
+let one r rest =
+  match ints r rest with
+  | [ v ] -> v
+  | [] -> parse_error r "missing value"
+  | _ :: _ -> parse_error r "trailing garbage after value: %s" (String.trim rest)
+
+(* Reads the next meaningful line; returns [Some (key, rest)] or [None] at
+   EOF.  Comments and blank lines are skipped; CRLF is rejected. *)
+let rec next_keyed_line r =
+  match input_line r.ic with
+  | exception End_of_file -> None
+  | raw ->
+    r.lineno <- r.lineno + 1;
+    if String.contains raw '\r' then parse_error r "CRLF line ending (expected LF-only)";
+    let line = String.trim raw in
+    if line = "" || line.[0] = '#' then next_keyed_line r
+    else begin
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.trim (String.sub line 0 i)
+        | None -> line
+      in
+      match String.index_opt line ' ' with
+      | None ->
+        (* A bare [seq] line (empty payload) is legal; anything else is
+           malformed. *)
+        if line = "seq" then Some ("seq", "") else parse_error r "malformed line: %s" line
+      | Some i ->
+        Some (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+    end
+
+(* Advances [r] to the next [seq] payload.  Called with the current
+   payload exhausted. *)
+let refill r =
+  match next_keyed_line r with
+  | None -> r.eof <- true
+  | Some ("seq", rest) ->
+    r.cur <- rest;
+    r.pos <- 0
+  | Some (("k" | "f" | "disks" | "layout" | "init") as key, _) ->
+    parse_error r "key %s after first seq line (header must precede seq)" key
+  | Some (key, _) -> parse_error r "unknown key: %s" key
+
+let open_reader (path : string) : reader =
   let ic = open_in path in
-  let lineno = ref 0 in
-  let parse_error fmt =
-    Printf.ksprintf
-      (fun message -> raise (Parse_error { file = path; line = !lineno; message }))
-      fmt
+  let r =
+    { file = path;
+      ic;
+      lineno = 0;
+      hdr =
+        { cache_size = 0; fetch_time = 0; num_disks = 1; layout = None; initial_cache = None };
+      saw_seq = false;
+      cur = "";
+      pos = 0;
+      eof = false;
+      closed = false }
   in
-  (* [int_of_string_opt] accepts "0x10", "1_000" and unary '+'; the trace
-     format wants plain decimal integers only, and must reject overflow. *)
-  let strict_int s =
-    let ok =
-      s <> "" && s <> "-"
-      && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s
-      && (not (String.contains_from s 1 '-'))
-    in
-    if not ok then parse_error "not an integer: %S" s;
-    match int_of_string_opt s with
-    | Some v -> v
-    | None -> parse_error "integer out of range: %s" s
-  in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-       let k = ref None and f = ref None and disks = ref None in
-       let layout = ref None and init = ref None and seq = ref None in
-       let set name cell v =
-         match !cell with
-         | Some _ -> parse_error "duplicate key: %s" name
-         | None -> cell := Some v
-       in
-       let ints rest =
-         String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") |> List.map strict_int
-       in
-       let one rest =
-         match ints rest with
-         | [ v ] -> v
-         | [] -> parse_error "missing value"
-         | _ :: _ -> parse_error "trailing garbage after value: %s" (String.trim rest)
-       in
-       (try
-          while true do
-            let raw = input_line ic in
-            incr lineno;
-            if String.contains raw '\r' then
-              parse_error "CRLF line ending (expected LF-only)";
-            let line = String.trim raw in
-            if line = "" || line.[0] = '#' then ()
-            else begin
-              let line =
-                match String.index_opt line '#' with
-                | Some i -> String.trim (String.sub line 0 i)
-                | None -> line
-              in
-              match String.index_opt line ' ' with
-              | None -> parse_error "malformed line: %s" line
-              | Some i ->
-                let key = String.sub line 0 i in
-                let rest = String.sub line (i + 1) (String.length line - i - 1) in
-                (match key with
-                 | "k" -> set "k" k (one rest)
-                 | "f" -> set "f" f (one rest)
-                 | "disks" -> set "disks" disks (one rest)
-                 | "layout" -> set "layout" layout (Array.of_list (ints rest))
-                 | "init" -> set "init" init (ints rest)
-                 | "seq" -> set "seq" seq (Array.of_list (ints rest))
-                 | _ -> parse_error "unknown key: %s" key)
-            end
-          done
-        with End_of_file -> ());
-       lineno := 0;
-       let k = match !k with Some v -> v | None -> parse_error "missing k" in
-       let f = match !f with Some v -> v | None -> parse_error "missing f" in
-       let seq = match !seq with Some v -> v | None -> parse_error "missing seq" in
-       let disks = match !disks with Some v -> v | None -> 1 in
-       let init = match !init with Some v -> v | None -> Instance.warm_initial_cache ~k seq in
-       match !layout with
-       | None when disks = 1 -> Instance.single_disk ~k ~fetch_time:f ~initial_cache:init seq
-       | None -> parse_error "layout required when disks > 1"
-       | Some disk_of ->
-         Instance.parallel ~k ~fetch_time:f ~num_disks:disks ~disk_of ~initial_cache:init seq)
+  (try
+     let k = ref None and f = ref None and disks = ref None in
+     let layout = ref None and init = ref None in
+     let set name cell v =
+       match !cell with
+       | Some _ -> parse_error r "duplicate key: %s" name
+       | None -> cell := Some v
+     in
+     let rec header_loop () =
+       match next_keyed_line r with
+       | None -> ()
+       | Some ("seq", rest) ->
+         r.saw_seq <- true;
+         r.cur <- rest;
+         r.pos <- 0
+       | Some (key, rest) ->
+         (match key with
+          | "k" -> set "k" k (one r rest)
+          | "f" -> set "f" f (one r rest)
+          | "disks" -> set "disks" disks (one r rest)
+          | "layout" -> set "layout" layout (Array.of_list (ints r rest))
+          | "init" -> set "init" init (ints r rest)
+          | _ -> parse_error r "unknown key: %s" key);
+         header_loop ()
+     in
+     header_loop ();
+     if not r.saw_seq then r.eof <- true;
+     let k = match !k with Some v -> v | None -> parse_error_at path 0 "missing k" in
+     let f = match !f with Some v -> v | None -> parse_error_at path 0 "missing f" in
+     r.hdr <-
+       { cache_size = k;
+         fetch_time = f;
+         num_disks = (match !disks with Some v -> v | None -> 1);
+         layout = !layout;
+         initial_cache = !init }
+   with e ->
+     close_in_noerr ic;
+     raise e);
+  r
+
+let header (r : reader) : header = r.hdr
+let saw_seq (r : reader) : bool = r.saw_seq
+let line (r : reader) : int = r.lineno
+
+let close_reader (r : reader) : unit =
+  if not r.closed then begin
+    r.closed <- true;
+    close_in_noerr r.ic
+  end
+
+(* Next token of the current payload, or [None] when the line (and, after
+   [refill], the file) is exhausted. *)
+let rec read_request (r : reader) : int option =
+  if r.eof then None
+  else begin
+    let len = String.length r.cur in
+    while r.pos < len && r.cur.[r.pos] = ' ' do
+      r.pos <- r.pos + 1
+    done;
+    if r.pos >= len then begin
+      refill r;
+      read_request r
+    end
+    else begin
+      let start = r.pos in
+      while r.pos < len && r.cur.[r.pos] <> ' ' do
+        r.pos <- r.pos + 1
+      done;
+      Some (strict_int r (String.sub r.cur start (r.pos - start)))
+    end
+  end
+
+let with_reader (path : string) (fn : reader -> 'a) : 'a =
+  let r = open_reader path in
+  Fun.protect ~finally:(fun () -> close_reader r) (fun () -> fn r)
+
+let load_instance (path : string) : Instance.t =
+  with_reader path (fun r ->
+      if not r.saw_seq then parse_error_at path 0 "missing seq";
+      (* Materialize the stream; only this eager entry point does. *)
+      let buf = ref (Array.make 1024 0) in
+      let n = ref 0 in
+      let push v =
+        if !n = Array.length !buf then begin
+          let grown = Array.make (2 * !n) 0 in
+          Array.blit !buf 0 grown 0 !n;
+          buf := grown
+        end;
+        !buf.(!n) <- v;
+        incr n
+      in
+      let rec drain () =
+        match read_request r with
+        | Some v ->
+          push v;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      let seq = Array.sub !buf 0 !n in
+      let { cache_size = k; fetch_time = f; num_disks = disks; layout; initial_cache } =
+        r.hdr
+      in
+      let init =
+        match initial_cache with
+        | Some init -> init
+        | None -> Instance.warm_initial_cache ~k seq
+      in
+      match layout with
+      | None when disks = 1 -> Instance.single_disk ~k ~fetch_time:f ~initial_cache:init seq
+      | None -> parse_error_at path 0 "layout required when disks > 1"
+      | Some disk_of ->
+        Instance.parallel ~k ~fetch_time:f ~num_disks:disks ~disk_of ~initial_cache:init seq)

@@ -8,16 +8,68 @@
     layout 0 0 0 0 1 1 1   # block -> disk (required when disks > 1)
     init 0 1 4 5           # initial cache (default: warm)
     seq 0 1 4 5 2 6 3
-    v} *)
+    seq 3 3 1              # seq may repeat; requests concatenate in order
+    v}
+
+    Parsing is incremental (line-at-a-time, constant memory), so traces
+    can back a streaming request source.  Header keys must precede the
+    first [seq] line. *)
 
 val save_instance : string -> Instance.t -> unit
+(** Chunks the sequence over multiple [seq] lines (~1024 values each) so
+    readers never face one huge line. *)
 
 exception Parse_error of { file : string; line : int; message : string }
 (** [line] is 1-based; 0 for whole-file errors (a missing mandatory key).
     A printer is registered, rendering as ["file:line: message"]. *)
 
+(** {1 Incremental reading} *)
+
+type header = {
+  cache_size : int;
+  fetch_time : int;
+  num_disks : int;
+  layout : int array option;
+  initial_cache : int list option;  (** [None] means warm (first [k] distinct). *)
+}
+
+type reader
+(** A pull-based cursor over a trace file.  Holds one line of the file at
+    a time; never materializes the request sequence. *)
+
+val open_reader : string -> reader
+(** Parses the header (everything before the first [seq] line) eagerly
+    and stops; requests stream via {!read_request}.
+    @raise Parse_error on malformed header input or missing [k]/[f]. *)
+
+val header : reader -> header
+
+val saw_seq : reader -> bool
+(** Whether the file contains at least one [seq] line ([false] only for
+    header-only files). *)
+
+val line : reader -> int
+(** 1-based number of the last line consumed; for diagnostics. *)
+
+val read_request : reader -> int option
+(** Next request, or [None] after the last one.  Strict like the batch
+    loader: rejects non-decimal or out-of-range integers, CRLF endings,
+    header keys after the first [seq] line, and unknown keys, each
+    reported with the offending 1-based line number.
+    @raise Parse_error on malformed input. *)
+
+val close_reader : reader -> unit
+(** Idempotent. *)
+
+val with_reader : string -> (reader -> 'a) -> 'a
+(** [with_reader path fn] opens, applies [fn], and always closes. *)
+
+(** {1 Eager loading} *)
+
 val load_instance : string -> Instance.t
-(** Strict: rejects duplicate keys, CRLF line endings, non-decimal or
-    out-of-range integers, and trailing garbage after single-value keys.
+(** Materializes the full request stream (the only entry point that
+    does).  Strict: rejects duplicate header keys, CRLF line endings,
+    non-decimal or out-of-range integers, and trailing garbage after
+    single-value keys.
     @raise Parse_error on malformed input, with the offending line.
     @raise Instance.Invalid if the parsed instance is inconsistent. *)

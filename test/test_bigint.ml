@@ -31,7 +31,33 @@ let test_to_int_overflow () =
   Alcotest.(check (option int)) "overflow is None" None (B.to_int_opt big);
   Alcotest.(check bool) "fits_int max_int" true (B.fits_int (B.of_int max_int));
   Alcotest.(check bool) "fits_int min_int" true (B.fits_int (B.of_int min_int));
-  Alcotest.(check bool) "not fits" false (B.fits_int big)
+  Alcotest.(check bool) "not fits" false (B.fits_int big);
+  (match B.to_int big with
+   | exception B.Does_not_fit { digits; bits } ->
+     Alcotest.(check string) "carries digits" (B.to_string big) digits;
+     Alcotest.(check bool) "carries width" true (bits > 62)
+   | n -> Alcotest.failf "expected Does_not_fit, got %d" n)
+
+(* The native-int boundary: [max_int] = 2^62 - 1 and [min_int] = -2^62
+   must convert; one past either end must raise the typed error. *)
+let test_to_int_boundary () =
+  Alcotest.(check int) "max_int fits" max_int (B.to_int (B.of_int max_int));
+  Alcotest.(check int) "min_int fits" min_int (B.to_int (B.of_int min_int));
+  let over = B.succ (B.of_int max_int) in
+  let under = B.pred (B.of_int min_int) in
+  Alcotest.(check (option int)) "max_int+1 is None" None (B.to_int_opt over);
+  Alcotest.(check (option int)) "min_int-1 is None" None (B.to_int_opt under);
+  List.iter
+    (fun (label, x) ->
+       match B.to_int x with
+       | exception B.Does_not_fit _ -> ()
+       | n -> Alcotest.failf "%s: expected Does_not_fit, got %d" label n)
+    [ ("max_int+1", over); ("min_int-1", under) ];
+  (* Round-trip sanity just inside the boundary via string parsing. *)
+  Alcotest.(check int) "2^62-1 via of_string" max_int
+    (B.to_int (B.of_string "4611686018427387903"));
+  Alcotest.(check int) "-2^62 via of_string" min_int
+    (B.to_int (B.of_string "-4611686018427387904"))
 
 let test_string_roundtrip () =
   List.iter
@@ -334,6 +360,7 @@ let () =
         [ Alcotest.test_case "constants" `Quick test_constants;
           Alcotest.test_case "of/to int" `Quick test_of_to_int;
           Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
+          Alcotest.test_case "to_int boundary" `Quick test_to_int_boundary;
           Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
           Alcotest.test_case "string underscores" `Quick test_string_underscores;
           Alcotest.test_case "string invalid" `Quick test_string_invalid;

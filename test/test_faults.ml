@@ -369,7 +369,85 @@ let test_parser_rejections () =
   parse_fails ~line:3 "k 2\nf 2\nseq 0 -1x\n" "garbage in seq";
   parse_fails ~line:3 "k 2\nf 2\nbogus 1\n" "unknown key";
   parse_fails ~line:0 "k 2\nseq 0 1\n" "missing f";
-  parse_fails ~line:0 "k 2\nf 2\ndisks 2\nseq 0 1\n" "layout required for disks > 1"
+  parse_fails ~line:0 "k 2\nf 2\ndisks 2\nseq 0 1\n" "layout required for disks > 1";
+  parse_fails ~line:4 "k 2\nf 2\nseq 0 1\nk 3\nseq 0\n" "header key after seq"
+
+(* Multiple [seq] lines concatenate in file order. *)
+let test_parser_multi_seq () =
+  with_trace_file "k 2\nf 2\nseq 0 1\n# interlude\nseq 0 2\nseq\nseq 1\n" (fun path ->
+      let inst = Trace_io.load_instance path in
+      Alcotest.(check bool) "concatenated seq" true (inst.Instance.seq = [| 0; 1; 0; 2; 1 |]))
+
+(* The incremental reader: header parsed eagerly, requests streamed one at
+   a time, and a malformed token deep in a large file reports the right
+   line without the whole file resident. *)
+let test_reader_streams () =
+  with_trace_file "k 3\nf 2\ninit 0 1 2\nseq 0 1\nseq 2 0\n" (fun path ->
+      Trace_io.with_reader path (fun r ->
+          let h = Trace_io.header r in
+          Alcotest.(check int) "k" 3 h.Trace_io.cache_size;
+          Alcotest.(check int) "f" 2 h.Trace_io.fetch_time;
+          Alcotest.(check (option (list int))) "init" (Some [ 0; 1; 2 ])
+            h.Trace_io.initial_cache;
+          let rec drain acc =
+            match Trace_io.read_request r with
+            | Some v -> drain (v :: acc)
+            | None -> List.rev acc
+          in
+          Alcotest.(check (list int)) "streamed requests" [ 0; 1; 2; 0 ] (drain [])))
+
+let test_reader_deep_malformed_line () =
+  (* 40k requests over 4k seq lines; one bad token near the end.  The
+     reader must stream up to it and report the exact line. *)
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf "k 4\nf 2\n";
+  for line = 0 to 3999 do
+    Buffer.add_string buf "seq";
+    for i = 0 to 9 do
+      if line = 3900 && i = 7 then Buffer.add_string buf " oops"
+      else Buffer.add_string buf (Printf.sprintf " %d" ((line + i) mod 16))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  with_trace_file (Buffer.contents buf) (fun path ->
+      Trace_io.with_reader path (fun r ->
+          let rec drain n =
+            match Trace_io.read_request r with
+            | Some _ -> drain (n + 1)
+            | None -> n
+          in
+          match drain 0 with
+          | n -> Alcotest.failf "expected Parse_error, drained %d requests" n
+          | exception Trace_io.Parse_error { line; message; _ } ->
+            (* Bad token on the 3901st seq line; header is 2 lines. *)
+            Alcotest.(check int) "error line" (2 + 3900 + 1) line;
+            Alcotest.(check bool) "mentions token" true
+              (let needle = "oops" in
+               let lh = String.length message and ln = String.length needle in
+               let rec loop i = i + ln <= lh && (String.sub message i ln = needle || loop (i + 1)) in
+               loop 0)))
+
+(* save_instance chunks long sequences over many lines; the roundtrip
+   must still be exact. *)
+let test_parser_chunked_roundtrip () =
+  let seq = Array.init 5000 (fun i -> (i * 7) mod 97) in
+  let inst = Instance.single_disk ~k:8 ~fetch_time:3 ~initial_cache:[ 0; 7; 14; 21 ] seq in
+  let path = Filename.temp_file "ipc_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       Trace_io.save_instance path inst;
+       let ic = open_in path in
+       let lines = ref 0 in
+       (try
+          while true do
+            ignore (input_line ic);
+            incr lines
+          done
+        with End_of_file -> close_in ic);
+       Alcotest.(check bool) "seq split over multiple lines" true (!lines > 5);
+       let back = Trace_io.load_instance path in
+       Alcotest.(check bool) "chunked roundtrip" true (inst = back))
 
 (* ------------------------------------------------------------------ *)
 (* Typed invalid-schedule channel. *)
@@ -488,7 +566,11 @@ let () =
       ("trace parser",
        [ Alcotest.test_case "accepts valid" `Quick test_parser_accepts_valid;
          Alcotest.test_case "roundtrip" `Quick test_parser_roundtrip;
-         Alcotest.test_case "rejections with line numbers" `Quick test_parser_rejections ]);
+         Alcotest.test_case "rejections with line numbers" `Quick test_parser_rejections;
+         Alcotest.test_case "multi-line seq" `Quick test_parser_multi_seq;
+         Alcotest.test_case "incremental reader" `Quick test_reader_streams;
+         Alcotest.test_case "deep malformed line" `Quick test_reader_deep_malformed_line;
+         Alcotest.test_case "chunked roundtrip" `Quick test_parser_chunked_roundtrip ]);
       ("typed errors",
        [ Alcotest.test_case "Invalid_schedule" `Quick test_invalid_schedule_exception ]);
       ("chrome trace", [ Alcotest.test_case "fault lane" `Quick test_trace_fault_lane ]);

@@ -52,8 +52,15 @@ let test_integrality () =
   Alcotest.(check bool) "4/2 integer" true (R.is_integer (r 4 2));
   Alcotest.(check bool) "1/2 not integer" false (R.is_integer R.half);
   Alcotest.(check int) "to_int_exn" 2 (R.to_int_exn (r 4 2));
-  Alcotest.check_raises "to_int_exn non-integer" (Failure "Rat.to_int_exn: not an integer")
-    (fun () -> ignore (R.to_int_exn R.half))
+  (match R.to_int_exn R.half with
+   | exception R.Not_an_integer { value } -> Alcotest.(check string) "payload" "1/2" value
+   | n -> Alcotest.failf "expected Not_an_integer, got %d" n);
+  (* An integral rational too wide for a native int surfaces the Bigint
+     overflow error, not a bare Failure. *)
+  let huge = R.of_bigint (B.mul (B.of_int max_int) (B.of_int 4)) in
+  (match R.to_int_exn huge with
+   | exception B.Does_not_fit _ -> ()
+   | n -> Alcotest.failf "expected Does_not_fit, got %d" n)
 
 let test_of_string () =
   Alcotest.check rt "p/q" (r 3 4) (R.of_string "3/4");
